@@ -1,0 +1,73 @@
+"""Extension — N-base meta-learning (the paper's future work).
+
+"The proposed meta-learning mechanism should be further examined for
+advancing failure prediction in large clusters."  This bench adds a third
+base predictor (periodicity) to the two paper methods under confidence
+arbitration (:class:`repro.meta.multi.MultiMeta`) and compares 2-base vs
+3-base combinations on identical folds.
+"""
+
+from benchmarks.conftest import report
+from repro.evaluation.crossval import cross_validate
+from repro.meta.multi import MultiMeta
+from repro.predictors.extensions import PeriodicityPredictor
+from repro.predictors.rulebased import RuleBasedPredictor
+from repro.predictors.statistical import StatisticalPredictor
+from repro.util.timeutil import HOUR, MINUTE
+
+
+def _stat():
+    return StatisticalPredictor(window=HOUR, lead=5 * MINUTE)
+
+
+def _rule():
+    return RuleBasedPredictor(
+        rule_window=15 * MINUTE, prediction_window=30 * MINUTE
+    )
+
+
+def test_ext_multimeta_two_vs_three_bases(anl_bench_events, benchmark):
+    def run():
+        two = cross_validate(
+            lambda: MultiMeta([_stat(), _rule()]), anl_bench_events, k=10
+        )
+        three = cross_validate(
+            lambda: MultiMeta([_stat(), _rule(), PeriodicityPredictor()]),
+            anl_bench_events,
+            k=10,
+        )
+        return two, three
+
+    two, three = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "Extension — MultiMeta base count (ANL, 10-fold CV)",
+        [
+            ("2 bases (stat+rule) P/R",
+             f"{two.precision:.3f} / {two.recall:.3f}"),
+            ("3 bases (+periodicity) P/R",
+             f"{three.precision:.3f} / {three.recall:.3f}"),
+        ],
+    )
+    # Adding a base under confidence arbitration must not collapse accuracy;
+    # recall must not drop (extra coverage can only add).
+    assert three.recall >= two.recall - 0.02
+    assert three.precision >= two.precision - 0.15
+
+
+def test_ext_multimeta_contribution_accounting(anl_bench_events, benchmark):
+    def run():
+        cut = int(len(anl_bench_events) * 0.7)
+        mm = MultiMeta([_stat(), _rule(), PeriodicityPredictor()]).fit(
+            anl_bench_events.select(slice(0, cut))
+        )
+        kept = mm.predict(
+            anl_bench_events.select(slice(cut, len(anl_bench_events)))
+        )
+        return mm, kept
+
+    mm, kept = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [("base", "contributed", "suppressed")]
+    for name in mm.contributions:
+        rows.append((name, mm.contributions[name], mm.suppressed[name]))
+    report("Extension — MultiMeta per-base contributions", rows)
+    assert sum(mm.contributions.values()) == len(kept)

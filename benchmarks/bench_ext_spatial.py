@@ -1,0 +1,83 @@
+"""Extension — spatial failure statistics (context: Liang et al., DSN'06).
+
+The paper's closest related work analyzes spatial as well as temporal
+correlation; our substrate carries full location codes, so this bench
+reports the classic spatial statistics on both generated logs: hotspot
+ranking, spatial concentration, and co-location of temporally close
+failures.
+"""
+
+import math
+
+from benchmarks.conftest import report
+from repro.bgl.locations import LocationKind
+from repro.evaluation.spatial import (
+    colocated_fraction,
+    failure_counts_by_location,
+    hotspots,
+    spatial_concentration,
+)
+from repro.util.timeutil import HOUR
+
+
+def test_ext_spatial_midplane_counts(anl_bench_events, benchmark):
+    counts = benchmark(
+        lambda: failure_counts_by_location(
+            anl_bench_events, LocationKind.MIDPLANE
+        )
+    )
+    rows = [(loc, n) for loc, n in sorted(counts.items())]
+    report("Extension — ANL failures per midplane", rows)
+    assert sum(counts.values()) == len(anl_bench_events.fatal_events())
+    # Both midplanes of the single-rack system see failures.
+    assert counts.get("R00-M0", 0) > 0 and counts.get("R00-M1", 0) > 0
+
+
+def test_ext_spatial_hotspots_and_concentration(
+    anl_bench_events, sdsc_bench_events, benchmark
+):
+    def run():
+        return {
+            "ANL": (
+                hotspots(anl_bench_events, LocationKind.NODECARD, top=5),
+                spatial_concentration(anl_bench_events, LocationKind.NODECARD),
+            ),
+            "SDSC": (
+                hotspots(sdsc_bench_events, LocationKind.NODECARD, top=5),
+                spatial_concentration(sdsc_bench_events, LocationKind.NODECARD),
+            ),
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for system, (top, gini) in out.items():
+        rows.append((f"{system} gini", round(gini, 3)))
+        for loc, n in top[:3]:
+            rows.append((f"  {system} hotspot", f"{loc}: {n}"))
+    report("Extension — node-card hotspots and concentration", rows)
+    for system, (top, gini) in out.items():
+        assert 0.0 <= gini < 0.9
+        assert top[0][1] >= top[-1][1]
+
+
+def test_ext_spatial_colocation(anl_bench_events, benchmark):
+    def run():
+        return (
+            colocated_fraction(anl_bench_events, within_seconds=HOUR,
+                               level=LocationKind.MIDPLANE),
+            colocated_fraction(anl_bench_events, within_seconds=HOUR,
+                               level=LocationKind.NODECARD),
+        )
+
+    mid, card = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "Extension — co-location of failures within 1 h (ANL)",
+        [
+            ("same midplane", round(mid, 3)),
+            ("same node card", round(card, 3)),
+            ("expected", "midplane >> node card (2 vs 32 elements)"),
+        ],
+    )
+    assert not math.isnan(mid)
+    # Coarser levels are hit more often by construction.
+    assert mid >= card

@@ -1,0 +1,79 @@
+"""Figure 3 — generated association rules with confidence values.
+
+Mines rules from the ANL bench log exactly as the paper does (support 0.04,
+confidence 0.2, rule-generation window 15 min) and prints the rule list in
+Figure 3's format.  The paper's figure shows rules like::
+
+    nodeMapFileError ==> nodeMapCreateFailure: 1
+    ddrErrorCorrectionInfo maskInfo ==> socketReadFailure: 0.697674
+    coredumpCreated ==> loadProgramFailure: 0.583333
+
+We assert the same *patterns* are rediscovered: the marquee rules appear,
+confidences span a wide band, and rules are sorted by confidence.
+"""
+
+from benchmarks.conftest import report
+from repro.predictors.rulebased import RuleBasedPredictor
+from repro.util.timeutil import MINUTE
+
+
+def test_figure3_rule_list(anl_bench_events, benchmark):
+    rb = benchmark.pedantic(
+        lambda: RuleBasedPredictor(
+            rule_window=15 * MINUTE, min_support=0.04, min_confidence=0.2
+        ).fit(anl_bench_events),
+        rounds=1,
+        iterations=1,
+    )
+    ruleset = rb.ruleset
+    assert ruleset is not None and len(ruleset) >= 5
+
+    lines = ruleset.format_rules().splitlines()
+    report(
+        "Figure 3 — mined association rules (ANL, G=15 min)",
+        [(ln, "") for ln in lines],
+    )
+
+    text = "\n".join(lines)
+    # Marquee Figure-3 patterns rediscovered from the synthetic log.
+    assert "nodeMapFileError ==> nodeMapCreateFailure" in text
+    assert "ddrErrorCorrectionInfo maskInfo ==>" in text
+    assert "coredumpCreated ==>" in text
+
+    confs = [r.confidence for r in ruleset]
+    assert confs == sorted(confs, reverse=True), "Step 4: confidence order"
+    assert max(confs) > 0.85 and min(confs) >= 0.2
+
+
+def test_figure3_rule_combination(anl_bench_events, benchmark):
+    """Step 3: same-body rules are combined into multi-head rules."""
+
+    def mine(combine):
+        return RuleBasedPredictor(rule_window=15 * MINUTE).fit(
+            anl_bench_events
+        ) if combine else None
+
+    rb = benchmark.pedantic(lambda: mine(True), rounds=1, iterations=1)
+    bodies = [r.body for r in rb.ruleset]
+    assert len(bodies) == len(set(bodies)), "combined rules have unique bodies"
+
+
+def test_figure3_no_precursor_statistic(anl_bench_events, benchmark):
+    """The paper: 31-66 % of ANL failures have no precursor non-fatal
+    events (across window sizes); at G=15 min we must be in that band's
+    vicinity."""
+    rb = benchmark.pedantic(
+        lambda: RuleBasedPredictor(rule_window=15 * MINUTE).fit(
+            anl_bench_events
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "Figure 3 — failures with no precursors (ANL, 15-min window)",
+        [
+            ("measured", round(rb.no_precursor_fraction, 3)),
+            ("paper", "0.31 - 0.66 (across windows)"),
+        ],
+    )
+    assert 0.15 <= rb.no_precursor_fraction <= 0.7

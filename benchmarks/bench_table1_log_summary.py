@@ -1,0 +1,53 @@
+"""Table 1 — RAS log summaries (records, span, size).
+
+Regenerates the paper's Table 1 for both systems.  The bench runs at
+``BENCH_SCALE`` and reports both the measured counts and their full-scale
+extrapolation (counts scale linearly with the simulated span).
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, report
+from repro.evaluation.paper import TABLE1
+from repro.preprocess.summary import log_summary
+
+
+@pytest.mark.parametrize("system", ["ANL", "SDSC"])
+def test_table1_log_summary(system, anl_bench_log, sdsc_bench_log, benchmark):
+    log = anl_bench_log if system == "ANL" else sdsc_bench_log
+
+    summary = benchmark.pedantic(
+        lambda: log_summary(log.raw, name=system), rounds=1, iterations=1
+    )
+
+    scale = log.scale
+    extrapolated = int(summary["records"] / scale)
+    paper = TABLE1[system]
+    report(
+        f"Table 1 — {system} (scale {scale})",
+        [
+            ("records (measured)", summary["records"]),
+            ("records (extrapolated to full span)", extrapolated),
+            ("records (paper)", paper["records"]),
+            ("span days (measured)", round(summary["span_days"], 1)),
+            ("span days (paper full)", round(log.profile.days, 1)),
+            ("approx size MB (measured)", round(summary["approx_size_mb"], 1)),
+            ("size (paper)", f"{paper['size_gb']} GB"),
+        ],
+    )
+    # Shape assertions: the ANL log is roughly an order of magnitude larger
+    # than SDSC, and the extrapolated record count is within 2x of the paper.
+    assert 0.5 * paper["records"] < extrapolated < 2.0 * paper["records"]
+
+
+def test_table1_volume_ratio(anl_bench_log, sdsc_bench_log, benchmark):
+    ratio = benchmark.pedantic(
+        lambda: anl_bench_log.n_raw / sdsc_bench_log.n_raw,
+        rounds=1, iterations=1,
+    )
+    paper_ratio = TABLE1["ANL"]["records"] / TABLE1["SDSC"]["records"]  # ~9.7
+    report(
+        "Table 1 — ANL/SDSC volume ratio",
+        [("measured", round(ratio, 1)), ("paper", round(paper_ratio, 1))],
+    )
+    assert ratio > 3.0, "ANL must dwarf SDSC in raw volume"

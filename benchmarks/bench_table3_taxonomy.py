@@ -1,0 +1,39 @@
+"""Table 3 — event categorization (8 main categories, 101 subcategories).
+
+Regenerates the paper's taxonomy table and benchmarks classification
+throughput over the bench log (the Phase-1 hot path).
+"""
+
+from benchmarks.conftest import report
+from repro.evaluation.paper import TABLE3_SUBCATEGORY_COUNTS
+from repro.taxonomy.categories import CATEGORY_ORDER
+from repro.taxonomy.classifier import TaxonomyClassifier
+from repro.taxonomy.subcategories import by_category, validate_catalog
+
+
+def test_table3_subcategory_counts(benchmark):
+    benchmark.pedantic(validate_catalog, rounds=1, iterations=1)
+    rows = []
+    for cat in CATEGORY_ORDER:
+        subcats = by_category(cat)
+        paper = TABLE3_SUBCATEGORY_COUNTS[cat]
+        examples = ", ".join(sc.name for sc in subcats[:3])
+        rows.append((cat.value.capitalize(), len(subcats), paper, examples))
+        assert len(subcats) == paper
+    rows.append(("TOTAL", sum(r[1] for r in rows), 101, ""))
+    report("Table 3 — subcategories (measured vs paper)", rows)
+
+
+def test_table3_classification_throughput(anl_bench_log, benchmark):
+    """Classifying the raw bench log: one pass over interned entries."""
+    clf = TaxonomyClassifier()
+    labeled = benchmark(lambda: TaxonomyClassifier().classify_store(anl_bench_log.raw))
+    counts = labeled.subcat_counts()
+    report(
+        "Table 3 — raw-log classification",
+        [
+            ("records classified", len(labeled)),
+            ("distinct subcategories seen", len(counts)),
+        ],
+    )
+    assert len(counts) > 40

@@ -1,0 +1,45 @@
+"""Table 4 — distribution of compressed fatal events per category.
+
+Runs the generator at FULL scale (the paper's complete span) with reduced
+background noise — noise does not affect fatal counts but dominates
+generation cost — then Phase 1, and compares per-category compressed fatal
+counts against the paper's Table 4.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.pipeline import ThreePhasePredictor
+from repro.evaluation.paper import TABLE4, TABLE4_TOTALS
+from repro.preprocess.summary import category_fatal_counts
+from repro.synth.generator import LogGenerator
+from repro.synth.profiles import profile_by_name
+from repro.taxonomy.categories import CATEGORY_ORDER
+
+
+@pytest.mark.parametrize("system", ["ANL", "SDSC"])
+def test_table4_compressed_fatal_distribution(system, benchmark):
+    profile = profile_by_name(system)
+
+    def run():
+        log = LogGenerator(
+            profile, scale=1.0, noise_multiplier=0.1, seed=4
+        ).generate()
+        result = ThreePhasePredictor().preprocess(log.raw)
+        return category_fatal_counts(result.events)
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [("Main Category", "measured", "paper")]
+    for cat in CATEGORY_ORDER:
+        rows.append((cat.value.capitalize(), counts[cat], TABLE4[system][cat]))
+    total = sum(counts.values())
+    rows.append(("TOTAL", total, TABLE4_TOTALS[system]))
+    report(f"Table 4 — {system} compressed fatal events", rows)
+
+    # Compression may merge a small number of coincident duplicates; each
+    # category must land within 5% (+2 for the tiny categories).
+    for cat in CATEGORY_ORDER:
+        paper = TABLE4[system][cat]
+        assert abs(counts[cat] - paper) <= max(2, 0.05 * paper), cat
+    assert abs(total - TABLE4_TOTALS[system]) <= 0.03 * TABLE4_TOTALS[system]

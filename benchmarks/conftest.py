@@ -1,0 +1,52 @@
+"""Shared benchmark fixtures.
+
+Benches run at ``BENCH_SCALE`` (a quarter of the paper's log span) unless a
+particular table needs full-scale fatal structure; generation and Phase 1 are
+session-scoped so the suite generates each log once.
+
+Every bench prints a paper-vs-measured block; ``EXPERIMENTS.md`` records the
+same numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import ThreePhasePredictor
+from repro.ras.store import EventStore
+from repro.synth.generator import GeneratedLog, LogGenerator
+from repro.synth.profiles import anl_profile, sdsc_profile
+
+#: Default bench scale: large enough for stable 10-fold CV, small enough to
+#: keep the whole suite in minutes.
+BENCH_SCALE = 0.25
+BENCH_SEED = 11
+
+
+@pytest.fixture(scope="session")
+def anl_bench_log() -> GeneratedLog:
+    return LogGenerator(anl_profile(), scale=BENCH_SCALE, seed=BENCH_SEED).generate()
+
+
+@pytest.fixture(scope="session")
+def sdsc_bench_log() -> GeneratedLog:
+    return LogGenerator(sdsc_profile(), scale=BENCH_SCALE, seed=BENCH_SEED).generate()
+
+
+@pytest.fixture(scope="session")
+def anl_bench_events(anl_bench_log) -> EventStore:
+    return ThreePhasePredictor().preprocess(anl_bench_log.raw).events
+
+
+@pytest.fixture(scope="session")
+def sdsc_bench_events(sdsc_bench_log) -> EventStore:
+    return ThreePhasePredictor().preprocess(sdsc_bench_log.raw).events
+
+
+def report(title: str, rows: list[tuple]) -> None:
+    """Print a paper-vs-measured block (captured with ``-s``)."""
+    width = max(len(str(r[0])) for r in rows) if rows else 10
+    print(f"\n=== {title} ===")
+    for row in rows:
+        label, *values = row
+        print(f"  {str(label):<{width}}  " + "  ".join(str(v) for v in values))

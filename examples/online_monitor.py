@@ -1,0 +1,72 @@
+"""Online deployment simulation: replay a day of RAS events in real time.
+
+The paper argues the meta-learner "is practical to deploy ... as an online
+prediction engine" (rule matching is trivial; only an hour of history is
+needed).  This example simulates that deployment:
+
+- train the meta-learner on the first 80 % of an SDSC-profile log;
+- replay the remaining events in timestamp order, as a monitoring daemon
+  would receive them from CMCS;
+- print each warning the moment it is raised, then check it against what
+  actually happened, and summarize operator-facing statistics (lead time,
+  false-alarm rate, failures caught/missed).
+
+Run:  python examples/online_monitor.py
+"""
+
+from repro import LogGenerator, ThreePhasePredictor, sdsc_profile
+from repro.evaluation.matching import match_warnings
+from repro.meta.stacked import MetaLearner
+from repro.util.timeutil import MINUTE, format_epoch
+
+
+def main() -> None:
+    print("generating SDSC log and training the meta-learner ...")
+    log = LogGenerator(sdsc_profile(), scale=0.08, seed=23).generate()
+    events = ThreePhasePredictor().preprocess(log.raw).events
+    cut = int(len(events) * 0.8)
+    train, live = events.select(slice(0, cut)), events.select(
+        slice(cut, len(events))
+    )
+
+    meta = MetaLearner(
+        prediction_window=30 * MINUTE, rule_window=25 * MINUTE
+    ).fit(train)
+    print(f"trained on {len(train):,} events "
+          f"({len(train.fatal_events())} failures); "
+          f"{len(meta.rulebased.ruleset)} rules, "
+          f"triggers={[c.value for c in meta.statistical.trigger_categories]}")
+
+    # The predictor is streaming by construction (a single forward pass);
+    # predict() returns the warnings in the order a daemon would raise them.
+    warnings = meta.predict(live)
+    match = match_warnings(warnings, live)
+
+    fatal = live.fatal_events()
+    print(f"\nreplaying {len(live):,} live events "
+          f"({len(fatal)} failures) ...\n")
+    print("--- operator console " + "-" * 46)
+    for w, hit in zip(warnings, match.warning_hit):
+        verdict = "HIT " if hit else "MISS"
+        print(f"[{format_epoch(w.issued_at)}] WARNING "
+              f"(conf {w.confidence:.2f}) failure expected within "
+              f"{(w.horizon_end - w.issued_at) // 60} min "
+              f"| outcome: {verdict} | {w.detail[:48]}")
+    print("-" * 68)
+
+    m = match.metrics
+    caught = m.covered_fatals
+    print(f"\nshift summary:")
+    print(f"  warnings raised:     {m.n_warnings} "
+          f"({m.fp_warnings} false alarms, "
+          f"precision {m.precision:.2f})")
+    print(f"  failures caught:     {caught}/{m.n_fatals} "
+          f"(recall {m.recall:.2f})")
+    print(f"  mean lead time:      {match.mean_lead / 60:.1f} min")
+    print(f"  dispatch mix:        {meta.dispatch_counts}")
+    print("\nwith ~minutes of lead time per caught failure, a checkpoint "
+          "or job-migration policy has room to act (paper §1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Stable calibration: key metrics over seeds at scale 0.25."""
+import sys
+import numpy as np
+from repro import LogGenerator, anl_profile, sdsc_profile, ThreePhasePredictor
+from repro.predictors.statistical import StatisticalPredictor
+from repro.predictors.rulebased import RuleBasedPredictor
+from repro.meta.stacked import MetaLearner
+from repro.evaluation.crossval import cross_validate
+from repro.taxonomy.categories import MainCategory
+from repro.util.timeutil import MINUTE, HOUR
+
+which = sys.argv[1] if len(sys.argv) > 1 else "anl"
+scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+seeds = [int(x) for x in (sys.argv[3].split(",") if len(sys.argv) > 3 else ["11","23"])]
+prof = anl_profile() if which == "anl" else sdsc_profile()
+rw = (15 if which == "anl" else 25) * MINUTE
+
+rows = []
+for seed in seeds:
+    log = LogGenerator(prof, scale=scale, seed=seed).generate()
+    events = ThreePhasePredictor().preprocess(log.raw).events
+    nf = len(events.fatal_events())
+    planted = sum(v for v in log.ground_truth_fatal_counts().values())
+    r = {"fatals": nf, "planted": planted}
+    cv = cross_validate(lambda: StatisticalPredictor(window=HOUR, lead=5*MINUTE,
+        categories=[MainCategory.NETWORK, MainCategory.IOSTREAM]), events, k=10)
+    r["statP"], r["statR"] = cv.precision, cv.recall
+    for W in (5, 60):
+        cv = cross_validate(lambda: RuleBasedPredictor(rule_window=rw, prediction_window=W*MINUTE), events, k=10)
+        r[f"ruleP{W}"], r[f"ruleR{W}"] = cv.precision, cv.recall
+        cv = cross_validate(lambda: MetaLearner(prediction_window=W*MINUTE, rule_window=rw), events, k=10)
+        r[f"metaP{W}"], r[f"metaR{W}"] = cv.precision, cv.recall
+    rb = RuleBasedPredictor(rule_window=rw).fit(events)
+    r["noprec"] = rb.no_precursor_fraction
+    r["nrules"] = len(rb.ruleset)
+    rows.append(r)
+keys = ["fatals","planted","statP","statR","ruleP5","ruleR5","ruleP60","ruleR60","metaP5","metaR5","metaP60","metaR60","noprec","nrules"]
+print(f"{'key':8s}", *[f"s{s:<7d}" for s in seeds], "mean")
+for k in keys:
+    vals = [r[k] for r in rows]
+    print(f"{k:8s}", *[f"{v:7.3f}" if isinstance(v,float) else f"{v:7d}" for v in vals], f"{np.mean(vals):7.3f}")
+targets = {"anl": "statP .516 statR .487 ruleP .7-.9 ruleR .22->.55 metaP .88->.65 metaR .64->.78",
+           "sdsc": "statP .284 statR .312 ruleP .7-.9 metaP .99->.89 metaR ~.65"}
+print("targets:", targets[which])

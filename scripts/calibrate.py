@@ -1,0 +1,75 @@
+"""Calibration harness: measure paper-target metrics on both profiles."""
+import sys, time
+import numpy as np
+from repro import LogGenerator, anl_profile, sdsc_profile, ThreePhasePredictor
+from repro.predictors.statistical import StatisticalPredictor
+from repro.predictors.rulebased import RuleBasedPredictor
+from repro.meta.stacked import MetaLearner
+from repro.evaluation.crossval import cross_validate
+from repro.taxonomy.categories import MainCategory
+from repro.util.timeutil import MINUTE, HOUR
+
+scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.15
+which = sys.argv[2] if len(sys.argv) > 2 else "both"
+seed = int(sys.argv[3]) if len(sys.argv) > 3 else 42
+
+def eval_profile(profile, rule_window):
+    t = time.time()
+    log = LogGenerator(profile, scale=scale, noise_multiplier=1.0, seed=seed).generate()
+    p = ThreePhasePredictor()
+    events = p.preprocess(log.raw).events
+    fatal = events.fatal_events()
+    print(f"--- {profile.name} scale={scale}: unique={len(events)} fatals={len(fatal)} gen={time.time()-t:.0f}s")
+    # Table 5: statistical, band [5min, 1h], forced net/io
+    t = time.time()
+    cv = cross_validate(lambda: StatisticalPredictor(
+        window=HOUR, lead=5*MINUTE,
+        categories=[MainCategory.NETWORK, MainCategory.IOSTREAM]), events, k=10)
+    print(f"Table5 statistical: P={cv.precision:.4f} R={cv.recall:.4f}  ({time.time()-t:.0f}s)")
+    # follow probabilities (trigger auto-selection check)
+    sp = StatisticalPredictor(window=HOUR, lead=5*MINUTE).fit(events)
+    print("follow probs:", {c.value: round(v,3) for c,v in sorted(sp.follow_probability.items(), key=lambda kv:-kv[1])})
+    # rules at W=30min
+    t = time.time()
+    for W in (5, 30, 60):
+        cv = cross_validate(lambda: RuleBasedPredictor(
+            rule_window=rule_window, prediction_window=W*MINUTE), events, k=10)
+        print(f"rule W={W:2d}min: P={cv.precision:.4f} R={cv.recall:.4f}")
+    rb = RuleBasedPredictor(rule_window=rule_window).fit(events)
+    print(f"rules mined: {len(rb.ruleset)}; no-precursor frac: {rb.no_precursor_fraction:.3f} ({time.time()-t:.0f}s)")
+    # meta
+    t = time.time()
+    for W in (5, 30, 60):
+        cv = cross_validate(lambda: MetaLearner(
+            prediction_window=W*MINUTE, rule_window=rule_window), events, k=10)
+        print(f"meta W={W:2d}min: P={cv.precision:.4f} R={cv.recall:.4f}")
+    print(f"meta time {time.time()-t:.0f}s")
+
+if which in ("both", "anl"):
+    eval_profile(anl_profile(), 15*MINUTE)
+if which in ("both", "sdsc"):
+    eval_profile(sdsc_profile(), 25*MINUTE)
+
+def meta_diag(profile, rule_window, W):
+    from repro.evaluation.matching import match_warnings
+    log = LogGenerator(profile, scale=scale, seed=seed).generate()
+    events = ThreePhasePredictor().preprocess(log.raw).events
+    cut = int(len(events)*0.7)
+    ml = MetaLearner(prediction_window=W*MINUTE, rule_window=rule_window).fit(events.select(slice(0,cut)))
+    test = events.select(slice(cut, len(events)))
+    ws = ml.predict(test)
+    m = match_warnings(ws, test)
+    import collections
+    per = collections.Counter(); hit = collections.Counter()
+    for w_, h in zip(ws, m.warning_hit):
+        src = w_.detail.split(":")[0]
+        per[src]+=1; hit[src]+=int(h)
+    print(f"meta diag W={W}: P={m.metrics.precision:.3f} R={m.metrics.recall:.3f} dispatch={ml.dispatch_counts}")
+    for k in per:
+        print(f"    {k}: {per[k]} warnings, precision {hit[k]/per[k]:.3f}")
+
+if which.endswith("diag"):
+    prof = anl_profile() if "anl" in which else sdsc_profile()
+    rw = 15*MINUTE if "anl" in which else 25*MINUTE
+    for W in (5, 30, 60):
+        meta_diag(prof, rw, W)

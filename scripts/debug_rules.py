@@ -1,0 +1,43 @@
+import numpy as np, collections
+from repro import LogGenerator, anl_profile, ThreePhasePredictor
+from repro.predictors.rulebased import RuleBasedPredictor
+from repro.predictors.statistical import StatisticalPredictor
+from repro.evaluation.matching import match_warnings
+from repro.taxonomy.categories import MainCategory
+from repro.util.timeutil import MINUTE, HOUR
+
+log = LogGenerator(anl_profile(), scale=0.1, seed=42).generate()
+p = ThreePhasePredictor()
+events = p.preprocess(log.raw).events
+print("unique", len(events), "fatals", len(events.fatal_events()))
+# planted vs compressed fatal count
+gt_fatal = sum(1 for e in log.ground_truth if __import__('repro.taxonomy.subcategories', fromlist=['by_name']).by_name(e.subcategory).is_fatal)
+print("planted fatals", gt_fatal)
+
+cut = int(len(events)*0.7)
+train, test = events.select(slice(0,cut)), events.select(slice(cut,len(events)))
+rb = RuleBasedPredictor(rule_window=15*MINUTE, prediction_window=30*MINUTE).fit(train)
+print("no-precursor", round(rb.no_precursor_fraction,3), "rules:", len(rb.ruleset))
+for r in rb.ruleset:
+    print("  ", r.format(rb.ruleset.item_names), f"supp={r.support:.3f}")
+warnings = rb.predict(test)
+m = match_warnings(warnings, test)
+print("rule: warnings", len(warnings), "P", round(m.metrics.precision,3), "R", round(m.metrics.recall,3))
+# per-rule precision
+stats = collections.Counter(); hits = collections.Counter()
+for w, h in zip(warnings, m.warning_hit):
+    key = w.detail.split(" ==>")[0]
+    stats[key]+=1; hits[key]+=int(h)
+for k in stats:
+    print(f"   fire {stats[k]:4d} hit {hits[k]:4d} ({hits[k]/stats[k]:.2f})  {k}")
+
+sp = StatisticalPredictor(window=HOUR, lead=5*MINUTE, categories=[MainCategory.NETWORK, MainCategory.IOSTREAM]).fit(train)
+ws = sp.predict(test)
+ms = match_warnings(ws, test)
+print("stat: warnings", len(ws), "P", round(ms.metrics.precision,3), "R", round(ms.metrics.recall,3))
+# ground-truth burst structure check on full fatal stream
+fat = events.fatal_events()
+ft = fat.times.astype(float)
+from repro.util.windows import count_in_windows
+follow = count_in_windows(ft, ft, 300, 3601) > 0
+print("P(any fatal follows a fatal in [5,60]min):", round(follow.mean(),3))

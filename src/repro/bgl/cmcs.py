@@ -1,0 +1,239 @@
+"""CMCS polling/duplication simulator.
+
+The Cluster Monitoring and Control System records events through per-chip
+polling agents, which is why the raw repository is massively redundant
+(paper §3.1): one application fault is reported once by *each* compute chip
+of the job's partition (spatial duplicates — same ENTRY_DATA and JOB_ID,
+different LOCATIONs), and each polling agent may re-report it on subsequent
+polls (temporal duplicates — same JOB_ID and LOCATION).  All duplicates land
+within a short span because the poll period is far below the paper's 300 s
+compression threshold.
+
+:class:`CmcsSimulator` turns a stream of ground-truth *unique* events into
+that redundant raw record stream.  Phase 1's compressors must recover the
+unique stream from it — which is tested as a round-trip property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from repro.bgl.jobs import IDLE, JobTrace
+from repro.bgl.locations import LocationKind, SYSTEM_LOCATION
+from repro.bgl.topology import Machine
+from repro.ras.events import NO_JOB
+from repro.ras.store import EventStore
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see taxonomy)
+    from repro.taxonomy.subcategories import Subcategory
+
+
+@dataclass(frozen=True)
+class GroundTruthEvent:
+    """One unique event before CMCS duplication.
+
+    ``location`` may pin the event to a specific hardware element; when
+    ``None`` the simulator picks one consistent with the subcategory's
+    hardware level (and the job's partition, if any).
+    """
+
+    time: int
+    subcategory: str
+    job_id: int = NO_JOB
+    location: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class DuplicationModel:
+    """Redundancy knobs of the raw repository.
+
+    ``mean_reporting_chips`` controls spatial duplication of job events (how
+    many of the partition's chips report one fault); ``mean_repeats``
+    controls temporal duplication at a single location (polling re-reports).
+    ``jitter_span`` bounds how far duplicates spread in time — it must stay
+    below the compression threshold (300 s) for Phase 1 to recover unique
+    events, exactly as on the real machine.
+    """
+
+    mean_reporting_chips: float = 12.0
+    max_reporting_chips: int = 128
+    mean_repeats: float = 1.6
+    max_repeats: int = 6
+    jitter_span: float = 120.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.mean_reporting_chips, "mean_reporting_chips")
+        check_positive(self.mean_repeats, "mean_repeats")
+        check_positive(self.jitter_span, "jitter_span")
+        if self.max_reporting_chips < 1 or self.max_repeats < 1:
+            raise ValueError("max_reporting_chips and max_repeats must be >= 1")
+
+    def sample_chip_count(self, rng: np.random.Generator, available: int) -> int:
+        """Number of chips co-reporting one job fault (>= 1)."""
+        n = 1 + rng.geometric(min(1.0, 1.0 / self.mean_reporting_chips)) - 1
+        return int(min(n if n >= 1 else 1, self.max_reporting_chips, available))
+
+    def sample_repeats(self, rng: np.random.Generator) -> int:
+        """Temporal re-reports at one location (>= 1)."""
+        n = 1 + rng.poisson(self.mean_repeats - 1.0)
+        return int(min(n, self.max_repeats))
+
+
+class CmcsSimulator:
+    """Expands ground-truth unique events into redundant raw records."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        job_trace: Optional[JobTrace] = None,
+        duplication: Optional[DuplicationModel] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self.machine = machine
+        self.job_trace = job_trace
+        self.duplication = duplication or DuplicationModel()
+        self.rng = as_generator(seed)
+        self._loc_intern: dict[str, int] = {}
+        self._loc_table: list[str] = []
+        self._entry_intern: dict[str, int] = {}
+        self._entry_table: list[str] = []
+
+    # -- location selection -------------------------------------------- #
+
+    def _intern_loc(self, loc: str) -> int:
+        idx = self._loc_intern.get(loc)
+        if idx is None:
+            idx = len(self._loc_table)
+            self._loc_table.append(loc)
+            self._loc_intern[loc] = idx
+        return idx
+
+    def _intern_entry(self, entry: str) -> int:
+        idx = self._entry_intern.get(entry)
+        if idx is None:
+            idx = len(self._entry_table)
+            self._entry_table.append(entry)
+            self._entry_intern[entry] = idx
+        return idx
+
+    def _pick_location(self, sc: "Subcategory", job_id: int) -> str:
+        """One location consistent with the subcategory's hardware level."""
+        rng = self.rng
+        kind = sc.location_kind
+        if kind is LocationKind.SYSTEM:
+            return SYSTEM_LOCATION
+        if job_id != NO_JOB and self.job_trace is not None:
+            if kind is LocationKind.COMPUTE_CHIP:
+                chips = self.job_trace.partition_chips(job_id)
+                return chips[int(rng.integers(len(chips)))]
+            if kind is LocationKind.NODECARD:
+                cards = self.job_trace.partition_nodecards(job_id)
+                return cards[int(rng.integers(len(cards)))]
+        pool = {
+            LocationKind.COMPUTE_CHIP: self.machine.chip_locations,
+            LocationKind.IO_NODE: self.machine.io_node_locations,
+            LocationKind.NODECARD: self.machine.nodecard_locations,
+            LocationKind.MIDPLANE: self.machine.midplane_locations,
+            LocationKind.LINKCARD: self.machine.linkcard_locations,
+            LocationKind.SERVICE_CARD: self.machine.service_card_locations,
+            LocationKind.RACK: self.machine.midplane_locations,  # rack ~ midplane granularity
+        }[kind]
+        return pool[int(self.rng.integers(len(pool)))]
+
+    def _co_reporting_locations(
+        self, sc: "Subcategory", job_id: int, primary: str
+    ) -> list[str]:
+        """Locations that report the same fault (spatial duplicates).
+
+        Only job-attached compute/I-O events fan out across the partition;
+        hardware events are reported by their own element alone.
+        """
+        if job_id == NO_JOB or self.job_trace is None:
+            return [primary]
+        if sc.location_kind is LocationKind.COMPUTE_CHIP:
+            chips = self.job_trace.partition_chips(job_id)
+            k = self.duplication.sample_chip_count(self.rng, len(chips))
+            if k <= 1:
+                return [primary]
+            picks = self.rng.choice(len(chips), size=k, replace=False)
+            locs = {chips[int(i)] for i in picks}
+            locs.add(primary)
+            return sorted(locs)
+        if sc.location_kind is LocationKind.IO_NODE:
+            pool = self.machine.io_node_locations
+            k = min(
+                self.duplication.sample_chip_count(self.rng, len(pool)),
+                max(1, len(pool) // 4),
+            )
+            if k <= 1:
+                return [primary]
+            picks = self.rng.choice(len(pool), size=k, replace=False)
+            locs = {pool[int(i)] for i in picks}
+            locs.add(primary)
+            return sorted(locs)
+        return [primary]
+
+    # -- expansion ------------------------------------------------------ #
+
+    def expand(self, ground_truth: Sequence[GroundTruthEvent]) -> EventStore:
+        """Produce the redundant raw record store for a ground-truth stream.
+
+        Every ground-truth event yields >= 1 records; all of an event's
+        duplicates share its ENTRY_DATA and JOB_ID and fall within
+        ``jitter_span`` seconds of the event time.
+        """
+        from repro.taxonomy.subcategories import by_name
+
+        rng = self.rng
+        dup = self.duplication
+        times: list[int] = []
+        sev: list[int] = []
+        fac: list[int] = []
+        jobs: list[int] = []
+        loc_ids: list[int] = []
+        entry_ids: list[int] = []
+        for gt in ground_truth:
+            sc = by_name(gt.subcategory)
+            template = sc.templates[int(rng.integers(len(sc.templates)))]
+            entry_id = self._intern_entry(template)
+            primary = gt.location or self._pick_location(sc, gt.job_id)
+            locations = self._co_reporting_locations(sc, gt.job_id, primary)
+            # The detecting element reports first (and therefore survives
+            # compression as the representative); co-reporters follow.
+            if locations[0] != primary:
+                locations = [primary] + [l for l in locations if l != primary]
+            sev_val = int(sc.severity)
+            fac_val = int(sc.facility)
+            first = True
+            for loc in locations:
+                loc_id = self._intern_loc(loc)
+                repeats = dup.sample_repeats(rng)
+                for _ in range(repeats):
+                    # The detecting element reports first, at the true event
+                    # time; all other duplicates trail it within jitter_span.
+                    jitter = 0 if first else int(rng.random() * dup.jitter_span)
+                    first = False
+                    times.append(gt.time + jitter)
+                    sev.append(sev_val)
+                    fac.append(fac_val)
+                    jobs.append(gt.job_id)
+                    loc_ids.append(loc_id)
+                    entry_ids.append(entry_id)
+        n = len(times)
+        return EventStore.from_columns(
+            np.asarray(times, dtype=np.int64),
+            np.asarray(sev, dtype=np.int8),
+            np.asarray(fac, dtype=np.int8),
+            np.asarray(jobs, dtype=np.int64),
+            np.asarray(loc_ids, dtype=np.int32),
+            np.asarray(entry_ids, dtype=np.int32),
+            np.full(n, -1, dtype=np.int32),
+            list(self._loc_table),
+            list(self._entry_table),
+            [],
+        )

@@ -1,0 +1,177 @@
+"""Blue Gene/L location-code grammar.
+
+Every RAS record carries a LOCATION naming the hardware element that reported
+it.  We use a regular grammar modeled on the production codes::
+
+    R<rr>                rack                      R00
+    R<rr>-M<m>           midplane (0 or 1)         R00-M1
+    R<rr>-M<m>-N<nn>     node card (00..)          R00-M1-N07
+    R<rr>-M<m>-N<nn>-C<cc>   compute chip (00..)   R00-M1-N07-C21
+    R<rr>-M<m>-N<nn>-I<i>    I/O node              R00-M1-N07-I02
+    R<rr>-M<m>-L<l>      link card                 R00-M1-L2
+    R<rr>-M<m>-S         service card              R00-M1-S
+    SYSTEM               machine-wide (service node / CMCS itself)
+
+The grammar round-trips (``format_location(*parse_location(s)) == s``) and is
+exercised heavily by property tests.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from typing import Optional
+
+
+class LocationKind(enum.Enum):
+    """Hardware level a location code refers to."""
+
+    SYSTEM = "system"
+    RACK = "rack"
+    MIDPLANE = "midplane"
+    NODECARD = "nodecard"
+    COMPUTE_CHIP = "compute_chip"
+    IO_NODE = "io_node"
+    LINKCARD = "linkcard"
+    SERVICE_CARD = "service_card"
+
+
+#: Location for machine-wide events (BGLMASTER, CMCS control, ...).
+SYSTEM_LOCATION: str = "SYSTEM"
+
+_LOCATION_RE = re.compile(
+    r"^R(?P<rack>\d{2})"
+    r"(?:-M(?P<midplane>[01])"
+    r"(?:"
+    r"-N(?P<nodecard>\d{2})(?:-C(?P<chip>\d{2})|-I(?P<ionode>\d{2}))?"
+    r"|-L(?P<linkcard>\d)"
+    r"|-(?P<servicecard>S)"
+    r")?"
+    r")?$"
+)
+
+
+class LocationError(ValueError):
+    """Raised for syntactically invalid location codes."""
+
+
+def parse_location(code: str) -> dict:
+    """Parse a location code into its components.
+
+    Returns a dict with ``kind`` (:class:`LocationKind`) and integer
+    components ``rack``, ``midplane``, ``nodecard``, ``chip``, ``ionode``,
+    ``linkcard`` (absent levels are ``None``).
+    """
+    if code == SYSTEM_LOCATION:
+        return {
+            "kind": LocationKind.SYSTEM,
+            "rack": None,
+            "midplane": None,
+            "nodecard": None,
+            "chip": None,
+            "ionode": None,
+            "linkcard": None,
+        }
+    m = _LOCATION_RE.match(code)
+    if m is None:
+        raise LocationError(f"invalid location code: {code!r}")
+    g = m.groupdict()
+    out = {
+        "rack": int(g["rack"]),
+        "midplane": int(g["midplane"]) if g["midplane"] is not None else None,
+        "nodecard": int(g["nodecard"]) if g["nodecard"] is not None else None,
+        "chip": int(g["chip"]) if g["chip"] is not None else None,
+        "ionode": int(g["ionode"]) if g["ionode"] is not None else None,
+        "linkcard": int(g["linkcard"]) if g["linkcard"] is not None else None,
+    }
+    if out["chip"] is not None:
+        kind = LocationKind.COMPUTE_CHIP
+    elif out["ionode"] is not None:
+        kind = LocationKind.IO_NODE
+    elif out["nodecard"] is not None:
+        kind = LocationKind.NODECARD
+    elif out["linkcard"] is not None:
+        kind = LocationKind.LINKCARD
+    elif g["servicecard"] is not None:
+        kind = LocationKind.SERVICE_CARD
+    elif out["midplane"] is not None:
+        kind = LocationKind.MIDPLANE
+    else:
+        kind = LocationKind.RACK
+    out["kind"] = kind
+    return out
+
+
+def format_location(
+    kind: LocationKind,
+    rack: Optional[int] = None,
+    midplane: Optional[int] = None,
+    nodecard: Optional[int] = None,
+    chip: Optional[int] = None,
+    ionode: Optional[int] = None,
+    linkcard: Optional[int] = None,
+) -> str:
+    """Render a location code for the given hardware level.
+
+    Only the components required for ``kind`` are consulted; missing required
+    components raise :class:`LocationError`.
+    """
+
+    def need(value: Optional[int], name: str) -> int:
+        if value is None:
+            raise LocationError(f"{name} required for kind {kind.value}")
+        return value
+
+    if kind is LocationKind.SYSTEM:
+        return SYSTEM_LOCATION
+    r = need(rack, "rack")
+    if kind is LocationKind.RACK:
+        return f"R{r:02d}"
+    m = need(midplane, "midplane")
+    if m not in (0, 1):
+        raise LocationError(f"midplane must be 0 or 1, got {m}")
+    if kind is LocationKind.MIDPLANE:
+        return f"R{r:02d}-M{m}"
+    if kind is LocationKind.LINKCARD:
+        return f"R{r:02d}-M{m}-L{need(linkcard, 'linkcard')}"
+    if kind is LocationKind.SERVICE_CARD:
+        return f"R{r:02d}-M{m}-S"
+    n = need(nodecard, "nodecard")
+    if kind is LocationKind.NODECARD:
+        return f"R{r:02d}-M{m}-N{n:02d}"
+    if kind is LocationKind.COMPUTE_CHIP:
+        return f"R{r:02d}-M{m}-N{n:02d}-C{need(chip, 'chip'):02d}"
+    if kind is LocationKind.IO_NODE:
+        return f"R{r:02d}-M{m}-N{n:02d}-I{need(ionode, 'ionode'):02d}"
+    raise LocationError(f"unhandled kind: {kind!r}")  # pragma: no cover
+
+
+def location_kind(code: str) -> LocationKind:
+    """The hardware level of a location code."""
+    return parse_location(code)["kind"]
+
+
+def parent_location(code: str) -> Optional[str]:
+    """The enclosing hardware element's code (``None`` at SYSTEM/rack level).
+
+    chip/I-O node → node card → midplane → rack; link/service card → midplane.
+    """
+    p = parse_location(code)
+    kind = p["kind"]
+    if kind in (LocationKind.SYSTEM,):
+        return None
+    if kind is LocationKind.RACK:
+        return None
+    if kind is LocationKind.MIDPLANE:
+        return format_location(LocationKind.RACK, rack=p["rack"])
+    if kind in (LocationKind.NODECARD, LocationKind.LINKCARD, LocationKind.SERVICE_CARD):
+        return format_location(
+            LocationKind.MIDPLANE, rack=p["rack"], midplane=p["midplane"]
+        )
+    # compute chip or I/O node
+    return format_location(
+        LocationKind.NODECARD,
+        rack=p["rack"],
+        midplane=p["midplane"],
+        nodecard=p["nodecard"],
+    )

@@ -1,0 +1,14 @@
+"""Command-line interface (``bgl-predict``).
+
+Subcommands mirror the pipeline stages:
+
+- ``generate``   — synthesize a raw RAS log for a profile;
+- ``preprocess`` — run Phase 1 on a log file and report compression stats;
+- ``mine``       — mine association rules from a preprocessed log;
+- ``evaluate``   — cross-validate a predictor (statistical / rule / meta);
+- ``sweep``      — prediction-window sweep (Figures 4-5 style output).
+"""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

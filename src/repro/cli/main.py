@@ -1,0 +1,400 @@
+"""``bgl-predict`` entry point and subcommand implementations."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.core.config import PredictorConfig
+from repro.core.pipeline import ThreePhasePredictor
+from repro.core.serialize import load_model, save_model
+from repro.evaluation.crossval import cross_validate
+from repro.evaluation.sweep import (
+    DEFAULT_WINDOWS,
+    format_sweep,
+    prediction_window_sweep,
+)
+from repro.meta.stacked import MetaLearner
+from repro.predictors.rulebased import RuleBasedPredictor
+from repro.predictors.statistical import StatisticalPredictor
+from repro.preprocess.summary import (
+    category_fatal_counts,
+    format_table4,
+    log_summary,
+    severity_breakdown,
+)
+from repro.ras.logfile import LogDialect, read_log, write_log
+from repro.synth.generator import LogGenerator
+from repro.synth.profiles import profile_by_name
+from repro.util.timeutil import MINUTE
+
+
+def _add_common_predictor_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--rule-window", type=float, default=15.0,
+        help="rule-generation window, minutes (default 15)",
+    )
+    p.add_argument(
+        "--prediction-window", type=float, default=30.0,
+        help="prediction window, minutes (default 30)",
+    )
+    p.add_argument("--min-support", type=float, default=0.04)
+    p.add_argument("--min-confidence", type=float, default=0.2)
+    p.add_argument("--folds", type=int, default=10, help="CV folds (default 10)")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bgl-predict",
+        description="Three-phase meta-learning failure predictor for Blue Gene/L",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="synthesize a raw RAS log")
+    g.add_argument("--profile", default="ANL", help="ANL or SDSC")
+    g.add_argument("--scale", type=float, default=0.1)
+    g.add_argument("--noise", type=float, default=1.0, help="noise multiplier")
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--output", "-o", required=True, help="log file to write")
+    g.add_argument(
+        "--dialect", choices=["repro", "loghub"], default="repro",
+        help="output line format",
+    )
+
+    p = sub.add_parser("preprocess", help="run Phase 1 on a log file")
+    p.add_argument("log", help="raw log file")
+    p.add_argument("--output", "-o", help="write the unique-event log here")
+    p.add_argument("--threshold", type=float, default=300.0)
+
+    m = sub.add_parser("mine", help="mine association rules")
+    m.add_argument("log", help="raw log file")
+    m.add_argument("--rule-window", type=float, default=15.0, help="minutes")
+    m.add_argument("--min-support", type=float, default=0.04)
+    m.add_argument("--min-confidence", type=float, default=0.2)
+    m.add_argument("--miner", choices=["apriori", "fpgrowth"], default="apriori")
+    m.add_argument("--top", type=int, default=20, help="rules to print")
+
+    e = sub.add_parser("evaluate", help="cross-validate a predictor")
+    e.add_argument("log", help="raw log file")
+    e.add_argument(
+        "--method", choices=["statistical", "rule", "meta"], default="meta"
+    )
+    _add_common_predictor_args(e)
+
+    s = sub.add_parser("sweep", help="prediction-window sweep")
+    s.add_argument("log", help="raw log file")
+    s.add_argument(
+        "--method", choices=["statistical", "rule", "meta"], default="meta"
+    )
+    s.add_argument(
+        "--windows", default="5,10,15,20,30,40,50,60",
+        help="comma-separated minutes",
+    )
+    _add_common_predictor_args(s)
+
+    t = sub.add_parser(
+        "train", help="train the three-phase predictor and save the model"
+    )
+    t.add_argument("log", help="raw training log file")
+    t.add_argument("--model", "-m", required=True, help="model JSON to write")
+    _add_common_predictor_args(t)
+
+    w = sub.add_parser(
+        "watch", help="stream a log through a trained model (online mode)"
+    )
+    w.add_argument("log", help="raw log file to replay")
+    w.add_argument("--model", "-m", required=True, help="model JSON to load")
+    w.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-warning lines; print the summary only",
+    )
+
+    r = sub.add_parser(
+        "report", help="full study report: CDF, rules, sweeps, comparison"
+    )
+    r.add_argument("log", help="raw log file")
+    r.add_argument(
+        "--windows", default="5,15,30,60", help="sweep minutes"
+    )
+    _add_common_predictor_args(r)
+
+    x = sub.add_parser(
+        "export", help="write experiment series (sweep/CDF/categories) as CSV"
+    )
+    x.add_argument("log", help="raw log file")
+    x.add_argument("--outdir", "-o", required=True, help="directory for CSVs")
+    x.add_argument(
+        "--method", choices=["statistical", "rule", "meta"], default="meta"
+    )
+    x.add_argument("--windows", default="5,10,15,20,30,40,50,60")
+    _add_common_predictor_args(x)
+    return parser
+
+
+def _load_events(path: str, threshold: float = 300.0):
+    raw = read_log(path, errors="skip")
+    pipeline = ThreePhasePredictor(
+        PredictorConfig(compression_threshold=threshold)
+    )
+    result = pipeline.preprocess(raw)
+    return raw, result
+
+
+def _make_factory(method: str, args: argparse.Namespace, window_min: float):
+    rw = args.rule_window * MINUTE
+    w = window_min * MINUTE
+    if method == "statistical":
+        return lambda: StatisticalPredictor(window=w, lead=0.0)
+    if method == "rule":
+        return lambda: RuleBasedPredictor(
+            rule_window=rw,
+            prediction_window=w,
+            min_support=args.min_support,
+            min_confidence=args.min_confidence,
+        )
+    return lambda: MetaLearner(prediction_window=w, rule_window=rw)
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    profile = profile_by_name(args.profile)
+    t0 = time.time()
+    log = LogGenerator(
+        profile, scale=args.scale, noise_multiplier=args.noise, seed=args.seed
+    ).generate()
+    dialect = LogDialect(args.dialect)
+    n = write_log(log.raw, args.output, dialect=dialect)
+    print(
+        f"{profile.name} scale={args.scale}: {log.n_unique} unique events, "
+        f"{n} raw records written to {args.output} "
+        f"({time.time() - t0:.1f}s)"
+    )
+    return 0
+
+
+def cmd_preprocess(args: argparse.Namespace) -> int:
+    raw, result = _load_events(args.log, args.threshold)
+    print("raw log:")
+    for k, v in log_summary(raw, args.log).items():
+        print(f"  {k}: {v}")
+    print("severities:", severity_breakdown(raw))
+    print(
+        f"temporal compression: {result.temporal_stats.input_records} -> "
+        f"{result.temporal_stats.output_records} records"
+    )
+    print(
+        f"spatial compression:  {result.spatial_stats.input_records} -> "
+        f"{result.spatial_stats.output_records} records"
+    )
+    print(
+        f"unique events: {result.unique_events} "
+        f"(overall compression {result.overall_compression:.2%})"
+    )
+    counts = category_fatal_counts(result.events)
+    print(format_table4({"log": counts}))
+    if args.output:
+        write_log(result.events, args.output)
+        print(f"unique-event log written to {args.output}")
+    return 0
+
+
+def cmd_mine(args: argparse.Namespace) -> int:
+    _, result = _load_events(args.log)
+    predictor = RuleBasedPredictor(
+        rule_window=args.rule_window * MINUTE,
+        min_support=args.min_support,
+        min_confidence=args.min_confidence,
+        miner=args.miner,
+    ).fit(result.events)
+    assert predictor.ruleset is not None
+    print(
+        f"{len(predictor.ruleset)} rules "
+        f"(no-precursor fraction {predictor.no_precursor_fraction:.2%}):"
+    )
+    print(predictor.ruleset.format_rules(limit=args.top))
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    _, result = _load_events(args.log)
+    factory = _make_factory(args.method, args, args.prediction_window)
+    cv = cross_validate(factory, result.events, k=args.folds)
+    s = cv.summary()
+    print(
+        f"{args.method} ({args.folds}-fold CV, W={args.prediction_window:g} min): "
+        f"precision={s['precision']:.4f} recall={s['recall']:.4f} "
+        f"({s['warnings']} warnings / {s['fatals']} failures)"
+    )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    _, result = _load_events(args.log)
+    windows = [float(x) * MINUTE for x in args.windows.split(",")]
+    points = prediction_window_sweep(
+        lambda w: _make_factory(args.method, args, w / MINUTE)(),
+        result.events,
+        windows=windows,
+        k=args.folds,
+    )
+    print(format_sweep(points, title=f"{args.method} prediction-window sweep"))
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    _, result = _load_events(args.log)
+    predictor = ThreePhasePredictor(
+        PredictorConfig(
+            rule_window=args.rule_window * MINUTE,
+            prediction_window=args.prediction_window * MINUTE,
+            min_support=args.min_support,
+            min_confidence=args.min_confidence,
+        )
+    )
+    predictor.fit(result.events)
+    save_model(predictor, args.model)
+    print(
+        f"model written to {args.model}: {predictor.report.rules_mined} rules, "
+        f"triggers={list(predictor.report.trigger_categories)}"
+    )
+    return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    from repro.online.detector import OnlineSession
+    from repro.util.timeutil import format_epoch
+
+    model = load_model(args.model)
+    meta = model.meta if isinstance(model, ThreePhasePredictor) else model
+    _, result = _load_events(args.log)
+    session = OnlineSession(meta)
+    for ev in result.events:
+        for w in session.process(ev):
+            if not args.quiet:
+                print(
+                    f"[{format_epoch(w.issued_at)}] WARNING "
+                    f"conf={w.confidence:.2f} "
+                    f"horizon={(w.horizon_end - w.issued_at) // 60}min "
+                    f"| {w.detail[:60]}"
+                )
+    stats = session.finish()
+    print(
+        f"watch summary: {stats.events} events, {stats.failures} failures, "
+        f"{stats.warnings} warnings "
+        f"(precision {stats.precision_so_far:.2f}, "
+        f"recall {stats.recall_so_far:.2f})"
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.evaluation.report import cdf_chart, comparison_table, sweep_chart
+    from repro.predictors.statistical import failure_gap_cdf
+    from repro.util.timeutil import HOUR
+
+    _, result = _load_events(args.log)
+    events = result.events
+    windows = [float(x) * MINUTE for x in args.windows.split(",")]
+    rw = args.rule_window * MINUTE
+    W = args.prediction_window * MINUTE
+
+    print(f"events: {len(events)}  failures: {len(events.fatal_events())}\n")
+
+    grid = np.array([m * MINUTE for m in (5, 10, 15, 20, 30, 45, 60, 90, 120)],
+                    dtype=float)
+    _, cdf = failure_gap_cdf(events, grid)
+    print(cdf_chart(grid, cdf, title="Failure-gap CDF (paper Figure 2)"))
+    print()
+
+    rb = RuleBasedPredictor(rule_window=rw).fit(events)
+    print(f"Association rules (paper Figure 3), G={args.rule_window:g} min:")
+    print(rb.ruleset.format_rules(limit=10))
+    print(f"failures without precursors: {rb.no_precursor_fraction:.1%}\n")
+
+    rows = {}
+    for method in ("statistical", "rule", "meta"):
+        cv = cross_validate(
+            _make_factory(method, args, args.prediction_window),
+            events, k=args.folds,
+        )
+        rows[method] = (cv.precision, cv.recall)
+    print(comparison_table(
+        rows, title=f"Method comparison, W={args.prediction_window:g} min "
+                    f"({args.folds}-fold CV)"))
+    print()
+
+    points = prediction_window_sweep(
+        lambda w: MetaLearner(prediction_window=w, rule_window=rw),
+        events, windows=windows, k=args.folds,
+    )
+    print(sweep_chart(points, title="Meta-learner sweep (paper Figure 5)"))
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.evaluation.export import (
+        write_category_csv,
+        write_cdf_csv,
+        write_sweep_csv,
+    )
+    from repro.predictors.statistical import failure_gap_cdf
+
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    _, result = _load_events(args.log)
+    events = result.events
+
+    grid = np.array(
+        [m * MINUTE for m in (5, 10, 15, 20, 30, 45, 60, 90, 120, 240, 360)],
+        dtype=float,
+    )
+    _, cdf = failure_gap_cdf(events, grid)
+    write_cdf_csv(grid, cdf, outdir / "figure2_cdf.csv")
+
+    write_category_csv(
+        {"log": category_fatal_counts(events)}, outdir / "table4_categories.csv"
+    )
+
+    windows = [float(x) * MINUTE for x in args.windows.split(",")]
+    points = prediction_window_sweep(
+        lambda w: _make_factory(args.method, args, w / MINUTE)(),
+        events,
+        windows=windows,
+        k=args.folds,
+    )
+    write_sweep_csv(points, outdir / f"sweep_{args.method}.csv")
+    print(
+        f"wrote figure2_cdf.csv, table4_categories.csv, "
+        f"sweep_{args.method}.csv to {outdir}"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "generate": cmd_generate,
+    "preprocess": cmd_preprocess,
+    "mine": cmd_mine,
+    "evaluate": cmd_evaluate,
+    "sweep": cmd_sweep,
+    "train": cmd_train,
+    "watch": cmd_watch,
+    "report": cmd_report,
+    "export": cmd_export,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

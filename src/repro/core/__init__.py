@@ -1,0 +1,25 @@
+"""The paper's primary contribution: the three-phase failure predictor.
+
+:class:`repro.core.pipeline.ThreePhasePredictor` composes
+
+- Phase 1 — :class:`repro.preprocess.PreprocessPipeline`,
+- Phase 2 — :class:`repro.predictors.StatisticalPredictor` and
+  :class:`repro.predictors.RuleBasedPredictor`,
+- Phase 3 — :class:`repro.meta.MetaLearner`,
+
+behind one ``fit_raw`` / ``predict_raw`` API that consumes raw RAS record
+stores (or log files), so a downstream user never touches the internals
+unless they want to.
+"""
+
+from repro.core.config import PredictorConfig
+from repro.core.pipeline import PipelineReport, ThreePhasePredictor
+from repro.core.serialize import load_model, save_model
+
+__all__ = [
+    "PredictorConfig",
+    "ThreePhasePredictor",
+    "PipelineReport",
+    "save_model",
+    "load_model",
+]

@@ -1,0 +1,255 @@
+"""Persistence of trained predictors.
+
+An online deployment trains on the archived log and then runs for weeks; the
+trained model must survive daemon restarts without re-mining.  Everything a
+fitted :class:`~repro.core.pipeline.ThreePhasePredictor` (or bare
+:class:`~repro.meta.stacked.MetaLearner`) learned is small and structured —
+rule sets, follow-up probabilities, configuration — so models serialize to a
+versioned JSON document.
+
+Round-trip guarantee (tested): a loaded predictor produces byte-identical
+warnings to the one that was saved.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TextIO, Union
+
+from repro.core.config import PredictorConfig
+from repro.core.pipeline import ThreePhasePredictor
+from repro.meta.stacked import MetaLearner
+from repro.mining.rules import Rule, RuleSet
+from repro.predictors.rulebased import RuleBasedPredictor
+from repro.predictors.statistical import StatisticalPredictor
+from repro.taxonomy.categories import MainCategory
+
+#: Schema version of the on-disk format.
+FORMAT_VERSION = 1
+
+
+class SerializationError(ValueError):
+    """Document malformed or of an unsupported version."""
+
+
+# ---------------------------------------------------------------------- #
+# Component encoders / decoders
+# ---------------------------------------------------------------------- #
+
+
+def ruleset_to_dict(ruleset: RuleSet) -> dict:
+    """Encode a rule set (item names are stored; ids are table indices)."""
+    return {
+        "item_names": list(ruleset.item_names),
+        "fatal_items": sorted(ruleset.fatal_items),
+        "rules": [
+            {
+                "body": sorted(r.body),
+                "heads": sorted(r.heads),
+                "confidence": r.confidence,
+                "support": r.support,
+                "support_count": r.support_count,
+            }
+            for r in ruleset.rules
+        ],
+    }
+
+
+def ruleset_from_dict(doc: dict) -> RuleSet:
+    """Decode a rule set; validates item-id ranges."""
+    try:
+        names = list(doc["item_names"])
+        n = len(names)
+        rules = []
+        for rd in doc["rules"]:
+            body = frozenset(int(i) for i in rd["body"])
+            heads = frozenset(int(i) for i in rd["heads"])
+            if any(not 0 <= i < n for i in body | heads):
+                raise SerializationError("rule item id out of range")
+            rules.append(
+                Rule(
+                    body=body,
+                    heads=heads,
+                    confidence=float(rd["confidence"]),
+                    support=float(rd["support"]),
+                    support_count=int(rd["support_count"]),
+                )
+            )
+        fatal = frozenset(int(i) for i in doc["fatal_items"])
+        return RuleSet(rules, names, fatal)
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed ruleset document: {exc}") from exc
+
+
+def statistical_to_dict(sp: StatisticalPredictor) -> dict:
+    """Encode a fitted statistical predictor."""
+    return {
+        "window": sp.window,
+        "lead": sp.lead,
+        "trigger_threshold": sp.trigger_threshold,
+        "deduplicate": sp.deduplicate,
+        "follow_probability": {
+            c.value: p for c, p in sp.follow_probability.items()
+        },
+        "trigger_categories": [c.value for c in sp.trigger_categories],
+    }
+
+
+def statistical_from_dict(doc: dict) -> StatisticalPredictor:
+    """Decode into a *fitted* statistical predictor."""
+    try:
+        sp = StatisticalPredictor(
+            window=float(doc["window"]),
+            lead=float(doc["lead"]),
+            trigger_threshold=float(doc["trigger_threshold"]),
+            deduplicate=bool(doc["deduplicate"]),
+        )
+        sp.follow_probability = {
+            MainCategory(k): float(v)
+            for k, v in doc["follow_probability"].items()
+        }
+        sp.trigger_categories = tuple(
+            MainCategory(v) for v in doc["trigger_categories"]
+        )
+        sp._fitted = True
+        return sp
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"malformed statistical document: {exc}"
+        ) from exc
+
+
+def rulebased_to_dict(rb: RuleBasedPredictor) -> dict:
+    """Encode a fitted rule-based predictor."""
+    if rb.ruleset is None:
+        raise SerializationError("rule-based predictor is not fitted")
+    return {
+        "rule_window": rb.rule_window,
+        "prediction_window": rb.prediction_window,
+        "min_support": rb.min_support,
+        "min_confidence": rb.min_confidence,
+        "max_len": rb.max_len,
+        "miner": rb.miner,
+        "no_precursor_fraction": rb.no_precursor_fraction,
+        "ruleset": ruleset_to_dict(rb.ruleset),
+    }
+
+
+def rulebased_from_dict(doc: dict) -> RuleBasedPredictor:
+    """Decode into a *fitted* rule-based predictor."""
+    try:
+        rb = RuleBasedPredictor(
+            rule_window=float(doc["rule_window"]),
+            prediction_window=float(doc["prediction_window"]),
+            min_support=float(doc["min_support"]),
+            min_confidence=float(doc["min_confidence"]),
+            max_len=int(doc["max_len"]),
+            miner=str(doc["miner"]),
+        )
+        rb.ruleset = ruleset_from_dict(doc["ruleset"])
+        rb.no_precursor_fraction = float(doc["no_precursor_fraction"])
+        rb._fitted = True
+        return rb
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed rulebased document: {exc}") from exc
+
+
+def meta_to_dict(meta: MetaLearner) -> dict:
+    """Encode a fitted meta-learner (both bases inline)."""
+    if not meta.is_fitted:
+        raise SerializationError("meta-learner is not fitted")
+    return {
+        "prediction_window": meta.prediction_window,
+        "statistical": statistical_to_dict(meta.statistical),
+        "rulebased": rulebased_to_dict(meta.rulebased),
+    }
+
+
+def meta_from_dict(doc: dict) -> MetaLearner:
+    """Decode into a *fitted* meta-learner."""
+    try:
+        meta = MetaLearner(
+            prediction_window=float(doc["prediction_window"]),
+            statistical=statistical_from_dict(doc["statistical"]),
+            rulebased=rulebased_from_dict(doc["rulebased"]),
+        )
+        meta._fitted = True
+        return meta
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed meta document: {exc}") from exc
+
+
+# ---------------------------------------------------------------------- #
+# Top-level save / load
+# ---------------------------------------------------------------------- #
+
+
+def save_model(
+    predictor: Union[ThreePhasePredictor, MetaLearner],
+    target: Union[str, Path, TextIO],
+) -> None:
+    """Serialize a fitted predictor to JSON."""
+    if isinstance(predictor, ThreePhasePredictor):
+        doc = {
+            "format_version": FORMAT_VERSION,
+            "kind": "three-phase",
+            "config": {
+                k: getattr(predictor.config, k)
+                for k in (
+                    "compression_threshold", "temporal_key_mode",
+                    "rule_window", "min_support", "min_confidence",
+                    "max_rule_len", "miner", "statistical_lead",
+                    "statistical_window", "trigger_threshold",
+                    "prediction_window",
+                )
+            },
+            "meta": meta_to_dict(predictor.meta),
+        }
+    elif isinstance(predictor, MetaLearner):
+        doc = {
+            "format_version": FORMAT_VERSION,
+            "kind": "meta",
+            "meta": meta_to_dict(predictor),
+        }
+    else:
+        raise SerializationError(
+            f"cannot serialize {type(predictor).__name__}"
+        )
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1)
+    else:
+        json.dump(doc, target, indent=1)
+
+
+def load_model(
+    source: Union[str, Path, TextIO],
+) -> Union[ThreePhasePredictor, MetaLearner]:
+    """Deserialize a predictor saved by :func:`save_model`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    else:
+        doc = json.load(source)
+    version = doc.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported model format version: {version!r}"
+        )
+    kind = doc.get("kind")
+    if kind == "meta":
+        return meta_from_dict(doc["meta"])
+    if kind == "three-phase":
+        predictor = ThreePhasePredictor(PredictorConfig(**doc["config"]))
+        meta = meta_from_dict(doc["meta"])
+        predictor.meta = meta
+        predictor.statistical = meta.statistical
+        predictor.rulebased = meta.rulebased
+        predictor._fitted = True
+        predictor.report.rules_mined = len(meta.rulebased.ruleset or [])
+        predictor.report.trigger_categories = tuple(
+            c.value for c in meta.statistical.trigger_categories
+        )
+        return predictor
+    raise SerializationError(f"unknown model kind: {kind!r}")

@@ -1,0 +1,85 @@
+"""CSV export of experiment series.
+
+Benchmarks print paper-vs-measured blocks; downstream users usually want the
+raw series for their own plotting stack.  These helpers write the three
+series kinds the study produces — sweeps (Figures 4/5), CDFs (Figure 2) and
+category tables (Table 4) — as plain CSV with a one-line header.  Used by
+``bgl-predict export``.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence, TextIO, Union
+
+from repro.evaluation.sweep import SweepPoint
+from repro.taxonomy.categories import CATEGORY_ORDER, MainCategory
+
+PathOrFile = Union[str, Path, TextIO]
+
+
+def _open(target: PathOrFile):
+    if isinstance(target, (str, Path)):
+        return open(target, "w", newline="", encoding="utf-8"), True
+    return target, False
+
+
+def write_sweep_csv(points: Sequence[SweepPoint], target: PathOrFile) -> int:
+    """``window_minutes,precision,recall,f1`` rows; returns the row count."""
+    fh, own = _open(target)
+    try:
+        writer = csv.writer(fh)
+        writer.writerow(["window_minutes", "precision", "recall", "f1"])
+        for p in points:
+            writer.writerow(
+                [f"{p.window_minutes:g}", f"{p.precision:.6f}",
+                 f"{p.recall:.6f}", f"{p.f1:.6f}"]
+            )
+        return len(points)
+    finally:
+        if own:
+            fh.close()
+
+
+def write_cdf_csv(
+    grid_seconds: Sequence[float],
+    cdf: Sequence[float],
+    target: PathOrFile,
+) -> int:
+    """``offset_seconds,cdf`` rows; returns the row count."""
+    if len(grid_seconds) != len(cdf):
+        raise ValueError("grid and cdf lengths differ")
+    fh, own = _open(target)
+    try:
+        writer = csv.writer(fh)
+        writer.writerow(["offset_seconds", "probability"])
+        for g, c in zip(grid_seconds, cdf):
+            writer.writerow([f"{g:g}", f"{float(c):.6f}"])
+        return len(cdf)
+    finally:
+        if own:
+            fh.close()
+
+
+def write_category_csv(
+    counts_by_log: dict[str, dict[MainCategory, int]],
+    target: PathOrFile,
+) -> int:
+    """Table-4 layout: one row per category, one column per log."""
+    logs = list(counts_by_log)
+    fh, own = _open(target)
+    try:
+        writer = csv.writer(fh)
+        writer.writerow(["category", *logs])
+        for cat in CATEGORY_ORDER:
+            writer.writerow(
+                [cat.value] + [counts_by_log[log].get(cat, 0) for log in logs]
+            )
+        writer.writerow(
+            ["total"] + [sum(counts_by_log[log].values()) for log in logs]
+        )
+        return len(CATEGORY_ORDER) + 1
+    finally:
+        if own:
+            fh.close()

@@ -1,0 +1,133 @@
+"""Plain-text experiment reports (ASCII charts included).
+
+The CLI's ``report`` subcommand and the benchmarks share these renderers.
+Everything returns strings; nothing here writes or prints, and there is no
+plotting dependency — curves render as fixed-width ASCII charts, which is
+what actually survives in cluster-operations tooling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.evaluation.sweep import SweepPoint
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    y_range: Optional[tuple[float, float]] = None,
+    x_label: str = "",
+) -> str:
+    """Render one or more y(x) series as a fixed-width ASCII chart.
+
+    Each series gets its own marker character; the legend maps markers to
+    names.  Points are plotted at their nearest cell; later series overwrite
+    earlier ones on collisions.
+    """
+    if not series:
+        raise ValueError("at least one series required")
+    xs = np.asarray(xs, dtype=float)
+    if xs.size == 0:
+        raise ValueError("xs must be non-empty")
+    markers = "*o+x#@%&"
+    all_vals = np.concatenate(
+        [np.asarray(v, dtype=float) for v in series.values()]
+    )
+    if y_range is None:
+        lo, hi = float(np.nanmin(all_vals)), float(np.nanmax(all_vals))
+        if lo == hi:
+            lo, hi = lo - 0.5, hi + 0.5
+    else:
+        lo, hi = y_range
+        if hi <= lo:
+            raise ValueError("y_range must be increasing")
+
+    grid = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    span_x = (x_hi - x_lo) or 1.0
+
+    def col(x: float) -> int:
+        return min(width - 1, int((x - x_lo) / span_x * (width - 1)))
+
+    def row(y: float) -> int:
+        frac = (y - lo) / (hi - lo)
+        frac = min(1.0, max(0.0, frac))
+        return (height - 1) - int(frac * (height - 1))
+
+    for (name, ys), marker in zip(series.items(), markers):
+        for x, y in zip(xs, np.asarray(ys, dtype=float)):
+            if np.isnan(y):
+                continue
+            grid[row(float(y))][col(float(x))] = marker
+
+    lines = []
+    for i, cells in enumerate(grid):
+        y_val = hi - (hi - lo) * i / (height - 1)
+        lines.append(f"{y_val:7.2f} |" + "".join(cells))
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(
+        " " * 9
+        + f"{x_lo:<10.4g}"
+        + " " * max(0, width - 22)
+        + f"{x_hi:>10.4g}"
+    )
+    if x_label:
+        lines.append(" " * 9 + x_label)
+    legend = "  ".join(
+        f"{marker}={name}"
+        for (name, _), marker in zip(series.items(), markers)
+    )
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)
+
+
+def sweep_chart(points: Sequence[SweepPoint], title: str = "") -> str:
+    """Figure-4/5-style precision & recall vs window chart."""
+    if not points:
+        raise ValueError("no sweep points")
+    xs = [p.window_minutes for p in points]
+    chart = ascii_chart(
+        xs,
+        {
+            "precision": [p.precision for p in points],
+            "recall": [p.recall for p in points],
+        },
+        y_range=(0.0, 1.0),
+        x_label="prediction window (minutes)",
+    )
+    return (title + "\n" if title else "") + chart
+
+
+def cdf_chart(
+    grid_seconds: Sequence[float],
+    cdf: Sequence[float],
+    title: str = "",
+) -> str:
+    """Figure-2-style CDF chart (x in minutes)."""
+    xs = [g / 60.0 for g in grid_seconds]
+    chart = ascii_chart(
+        xs,
+        {"P(next failure within x)": list(cdf)},
+        y_range=(0.0, 1.0),
+        x_label="minutes since a failure",
+    )
+    return (title + "\n" if title else "") + chart
+
+
+def comparison_table(
+    rows: dict[str, tuple[float, float]], title: str = ""
+) -> str:
+    """Method -> (precision, recall) comparison block."""
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'method':<22} {'precision':>10} {'recall':>10} {'f1':>10}")
+    for name, (p, r) in rows.items():
+        f1 = 0.0 if p + r == 0 else 2 * p * r / (p + r)
+        lines.append(f"{name:<22} {p:>10.4f} {r:>10.4f} {f1:>10.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Alternative combination policies (dispatch ablation).
+
+The paper motivates its coverage-based dispatch qualitatively; these
+ensembles make the choice measurable.  Each policy combines the *warning
+streams* of the two base predictors post hoc:
+
+- ``union`` — every warning from either base (maximal recall, precision is
+  the warning-weighted mix of the bases);
+- ``intersection`` — a warning survives only when the other base has an
+  overlapping active warning (maximal precision, minimal recall);
+- ``confidence_max`` — like union, but when warnings from both bases are
+  simultaneously active only the more confident one is kept;
+- ``rule_only`` / ``statistical_only`` — single-base references.
+
+The paper's coverage-based dispatch (:class:`repro.meta.stacked.MetaLearner`)
+should dominate these on the recall/precision trade-off, which
+``benchmarks/bench_ablation_dispatch.py`` verifies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.predictors.base import (
+    FailureWarning,
+    Predictor,
+    merge_warning_streams,
+)
+from repro.predictors.rulebased import RuleBasedPredictor
+from repro.predictors.statistical import StatisticalPredictor
+from repro.ras.store import EventStore
+
+POLICIES = (
+    "union",
+    "intersection",
+    "confidence_max",
+    "rule_only",
+    "statistical_only",
+)
+
+
+def _overlapping(w: FailureWarning, others: Sequence[FailureWarning]) -> Optional[FailureWarning]:
+    """A warning from ``others`` whose horizon overlaps ``w``'s, if any."""
+    for o in others:
+        if o.horizon_start <= w.horizon_end and w.horizon_start <= o.horizon_end:
+            return o
+    return None
+
+
+class PolicyEnsemble(Predictor):
+    """Post-hoc combination of the two base predictors' warning streams."""
+
+    def __init__(
+        self,
+        policy: str,
+        statistical: Optional[StatisticalPredictor] = None,
+        rulebased: Optional[RuleBasedPredictor] = None,
+    ) -> None:
+        super().__init__()
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
+        self.policy = policy
+        self.statistical = statistical or StatisticalPredictor(lead=0.0)
+        self.rulebased = rulebased or RuleBasedPredictor()
+        self.name = f"ensemble[{policy}]"
+
+    def fit(self, events: EventStore) -> "PolicyEnsemble":
+        self.statistical.fit(events)
+        self.rulebased.fit(events)
+        self._fitted = True
+        return self
+
+    def predict(self, events: EventStore) -> list[FailureWarning]:
+        self._check_fitted()
+        stat = self.statistical.predict(events)
+        rule = self.rulebased.predict(events)
+        if self.policy == "rule_only":
+            return rule
+        if self.policy == "statistical_only":
+            return stat
+        if self.policy == "union":
+            return merge_warning_streams(stat, rule)
+        if self.policy == "intersection":
+            kept = [w for w in stat if _overlapping(w, rule) is not None]
+            kept += [w for w in rule if _overlapping(w, stat) is not None]
+            return merge_warning_streams(kept)
+        # confidence_max: drop the less confident of overlapping pairs.
+        kept = []
+        for w in stat:
+            o = _overlapping(w, rule)
+            if o is None or w.confidence >= o.confidence:
+                kept.append(w)
+        for w in rule:
+            o = _overlapping(w, stat)
+            if o is None or w.confidence > o.confidence:
+                kept.append(w)
+        return merge_warning_streams(kept)

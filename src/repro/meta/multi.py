@@ -1,0 +1,104 @@
+"""Generalized N-base meta-learning (paper future work).
+
+The paper's summary calls for the "proposed meta-learning mechanism [to] be
+further examined for advancing failure prediction", and its related-work
+section cites ensemble learning over arbitrary base learners.
+:class:`MultiMeta` extends the two-base coverage dispatch to any number of
+:class:`~repro.predictors.base.Predictor` bases:
+
+- every base is fitted on the training store and predicts independently;
+- warnings are merged in issue order; a warning is *suppressed* when a more
+  confident warning from another base is still active over an overlapping
+  horizon (the pairwise generalization of the paper's case-3 rule);
+- per-base contribution statistics are kept for diagnosis.
+
+With ``bases=[StatisticalPredictor(...), RuleBasedPredictor(...)]`` this is
+a close relative of the two-base meta-learner; adding e.g. the periodicity
+predictor extends coverage to failure modes neither paper method sees.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional, Sequence
+
+from repro.predictors.base import FailureWarning, Predictor
+from repro.ras.store import EventStore
+
+
+class MultiMeta(Predictor):
+    """Confidence-arbitrated combination of N base predictors."""
+
+    name = "multi-meta"
+
+    def __init__(self, bases: Sequence[Predictor]) -> None:
+        super().__init__()
+        if not bases:
+            raise ValueError("at least one base predictor required")
+        names = [b.name for b in bases]
+        if len(set(names)) != len(names):
+            raise ValueError(f"base predictor names must be unique: {names}")
+        self.bases: list[Predictor] = list(bases)
+        #: Post-predict diagnostics: warnings contributed per base.
+        self.contributions: dict[str, int] = {}
+        #: Post-predict diagnostics: warnings suppressed per base.
+        self.suppressed: dict[str, int] = {}
+
+    def fit(self, events: EventStore) -> "MultiMeta":
+        for base in self.bases:
+            base.fit(events)
+        self._fitted = True
+        return self
+
+    def predict(self, events: EventStore) -> list[FailureWarning]:
+        """Merge the bases' streams under confidence arbitration.
+
+        A warning loses arbitration when, at its issue time, another base
+        has an already-issued warning with an overlapping horizon and
+        strictly higher confidence.  Ties keep both (they cover for each
+        other in the recall accounting and are deduplicated by horizon
+        overlap only across *different* bases, so a single base's stream is
+        never thinned — its own deduplication already happened).
+        """
+        self._check_fitted()
+        self.contributions = {b.name: 0 for b in self.bases}
+        self.suppressed = {b.name: 0 for b in self.bases}
+
+        streams = [(b.name, b.predict(events)) for b in self.bases]
+        merged: list[tuple[int, float, str, FailureWarning]] = []
+        for name, stream in streams:
+            for w in stream:
+                merged.append((w.issued_at, -w.confidence, name, w))
+        merged.sort(key=lambda item: (item[0], item[1]))
+
+        #: Active horizons per base: (horizon_end, confidence) heaps.
+        active: dict[str, list[tuple[int, float, FailureWarning]]] = {
+            b.name: [] for b in self.bases
+        }
+        kept: list[FailureWarning] = []
+        for issued, _negconf, name, w in merged:
+            # Evict expired horizons.
+            for heap in active.values():
+                while heap and heap[0][0] < issued:
+                    heapq.heappop(heap)
+            dominated = False
+            for other, heap in active.items():
+                if other == name:
+                    continue
+                for end, conf, ow in heap:
+                    if (
+                        conf > w.confidence
+                        and ow.horizon_start <= w.horizon_end
+                        and w.horizon_start <= end
+                    ):
+                        dominated = True
+                        break
+                if dominated:
+                    break
+            if dominated:
+                self.suppressed[name] += 1
+                continue
+            heapq.heappush(active[name], (w.horizon_end, w.confidence, w))
+            self.contributions[name] += 1
+            kept.append(w)
+        return kept

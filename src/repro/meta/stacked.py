@@ -1,0 +1,301 @@
+"""Coverage-based stacked generalization (paper §3.3).
+
+The meta-learner "adaptively integrates the statistical based method and the
+rule based method": on the testing set it observes the events inside the
+trailing observation window and
+
+1. if there are non-fatal events, applies the rule-based method (a warning is
+   raised when a rule's body is fully observed);
+2. if no non-fatal event is observed, applies the statistical method to the
+   fatal history (a warning is raised when a trigger-category failure is
+   reported after an earlier trigger — an isolated first failure is the
+   potential *start* of a pattern, not evidence of one);
+3. if both non-fatal and fatal events are present, uses the base method whose
+   candidate prediction carries the higher confidence.
+
+The dispatch logic lives in :class:`MetaStream`, a strictly forward,
+event-at-a-time state machine: :meth:`MetaLearner.predict` drives it over a
+store, and :class:`repro.online.detector.OnlineDetector` drives it from a
+live feed — by construction both produce identical warnings, which is the
+paper's online-deployability claim made testable.  Cost per event is O(rules
+containing the arriving item), "about the same as the rule-based method".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.mining.rules import Rule, RuleMatcher, RuleSet
+from repro.predictors.base import FailureWarning, Predictor
+from repro.predictors.rulebased import RuleBasedPredictor
+from repro.predictors.statistical import StatisticalPredictor
+from repro.ras.store import EventStore
+from repro.taxonomy.categories import MainCategory
+from repro.util.timeutil import MINUTE
+from repro.util.validation import check_positive
+
+
+class MetaStream:
+    """Forward-only dispatch state machine of the meta-learner.
+
+    Holds exactly the state an online daemon needs: the rule matcher over
+    the trailing prediction window, the last hour of fatal history (the
+    paper: an online engine "will require maintaining the history of all the
+    events for the duration of 1 hour after a failure has been reported"),
+    and the active-warning tables used for deduplication.
+
+    Events must be fed in non-decreasing time order; :meth:`step` returns
+    the warnings raised by that event (usually none).
+    """
+
+    def __init__(
+        self,
+        ruleset: RuleSet,
+        statistical: StatisticalPredictor,
+        prediction_window: float,
+        source: str = "meta",
+    ) -> None:
+        self.ruleset = ruleset
+        self.statistical = statistical
+        self.w = int(prediction_window)
+        self.source = source
+        self.stat_lo = max(int(statistical.lead), 1)
+        self.stat_hi = int(statistical.window)
+        self.trigger_set = set(statistical.trigger_categories)
+        self.dispatch_counts = {"rule": 0, "statistical": 0}
+
+        self._matcher = RuleMatcher(ruleset)
+        self._window_events: deque[tuple[int, int]] = deque()  # non-fatal
+        self._fatal_history: deque[int] = deque()
+        self._trigger_history: deque[int] = deque()
+        self._rule_active_until: dict[frozenset[int], int] = {}
+        self._stat_active_until: dict[str, int] = {}
+        self._stat_conf_until: list[tuple[int, float]] = []
+        self._last_time: Optional[int] = None
+
+    # -- internals ------------------------------------------------------ #
+
+    def _best_satisfied(self) -> Optional[Rule]:
+        best: Optional[Rule] = None
+        for r in self._matcher.satisfied_rules():
+            if best is None or r.confidence > best.confidence:
+                best = r
+        return best
+
+    def _active_stat_conf(self, t: int) -> float:
+        """Max confidence among statistical warnings covering ``t``."""
+        return max(
+            (c for end, c in self._stat_conf_until if t <= end), default=0.0
+        )
+
+    def _emit_rule(self, t: int, rule: Rule) -> Optional[FailureWarning]:
+        end = self._rule_active_until.get(rule.body)
+        if end is not None and t <= end:
+            return None
+        warning = FailureWarning(
+            issued_at=t,
+            horizon_start=t + 1,
+            horizon_end=t + self.w,
+            confidence=rule.confidence,
+            source=self.source,
+            detail="rule: " + rule.format(self.ruleset.item_names),
+        )
+        self._rule_active_until[rule.body] = warning.horizon_end
+        self.dispatch_counts["rule"] += 1
+        return warning
+
+    def _emit_stat(
+        self, t: int, category: MainCategory, conf: float
+    ) -> Optional[FailureWarning]:
+        # One active statistical warning per trigger category: within a
+        # failure burst the first trigger's horizon already covers the
+        # cluster, so re-warning on every member would only add duplicates.
+        end = self._stat_active_until.get(category.value)
+        if end is not None and t <= end:
+            return None
+        warning = FailureWarning(
+            issued_at=t,
+            horizon_start=t + self.stat_lo,
+            horizon_end=t + self.stat_hi,
+            confidence=conf,
+            source=self.source,
+            detail=f"statistical: {category.value}",
+        )
+        self._stat_active_until[category.value] = warning.horizon_end
+        self._stat_conf_until.append((warning.horizon_end, conf))
+        if len(self._stat_conf_until) > 8:
+            del self._stat_conf_until[0]
+        self.dispatch_counts["statistical"] += 1
+        return warning
+
+    def _advance(self, t: int) -> None:
+        while self._window_events and self._window_events[0][0] < t - self.w:
+            _, old_item = self._window_events.popleft()
+            self._matcher.remove(old_item)
+        while self._fatal_history and self._fatal_history[0] < t - self.stat_hi:
+            self._fatal_history.popleft()
+        while (
+            self._trigger_history
+            and self._trigger_history[0] < t - self.stat_hi
+        ):
+            self._trigger_history.popleft()
+
+    # -- public --------------------------------------------------------- #
+
+    def step(
+        self,
+        t: int,
+        subcat_id: int,
+        is_fatal: bool,
+        category: MainCategory,
+    ) -> list[FailureWarning]:
+        """Process one event; returns the warnings it raised (0 or 1)."""
+        t = int(t)
+        if self._last_time is not None and t < self._last_time:
+            raise ValueError(
+                f"events must arrive in time order ({t} < {self._last_time})"
+            )
+        self._last_time = t
+        self._advance(t)
+        out: list[FailureWarning] = []
+
+        if not is_fatal:
+            self._window_events.append((t, subcat_id))
+            completed = self._matcher.add(subcat_id)
+            if completed:
+                best = self._best_satisfied()
+                if best is not None:
+                    if self._fatal_history:
+                        # Case 3 at a non-fatal arrival: defer to the
+                        # statistical method only if one of its warnings is
+                        # actually active and more confident.
+                        if best.confidence >= self._active_stat_conf(t):
+                            w = self._emit_rule(t, best)
+                            if w:
+                                out.append(w)
+                    else:
+                        # Case 1: only non-fatal context.
+                        w = self._emit_rule(t, best)
+                        if w:
+                            out.append(w)
+            return out
+
+        # Fatal event: the statistical method's trigger point.
+        stat_conf = self.statistical.candidate_confidence(category)
+        if stat_conf is not None and not self._trigger_history:
+            # The learned pattern is "trigger-category failure, then more
+            # failures"; a trigger with no trigger-category history is the
+            # potential *start* of a pattern, not evidence of one.
+            stat_conf = None
+        nonfatal_present = bool(self._matcher.observed_items())
+        best = self._best_satisfied() if nonfatal_present else None
+        if stat_conf is not None:
+            if not nonfatal_present:
+                # Case 2: only fatal context -> statistical method.
+                w = self._emit_stat(t, category, stat_conf)
+                if w:
+                    out.append(w)
+            else:
+                # Case 3: both present -> higher confidence wins.  The rule
+                # side's candidate is the best currently satisfied rule; if
+                # it wins, its warning is already active (or is (re)issued
+                # here), so the statistical warning is suppressed.
+                rule_conf = best.confidence if best is not None else 0.0
+                if stat_conf > rule_conf:
+                    w = self._emit_stat(t, category, stat_conf)
+                    if w:
+                        out.append(w)
+                elif best is not None:
+                    w = self._emit_rule(t, best)
+                    if w:
+                        out.append(w)
+        elif best is not None:
+            # Case 1 with a fatal of a non-trigger category: the rule method
+            # covers what the statistical method cannot.
+            w = self._emit_rule(t, best)
+            if w:
+                out.append(w)
+        self._fatal_history.append(t)
+        if category in self.trigger_set:
+            self._trigger_history.append(t)
+        return out
+
+
+class MetaLearner(Predictor):
+    """Stacked combination of the statistical and rule-based predictors.
+
+    Parameters
+    ----------
+    prediction_window:
+        The observation/prediction window W: rule bodies are matched over the
+        trailing W seconds and rule warnings' horizons end W seconds after
+        issue (swept 5-60 min in the paper's Figure 5).
+    rule_window:
+        Rule-generation window for the embedded rule-based predictor.
+    statistical / rulebased:
+        Pre-configured base predictors; freshly constructed when omitted.
+        ``fit`` (re)fits both on the training store.  The statistical method
+        keeps its own fixed band (paper: 5 min to 1 hour) regardless of W —
+        its horizon is a property of the failure process, not of the sweep
+        parameter.
+    """
+
+    name = "meta"
+
+    def __init__(
+        self,
+        prediction_window: float = 30 * MINUTE,
+        rule_window: float = 15 * MINUTE,
+        statistical: Optional[StatisticalPredictor] = None,
+        rulebased: Optional[RuleBasedPredictor] = None,
+    ) -> None:
+        super().__init__()
+        check_positive(prediction_window, "prediction_window")
+        self.prediction_window = float(prediction_window)
+        self.statistical = statistical or StatisticalPredictor()
+        self.rulebased = rulebased or RuleBasedPredictor(
+            rule_window=rule_window, prediction_window=prediction_window
+        )
+        #: Diagnostics: number of emitted warnings per base method.
+        self.dispatch_counts: dict[str, int] = {"rule": 0, "statistical": 0}
+
+    def fit(self, events: EventStore) -> "MetaLearner":
+        """Fit both base predictors on the training store (paper step 1)."""
+        self.statistical.fit(events)
+        self.rulebased.fit(events)
+        self._fitted = True
+        return self
+
+    def stream(self) -> MetaStream:
+        """A fresh online dispatch stream sharing this learner's models."""
+        self._check_fitted()
+        assert self.rulebased.ruleset is not None
+        return MetaStream(
+            ruleset=self.rulebased.ruleset,
+            statistical=self.statistical,
+            prediction_window=self.prediction_window,
+            source=self.name,
+        )
+
+    def predict(self, events: EventStore) -> list[FailureWarning]:
+        """Drive the dispatch stream over a whole store."""
+        stream = self.stream()
+        warnings: list[FailureWarning] = []
+        if len(events) == 0:
+            self.dispatch_counts = dict(stream.dispatch_counts)
+            return warnings
+        clf = self.statistical.classifier
+        cat_table = [clf.category_of_label(n) for n in events.subcat_table]
+        times = events.times
+        subcats = events.subcat_ids
+        fatal_mask = events.fatal_mask()
+        for i in range(len(events)):
+            sc = int(subcats[i])
+            warnings.extend(
+                stream.step(
+                    int(times[i]), sc, bool(fatal_mask[i]), cat_table[sc]
+                )
+            )
+        self.dispatch_counts = dict(stream.dispatch_counts)
+        return warnings

@@ -1,0 +1,36 @@
+"""Association-rule mining substrate (paper §3.2.2).
+
+Implemented from scratch (no external ML dependency):
+
+- :mod:`repro.mining.transactions` — building *event-sets* (the paper's
+  transactions): for each fatal event, the set of non-fatal subcategories
+  observed in the rule-generation window before it.
+- :mod:`repro.mining.apriori` — the classic Agrawal-Srikant frequent-itemset
+  algorithm the paper cites.
+- :mod:`repro.mining.fptree` — FP-growth (Han et al., the paper's [15]),
+  mining the identical itemsets without candidate generation; used for the
+  miner-cost ablation and cross-checked against Apriori by property tests.
+- :mod:`repro.mining.rules` — rule generation (body of non-fatal items, head
+  of fatal items), the paper's per-body rule *combination*, confidence
+  sorting, and the matcher used at prediction time.
+"""
+
+from repro.mining.apriori import apriori
+from repro.mining.fptree import fpgrowth
+from repro.mining.rules import Rule, RuleSet, generate_rules
+from repro.mining.transactions import (
+    EventSetDB,
+    build_event_sets,
+    build_tiled_windows,
+)
+
+__all__ = [
+    "apriori",
+    "fpgrowth",
+    "Rule",
+    "RuleSet",
+    "generate_rules",
+    "EventSetDB",
+    "build_event_sets",
+    "build_tiled_windows",
+]

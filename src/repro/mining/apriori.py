@@ -1,0 +1,146 @@
+"""Apriori frequent-itemset mining (Agrawal & Srikant, VLDB'94 — paper [1]).
+
+The classic level-wise algorithm: frequent k-itemsets are joined to form
+(k+1)-candidates, candidates with an infrequent subset are pruned (the
+*apriori property*: every subset of a frequent itemset is frequent), and the
+survivors are counted against the transaction database.
+
+The transaction DB of this application is small (one transaction per fatal
+event — thousands), but the item universe (101 subcategories) and low support
+threshold (0.04) can still make naive candidate generation expensive; the
+implementation therefore:
+
+- counts candidates via per-transaction subset enumeration when the
+  transaction is short, and via candidate-subset tests otherwise;
+- uses a ``max_len`` cap (default 6) matching the longest rule bodies the
+  paper exhibits (4 body items + 1 head).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from itertools import combinations
+from typing import Iterable, Mapping, Sequence
+
+from repro.util.validation import check_fraction
+
+
+def _count_candidates(
+    transactions: Sequence[frozenset[int]],
+    candidates: set[frozenset[int]],
+    k: int,
+) -> dict[frozenset[int], int]:
+    """Count how many transactions contain each candidate k-itemset."""
+    counts: dict[frozenset[int], int] = defaultdict(int)
+    for t in transactions:
+        if len(t) < k:
+            continue
+        # Enumerating the transaction's own k-subsets is cheaper than testing
+        # every candidate when the transaction is short; otherwise test the
+        # candidate set directly.
+        n_subsets = 1
+        for i in range(k):
+            n_subsets = n_subsets * (len(t) - i) // (i + 1)
+            if n_subsets > len(candidates):
+                break
+        if n_subsets <= len(candidates):
+            for combo in combinations(sorted(t), k):
+                fs = frozenset(combo)
+                if fs in candidates:
+                    counts[fs] += 1
+        else:
+            for c in candidates:
+                if c <= t:
+                    counts[c] += 1
+    return dict(counts)
+
+
+def _join_step(frequent_k: list[frozenset[int]], k: int) -> set[frozenset[int]]:
+    """Join frequent k-itemsets sharing a (k-1)-prefix into (k+1)-candidates."""
+    sorted_sets = sorted(tuple(sorted(s)) for s in frequent_k)
+    candidates: set[frozenset[int]] = set()
+    for i in range(len(sorted_sets)):
+        for j in range(i + 1, len(sorted_sets)):
+            a, b = sorted_sets[i], sorted_sets[j]
+            if a[:-1] != b[:-1]:
+                break  # sorted order: no later j can share the prefix
+            candidates.add(frozenset(a) | frozenset(b))
+    return candidates
+
+
+def _prune_step(
+    candidates: set[frozenset[int]], frequent_k: set[frozenset[int]], k: int
+) -> set[frozenset[int]]:
+    """Drop candidates having an infrequent k-subset (apriori property)."""
+    pruned: set[frozenset[int]] = set()
+    for c in candidates:
+        if all(frozenset(sub) in frequent_k for sub in combinations(c, k)):
+            pruned.add(c)
+    return pruned
+
+
+def apriori(
+    transactions: Sequence[frozenset[int]],
+    min_support: float,
+    max_len: int = 6,
+) -> dict[frozenset[int], int]:
+    """Mine all frequent itemsets with support >= ``min_support``.
+
+    Parameters
+    ----------
+    transactions:
+        The database; each transaction is a frozenset of item ids.
+    min_support:
+        Relative support threshold in [0, 1] (the paper uses 0.04).
+    max_len:
+        Largest itemset size mined.
+
+    Returns
+    -------
+    dict mapping each frequent itemset to its absolute transaction count.
+    """
+    check_fraction(min_support, "min_support")
+    if max_len < 1:
+        raise ValueError(f"max_len must be >= 1, got {max_len}")
+    n = len(transactions)
+    if n == 0:
+        return {}
+    # ceil(min_support * n), but support == threshold must pass.
+    min_count = max(1, int(-(-min_support * n // 1)))
+
+    result: dict[frozenset[int], int] = {}
+
+    # L1.
+    item_counts: dict[int, int] = defaultdict(int)
+    for t in transactions:
+        for item in t:
+            item_counts[item] += 1
+    frequent = [
+        frozenset({item}) for item, c in item_counts.items() if c >= min_count
+    ]
+    for fs in frequent:
+        result[fs] = item_counts[next(iter(fs))]
+
+    k = 1
+    while frequent and k < max_len:
+        candidates = _join_step(frequent, k)
+        candidates = _prune_step(candidates, set(frequent), k)
+        if not candidates:
+            break
+        counts = _count_candidates(transactions, candidates, k + 1)
+        frequent = [fs for fs, c in counts.items() if c >= min_count]
+        for fs in frequent:
+            result[fs] = counts[fs]
+        k += 1
+    return result
+
+
+def support_of(
+    itemset: Iterable[int],
+    counts: Mapping[frozenset[int], int],
+    n_transactions: int,
+) -> float:
+    """Relative support of an itemset from a mined count table."""
+    if n_transactions <= 0:
+        raise ValueError("n_transactions must be > 0")
+    return counts.get(frozenset(itemset), 0) / n_transactions

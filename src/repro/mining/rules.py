@@ -1,0 +1,273 @@
+"""Association-rule generation, combination and matching (paper §3.2.2).
+
+From the mined frequent itemsets we keep rules of the form
+
+    {non-fatal precursors} -> {fatal event(s)}
+
+with support and confidence above the paper's thresholds (0.04 / 0.2).
+Rules with the same body are *combined* (Step 3: "if {e...} -> f1 and
+{e...} -> f2 are generated, we combine them as {e...} -> {f1, f2}"), because
+the predictor only needs to know *whether* a failure is imminent.  Combined
+confidence is recomputed against the database as P(any head | body).  Rules
+are sorted by descending confidence (Step 4) and the matcher returns the
+highest-confidence rule observed (Step 6).
+
+:class:`RuleMatcher` is the streaming-window matcher used at prediction time:
+it maintains the set of items present in the sliding observation window and
+reports rules the moment their body becomes fully observed — O(rules
+containing the arriving item) per event, not O(all rules).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.mining.apriori import apriori
+from repro.mining.fptree import fpgrowth
+from repro.mining.transactions import EventSetDB
+from repro.util.validation import check_fraction
+
+#: Miner registry: both produce identical itemset->count tables.
+MINERS: dict[str, Callable[..., dict[frozenset[int], int]]] = {
+    "apriori": apriori,
+    "fpgrowth": fpgrowth,
+}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """An association rule body -> heads with its quality measures."""
+
+    body: frozenset[int]
+    heads: frozenset[int]
+    confidence: float
+    support: float
+    support_count: int
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise ValueError("rule body must be non-empty")
+        if not self.heads:
+            raise ValueError("rule heads must be non-empty")
+        check_fraction(self.confidence, "confidence")
+        check_fraction(self.support, "support")
+
+    def format(self, item_names: Sequence[str]) -> str:
+        """Figure-3 style rendering: ``a b ==> f: 0.7``."""
+        body = " ".join(sorted(item_names[i] for i in self.body))
+        heads = " ".join(sorted(item_names[i] for i in self.heads))
+        return f"{body} ==> {heads}: {self.confidence:g}"
+
+
+def generate_rules(
+    db: EventSetDB,
+    min_support: float = 0.04,
+    min_confidence: float = 0.2,
+    max_len: int = 6,
+    miner: str = "apriori",
+    combine: bool = True,
+    prune_generalizations: bool = True,
+) -> "RuleSet":
+    """Mine, filter, combine and sort rules from an event-set database.
+
+    Implements Steps 2-4 of the paper's rule-based method.  ``min_support``
+    and ``min_confidence`` default to the paper's values.
+
+    ``prune_generalizations`` drops a rule whose body is a proper subset of
+    another rule's body when the more specific rule shares a head and has at
+    least the same confidence: the general rule then adds no predictive
+    value (every time its stronger specialization matches, the matcher
+    prefers that anyway — paper Step 6 picks the highest confidence) while
+    firing spuriously whenever the partial body occurs alone.
+    """
+    if miner not in MINERS:
+        raise ValueError(f"unknown miner {miner!r}; choose from {sorted(MINERS)}")
+    check_fraction(min_confidence, "min_confidence")
+    transactions = db.transactions()
+    n = len(transactions)
+    if n == 0:
+        return RuleSet([], db.item_names, db.fatal_items)
+    freq = MINERS[miner](transactions, min_support, max_len=max_len)
+
+    # Step 2: single-head rules body(non-fatal) -> head(fatal).
+    singles: list[Rule] = []
+    for itemset, count in freq.items():
+        heads = itemset & db.fatal_items
+        if len(heads) != 1:
+            continue
+        body = itemset - heads
+        if not body or body & db.fatal_items:
+            continue
+        body_count = freq.get(body)
+        if not body_count:
+            continue  # body itself below support (cannot happen w/ apriori)
+        conf = count / body_count
+        if conf < min_confidence:
+            continue
+        singles.append(
+            Rule(
+                body=body,
+                heads=heads,
+                confidence=conf,
+                support=count / n,
+                support_count=count,
+            )
+        )
+    if prune_generalizations:
+        singles = _prune_generalizations(singles)
+    if not combine:
+        return RuleSet(
+            sorted(singles, key=lambda r: (-r.confidence, -r.support_count)),
+            db.item_names,
+            db.fatal_items,
+        )
+
+    # Step 3: combine rules sharing a body; recompute confidence as
+    # P(any head | body) over the database.
+    by_body: dict[frozenset[int], set[int]] = defaultdict(set)
+    for r in singles:
+        by_body[r.body] |= r.heads
+    combined: list[Rule] = []
+    for body, heads in by_body.items():
+        body_count = 0
+        hit_count = 0
+        for t in transactions:
+            if body <= t:
+                body_count += 1
+                if t & heads:
+                    hit_count += 1
+        conf = hit_count / body_count if body_count else 0.0
+        combined.append(
+            Rule(
+                body=body,
+                heads=frozenset(heads),
+                confidence=conf,
+                support=hit_count / n,
+                support_count=hit_count,
+            )
+        )
+    # Step 4: descending confidence.
+    combined.sort(key=lambda r: (-r.confidence, -r.support_count))
+    return RuleSet(combined, db.item_names, db.fatal_items)
+
+
+def _prune_generalizations(rules: list[Rule]) -> list[Rule]:
+    """Drop rules subsumed by a more specific, at-least-as-confident rule."""
+    kept: list[Rule] = []
+    for a in rules:
+        subsumed = any(
+            a.body < b.body
+            and (a.heads & b.heads)
+            and b.confidence >= a.confidence
+            for b in rules
+        )
+        if not subsumed:
+            kept.append(a)
+    return kept
+
+
+class RuleSet:
+    """An ordered (confidence-descending) collection of rules."""
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        item_names: Sequence[str],
+        fatal_items: frozenset[int],
+    ) -> None:
+        self.rules: list[Rule] = list(rules)
+        self.item_names: list[str] = list(item_names)
+        self.fatal_items = fatal_items
+        self._by_item: dict[int, list[int]] = defaultdict(list)
+        for idx, rule in enumerate(self.rules):
+            for item in rule.body:
+                self._by_item[item].append(idx)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __getitem__(self, i: int) -> Rule:
+        return self.rules[i]
+
+    def rules_containing(self, item: int) -> list[int]:
+        """Indices of rules whose body contains ``item``."""
+        return self._by_item.get(item, [])
+
+    def best_match(self, observed: Iterable[int]) -> Optional[Rule]:
+        """Highest-confidence rule whose body is fully observed, if any."""
+        observed = set(observed)
+        for rule in self.rules:  # already confidence-descending
+            if rule.body <= observed:
+                return rule
+        return None
+
+    def matching(self, observed: Iterable[int]) -> list[Rule]:
+        """All rules whose body is fully observed (confidence-descending)."""
+        observed = set(observed)
+        return [r for r in self.rules if r.body <= observed]
+
+    def format_rules(self, limit: Optional[int] = None) -> str:
+        """Figure-3 style listing of the top rules."""
+        rules = self.rules if limit is None else self.rules[:limit]
+        return "\n".join(r.format(self.item_names) for r in rules)
+
+
+class RuleMatcher:
+    """Streaming matcher over a sliding observation window.
+
+    Feed items as they enter/leave the window; ``add`` returns the rules that
+    became fully satisfied by the arrival (i.e. the arriving item completed
+    their body), which is exactly when the predictor should consider raising
+    a warning.
+    """
+
+    def __init__(self, ruleset: RuleSet) -> None:
+        self.ruleset = ruleset
+        self._present: dict[int, int] = defaultdict(int)  # item -> multiplicity
+        self._missing: list[int] = [len(r.body) for r in ruleset.rules]
+
+    def reset(self) -> None:
+        """Clear the window state."""
+        self._present.clear()
+        self._missing = [len(r.body) for r in self.ruleset.rules]
+
+    def add(self, item: int) -> list[Rule]:
+        """Item enters the window; returns rules completed by this arrival."""
+        self._present[item] += 1
+        completed: list[Rule] = []
+        if self._present[item] == 1:  # 0 -> 1 transition
+            for idx in self.ruleset.rules_containing(item):
+                self._missing[idx] -= 1
+                if self._missing[idx] == 0:
+                    completed.append(self.ruleset.rules[idx])
+        completed.sort(key=lambda r: -r.confidence)
+        return completed
+
+    def remove(self, item: int) -> None:
+        """Item leaves the window."""
+        count = self._present.get(item, 0)
+        if count == 0:
+            raise ValueError(f"item {item} not present in window")
+        if count == 1:
+            del self._present[item]
+            for idx in self.ruleset.rules_containing(item):
+                self._missing[idx] += 1
+        else:
+            self._present[item] = count - 1
+
+    def satisfied_rules(self) -> list[Rule]:
+        """All rules currently fully observed (confidence-descending)."""
+        return [
+            self.ruleset.rules[i]
+            for i, m in enumerate(self._missing)
+            if m == 0
+        ]
+
+    def observed_items(self) -> set[int]:
+        """Distinct items currently in the window."""
+        return set(self._present)

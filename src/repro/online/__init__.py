@@ -1,0 +1,20 @@
+"""Online deployment surface (paper §3.3 discussion).
+
+The paper argues the meta-learner is cheap enough "to deploy ... as an
+online prediction engine" — rule matching is trivial and only an hour of
+history must be retained.  The batch predictors in :mod:`repro.predictors`
+and :mod:`repro.meta` process whole stores; this subpackage provides the
+event-at-a-time counterpart a monitoring daemon would embed:
+
+- :class:`repro.online.detector.OnlineDetector` — feed classified events one
+  by one; warnings are returned the moment they are raised.  Its output is
+  bit-identical to :meth:`repro.meta.stacked.MetaLearner.predict` on the
+  same stream (tested), so offline evaluation transfers to deployment.
+- :class:`repro.online.detector.OnlineSession` — bookkeeping wrapper that
+  also resolves warnings against observed failures in real time, maintaining
+  the operator-facing counters (hits, false alarms, misses, lead times).
+"""
+
+from repro.online.detector import OnlineDetector, OnlineSession, SessionStats
+
+__all__ = ["OnlineDetector", "OnlineSession", "SessionStats"]

@@ -1,0 +1,163 @@
+"""Event-at-a-time failure detection (the daemon-facing API).
+
+:class:`OnlineDetector` wraps a fitted :class:`~repro.meta.stacked.MetaLearner`
+(or its :class:`~repro.meta.stacked.MetaStream`) behind a feed interface that
+accepts raw :class:`~repro.ras.events.RasEvent` objects: each event is
+classified on arrival and pushed through the dispatch state machine, and any
+warnings raised by it are returned immediately.
+
+:class:`OnlineSession` adds real-time *resolution*: it matches warnings
+against the failures that subsequently arrive, expiring horizons as the
+clock advances, and maintains the counters an operator dashboard would show
+(caught/missed failures, false alarms, lead times).  Resolution is causal —
+a warning is only counted as a false alarm once its horizon has fully
+elapsed without a failure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.meta.stacked import MetaLearner, MetaStream
+from repro.predictors.base import FailureWarning
+from repro.ras.events import RasEvent
+from repro.taxonomy.classifier import TaxonomyClassifier
+
+
+class OnlineDetector:
+    """Streaming front end of a fitted meta-learner.
+
+    Feed events in time order with :meth:`feed`; each call returns the
+    warnings that event raised.  Output over a stream equals
+    ``meta.predict(store)`` over the equivalent store (same dispatch state
+    machine underneath).
+    """
+
+    def __init__(self, meta: MetaLearner) -> None:
+        if not meta.is_fitted:
+            raise ValueError("MetaLearner must be fitted before going online")
+        self.meta = meta
+        self.classifier: TaxonomyClassifier = meta.statistical.classifier
+        self._stream: MetaStream = meta.stream()
+        self._label_index = {
+            name: i for i, name in enumerate(self.classifier.label_names)
+        }
+        self.events_seen = 0
+
+    @property
+    def dispatch_counts(self) -> dict[str, int]:
+        """Warnings emitted per base method so far."""
+        return dict(self._stream.dispatch_counts)
+
+    def feed(self, event: RasEvent) -> list[FailureWarning]:
+        """Classify and process one incoming RAS event."""
+        label = event.subcategory or self.classifier.classify(event.entry_data)
+        subcat_id = self._label_index.get(label)
+        if subcat_id is None:
+            # Unknown labels are treated as the classifier's fallback bucket.
+            subcat_id = self._label_index[self.classifier.label_names[-1]]
+            label = self.classifier.label_names[-1]
+        category = self.classifier.category_of_label(label)
+        is_fatal = event.is_fatal
+        self.events_seen += 1
+        return self._stream.step(event.time, subcat_id, is_fatal, category)
+
+
+@dataclass
+class SessionStats:
+    """Operator-facing counters of an :class:`OnlineSession`."""
+
+    events: int = 0
+    failures: int = 0
+    warnings: int = 0
+    #: Warnings whose horizon contained >= 1 failure.
+    hits: int = 0
+    #: Warnings whose horizon fully elapsed without a failure.
+    false_alarms: int = 0
+    #: Failures covered by >= 1 active warning when they occurred.
+    caught_failures: int = 0
+    missed_failures: int = 0
+    #: Lead seconds (warning issue -> failure) of caught failures.
+    lead_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def precision_so_far(self) -> float:
+        """Precision over *resolved* warnings (hits + expired misses)."""
+        resolved = self.hits + self.false_alarms
+        return 1.0 if resolved == 0 else self.hits / resolved
+
+    @property
+    def recall_so_far(self) -> float:
+        return 1.0 if self.failures == 0 else self.caught_failures / self.failures
+
+    @property
+    def mean_lead(self) -> float:
+        if not self.lead_seconds:
+            return float("nan")
+        return sum(self.lead_seconds) / len(self.lead_seconds)
+
+
+class OnlineSession:
+    """Detector plus causal warning resolution.
+
+    ``process`` returns the warnings raised by the event; resolution state
+    is read off :attr:`stats` at any time.  A warning becomes a *hit* the
+    first time a failure lands in its horizon and a *false alarm* when an
+    event arrives after its horizon with no failure having landed.
+    """
+
+    def __init__(self, meta: MetaLearner) -> None:
+        self.detector = OnlineDetector(meta)
+        self.stats = SessionStats()
+        #: Unresolved warnings, ordered by horizon end.
+        self._pending: deque[tuple[FailureWarning, bool]] = deque()
+
+    def _expire(self, now: int) -> None:
+        keep: deque[tuple[FailureWarning, bool]] = deque()
+        for warning, hit in self._pending:
+            if warning.horizon_end < now:
+                if hit:
+                    self.stats.hits += 1
+                else:
+                    self.stats.false_alarms += 1
+            else:
+                keep.append((warning, hit))
+        self._pending = keep
+
+    def process(self, event: RasEvent) -> list[FailureWarning]:
+        """Feed one event; resolve outstanding warnings against it."""
+        self._expire(event.time)
+        self.stats.events += 1
+
+        if event.is_fatal:
+            self.stats.failures += 1
+            covered = False
+            earliest_issue: Optional[int] = None
+            updated: deque[tuple[FailureWarning, bool]] = deque()
+            for warning, hit in self._pending:
+                if warning.covers(event.time):
+                    hit = True
+                    covered = True
+                    if earliest_issue is None or warning.issued_at < earliest_issue:
+                        earliest_issue = warning.issued_at
+                updated.append((warning, hit))
+            self._pending = updated
+            if covered:
+                self.stats.caught_failures += 1
+                assert earliest_issue is not None
+                self.stats.lead_seconds.append(event.time - earliest_issue)
+            else:
+                self.stats.missed_failures += 1
+
+        raised = self.detector.feed(event)
+        for w in raised:
+            self.stats.warnings += 1
+            self._pending.append((w, False))
+        return raised
+
+    def finish(self) -> SessionStats:
+        """Resolve every outstanding warning (end of shift) and return stats."""
+        self._expire(now=2**62)
+        return self.stats

@@ -1,0 +1,154 @@
+"""Predictors beyond the paper's two base methods.
+
+The paper's summary calls for "further examining the proposed meta-learning
+mechanism" with more base predictors; these provide that extension surface
+plus trivial baselines that anchor the evaluation (any useful predictor must
+beat them).
+
+- :class:`PeriodicityPredictor` — exploits quasi-periodic failure modes
+  (e.g. a flaky component failing every ~N hours): after each fatal event of
+  a category whose inter-failure gaps are tightly concentrated, predict the
+  next failure around the median gap.
+- :class:`AlwaysWarnPredictor` — raises a warning on every event; its
+  precision equals the base rate of "a failure within W of a random event".
+- :class:`NeverWarnPredictor` — raises nothing; recall 0 by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.predictors.base import FailureWarning, Predictor
+from repro.ras.store import EventStore
+from repro.taxonomy.categories import MainCategory
+from repro.taxonomy.classifier import TaxonomyClassifier
+from repro.util.timeutil import HOUR
+from repro.util.validation import check_positive
+
+
+class PeriodicityPredictor(Predictor):
+    """Median-gap periodicity predictor (extension).
+
+    For each main category with at least ``min_samples`` training failures,
+    compute the median m and interquartile range IQR of consecutive-failure
+    gaps.  Categories with IQR <= ``dispersion * m`` are treated as periodic:
+    after each of their fatal events, predict another failure inside
+    ``[m - half_band, m + half_band]``.
+    """
+
+    name = "periodicity"
+
+    def __init__(
+        self,
+        dispersion: float = 0.5,
+        half_band: float = HOUR / 2,
+        min_samples: int = 10,
+        classifier: Optional[TaxonomyClassifier] = None,
+    ) -> None:
+        super().__init__()
+        check_positive(half_band, "half_band")
+        check_positive(dispersion, "dispersion")
+        if min_samples < 2:
+            raise ValueError("min_samples must be >= 2")
+        self.dispersion = dispersion
+        self.half_band = float(half_band)
+        self.min_samples = min_samples
+        self.classifier = classifier or TaxonomyClassifier()
+        #: category -> (median gap, confidence) learned by fit().
+        self.periods: dict[MainCategory, tuple[float, float]] = {}
+
+    def fit(self, events: EventStore) -> "PeriodicityPredictor":
+        fatal = events.fatal_events()
+        self.periods = {}
+        if len(fatal) >= self.min_samples:
+            cat_ids = self.classifier.main_category_ids(fatal)
+            cats = list(MainCategory)
+            for i, cat in enumerate(cats):
+                t = fatal.times[cat_ids == i].astype(np.float64)
+                if t.size < self.min_samples:
+                    continue
+                gaps = np.diff(t)
+                m = float(np.median(gaps))
+                q1, q3 = np.percentile(gaps, [25, 75])
+                if m > 0 and (q3 - q1) <= self.dispersion * m:
+                    # Empirical hit rate of the band on the training data.
+                    lo, hi = m - self.half_band, m + self.half_band
+                    hits = float(np.mean((gaps >= lo) & (gaps <= hi)))
+                    self.periods[cat] = (m, hits)
+        self._fitted = True
+        return self
+
+    def predict(self, events: EventStore) -> list[FailureWarning]:
+        self._check_fitted()
+        if not self.periods:
+            return []
+        fatal = events.fatal_events()
+        if len(fatal) == 0:
+            return []
+        cat_ids = self.classifier.main_category_ids(fatal)
+        cats = list(MainCategory)
+        warnings: list[FailureWarning] = []
+        for k in range(len(fatal)):
+            cat = cats[int(cat_ids[k])]
+            period = self.periods.get(cat)
+            if period is None:
+                continue
+            m, conf = period
+            t = int(fatal.times[k])
+            start = max(t + 1, int(t + m - self.half_band))
+            warnings.append(
+                FailureWarning(
+                    issued_at=t,
+                    horizon_start=start,
+                    horizon_end=int(t + m + self.half_band),
+                    confidence=conf,
+                    source=self.name,
+                    detail=cat.value,
+                )
+            )
+        return warnings
+
+
+class AlwaysWarnPredictor(Predictor):
+    """Warns after every event — the precision floor baseline."""
+
+    name = "always"
+
+    def __init__(self, window: float = HOUR) -> None:
+        super().__init__()
+        check_positive(window, "window")
+        self.window = float(window)
+
+    def fit(self, events: EventStore) -> "AlwaysWarnPredictor":
+        self._fitted = True
+        return self
+
+    def predict(self, events: EventStore) -> list[FailureWarning]:
+        self._check_fitted()
+        return [
+            FailureWarning(
+                issued_at=int(t),
+                horizon_start=int(t) + 1,
+                horizon_end=int(t + self.window),
+                confidence=0.5,
+                source=self.name,
+                detail="unconditional",
+            )
+            for t in events.times
+        ]
+
+
+class NeverWarnPredictor(Predictor):
+    """Never warns — the recall floor baseline."""
+
+    name = "never"
+
+    def fit(self, events: EventStore) -> "NeverWarnPredictor":
+        self._fitted = True
+        return self
+
+    def predict(self, events: EventStore) -> list[FailureWarning]:
+        self._check_fitted()
+        return []

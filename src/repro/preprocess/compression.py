@@ -1,0 +1,155 @@
+"""Temporal and spatial compression of RAS records (paper §3.1 steps 2-3).
+
+Both compressions are instances of one operation: *group* records by a key,
+*cluster* each group's records in time (a record joins the current cluster
+when its gap to the previous record is at most the threshold), and keep one
+*representative* per cluster.
+
+- **Temporal compression** groups by (JOB_ID, LOCATION): duplicates produced
+  by one polling agent re-reporting the same fault.
+- **Spatial compression** groups by (JOB_ID, ENTRY_DATA): the same fault
+  reported by many locations of the job's partition.
+
+The paper uses a 300 s threshold for both, observing that larger thresholds
+gain no further FAILURE compression while risking the merger of genuinely
+distinct events.
+
+The engine is fully vectorized: one ``lexsort`` over (key..., time), one pass
+of boundary detection, and ``reduceat``-style reductions — no Python loop
+over records, which matters on the 4-million-record full-scale log.
+
+Representative choice: within a cluster the *earliest record of the highest
+severity present* survives.  For clusters of true duplicates (identical
+entries) this is simply the first report; for mixed clusters produced by the
+paper-literal (JOB_ID, LOCATION) key it guarantees a FATAL record is never
+shadowed by an INFO record that happened to arrive first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ras.store import EventStore
+from repro.util.validation import check_positive
+
+#: The paper's compression threshold, seconds.
+DEFAULT_THRESHOLD: int = 300
+
+
+@dataclass
+class CompressionStats:
+    """Bookkeeping for one compression pass."""
+
+    input_records: int = 0
+    output_records: int = 0
+    clusters_merged: int = 0
+    #: records removed per severity value (index = Severity int value).
+    removed_by_severity: np.ndarray = field(
+        default_factory=lambda: np.zeros(6, dtype=np.int64)
+    )
+
+    @property
+    def removed(self) -> int:
+        return self.input_records - self.output_records
+
+    @property
+    def compression_ratio(self) -> float:
+        """Fraction of records removed (0.0 when the input was empty)."""
+        if self.input_records == 0:
+            return 0.0
+        return self.removed / self.input_records
+
+
+def _compress_by_keys(
+    store: EventStore,
+    keys: list[np.ndarray],
+    threshold: float,
+) -> tuple[EventStore, CompressionStats]:
+    """Shared engine: cluster within key groups by time gap, keep one rep."""
+    check_positive(threshold, "threshold")
+    n = len(store)
+    stats = CompressionStats(input_records=n)
+    if n == 0:
+        stats.output_records = 0
+        return store, stats
+
+    # lexsort: last key is primary; we want groups contiguous then time.
+    order = np.lexsort([store.times, *keys])
+    t = store.times[order]
+    key_cols = [k[order] for k in keys]
+
+    # New cluster starts where any key changes or the time gap exceeds the
+    # threshold.
+    new_cluster = np.ones(n, dtype=bool)
+    if n > 1:
+        same_key = np.ones(n - 1, dtype=bool)
+        for k in key_cols:
+            same_key &= k[1:] == k[:-1]
+        small_gap = (t[1:] - t[:-1]) <= threshold
+        new_cluster[1:] = ~(same_key & small_gap)
+    cluster_id = np.cumsum(new_cluster) - 1
+    n_clusters = int(cluster_id[-1]) + 1
+
+    # Representative: earliest record of the cluster's max severity.
+    sev = store.severities[order].astype(np.int64)
+    starts = np.flatnonzero(new_cluster)
+    max_sev = np.maximum.reduceat(sev, starts)
+    is_max = sev == max_sev[cluster_id]
+    # First max-severity row per cluster: rows are time-ordered within the
+    # cluster, so take the first occurrence of each cluster id among max rows.
+    max_rows = np.flatnonzero(is_max)
+    _, first_idx = np.unique(cluster_id[max_rows], return_index=True)
+    rep_sorted_pos = max_rows[first_idx]
+    rep_original_idx = order[rep_sorted_pos]
+    # Preserve global time order in the output.
+    rep_original_idx.sort()
+
+    kept_mask = np.zeros(n, dtype=bool)
+    kept_mask[rep_original_idx] = True
+    removed_sev = store.severities[~kept_mask]
+    stats.removed_by_severity = np.bincount(
+        removed_sev, minlength=6
+    ).astype(np.int64)
+    stats.output_records = n_clusters
+    stats.clusters_merged = int(np.sum(np.diff(starts, append=n) > 1))
+    return store.select(rep_original_idx), stats
+
+
+def temporal_compress(
+    store: EventStore,
+    threshold: float = DEFAULT_THRESHOLD,
+    key_mode: str = "job_location",
+) -> tuple[EventStore, CompressionStats]:
+    """Coalesce re-reports at a single location (paper step 2).
+
+    Parameters
+    ----------
+    key_mode:
+        ``"job_location"`` (paper-literal: identical JOB_ID and LOCATION) or
+        ``"job_location_entry"`` (conservative variant that additionally
+        requires identical ENTRY_DATA, so distinct event types at one
+        location are never merged — used by the ablation bench).
+    """
+    if key_mode == "job_location":
+        keys = [store.location_ids, store.jobs]
+    elif key_mode == "job_location_entry":
+        keys = [store.entry_ids, store.location_ids, store.jobs]
+    else:
+        raise ValueError(f"unknown key_mode: {key_mode!r}")
+    return _compress_by_keys(store, keys, threshold)
+
+
+def spatial_compress(
+    store: EventStore,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> tuple[EventStore, CompressionStats]:
+    """Drop cross-location duplicates (paper step 3).
+
+    Records with the same ENTRY_DATA and JOB_ID within the threshold are the
+    same fault reported by different locations of the partition; one
+    representative survives.
+    """
+    keys = [store.entry_ids, store.jobs]
+    return _compress_by_keys(store, keys, threshold)

@@ -1,0 +1,101 @@
+"""The complete Phase-1 pipeline: categorize -> temporal -> spatial.
+
+``PreprocessPipeline.run`` takes the raw record store and returns a
+:class:`PreprocessResult` carrying the unique-event store plus the statistics
+every report in the paper's §3.1 is built from.
+
+An optional *event filter* hook runs after compression; the paper's future
+work ("filtering out this ambiguity of failures and analyzing only those
+failures which will impact user jobs", citing Oliner et al.) plugs in here —
+see :func:`job_impacting_filter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.preprocess.compression import (
+    DEFAULT_THRESHOLD,
+    CompressionStats,
+    spatial_compress,
+    temporal_compress,
+)
+from repro.ras.events import NO_JOB
+from repro.ras.store import EventStore
+from repro.taxonomy.classifier import TaxonomyClassifier
+
+#: Signature of a post-compression event filter: returns a keep-mask.
+EventFilter = Callable[[EventStore], np.ndarray]
+
+
+@dataclass
+class PreprocessResult:
+    """Output of a full Phase-1 run."""
+
+    events: EventStore
+    raw_records: int
+    temporal_stats: CompressionStats
+    spatial_stats: CompressionStats
+    filtered_out: int = 0
+
+    @property
+    def unique_events(self) -> int:
+        return len(self.events)
+
+    @property
+    def overall_compression(self) -> float:
+        """Fraction of raw records eliminated end to end."""
+        if self.raw_records == 0:
+            return 0.0
+        return 1.0 - self.unique_events / self.raw_records
+
+
+def job_impacting_filter(store: EventStore) -> np.ndarray:
+    """Keep mask for events attributable to a user job.
+
+    Implements the hook the paper leaves as future work: fatal events not
+    associated with any job (JOB_ID absent) cannot abort a user job and may
+    be excluded from prediction targets.  Non-fatal events always pass — they
+    remain useful as precursors.
+    """
+    return (~store.fatal_mask()) | (store.jobs != NO_JOB)
+
+
+class PreprocessPipeline:
+    """Categorization + temporal compression + spatial compression."""
+
+    def __init__(
+        self,
+        classifier: Optional[TaxonomyClassifier] = None,
+        threshold: float = DEFAULT_THRESHOLD,
+        temporal_key_mode: str = "job_location",
+        event_filter: Optional[EventFilter] = None,
+    ) -> None:
+        self.classifier = classifier or TaxonomyClassifier()
+        self.threshold = threshold
+        self.temporal_key_mode = temporal_key_mode
+        self.event_filter = event_filter
+
+    def run(self, raw: EventStore) -> PreprocessResult:
+        """Run all Phase-1 steps on a raw record store."""
+        labeled = self.classifier.classify_store(raw)
+        after_temporal, t_stats = temporal_compress(
+            labeled, self.threshold, key_mode=self.temporal_key_mode
+        )
+        after_spatial, s_stats = spatial_compress(after_temporal, self.threshold)
+        filtered_out = 0
+        events = after_spatial
+        if self.event_filter is not None:
+            keep = self.event_filter(events)
+            filtered_out = int(len(events) - np.count_nonzero(keep))
+            events = events.select(keep)
+        return PreprocessResult(
+            events=events,
+            raw_records=len(raw),
+            temporal_stats=t_stats,
+            spatial_stats=s_stats,
+            filtered_out=filtered_out,
+        )

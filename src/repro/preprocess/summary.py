@@ -1,0 +1,83 @@
+"""Summary tables over raw and preprocessed logs (paper Tables 1 and 4).
+
+These functions return plain dictionaries/lists so benchmarks and the CLI can
+render them as text tables; nothing here depends on a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ras.fields import Severity
+from repro.ras.store import EventStore
+from repro.taxonomy.categories import CATEGORY_ORDER, MainCategory
+from repro.taxonomy.classifier import TaxonomyClassifier
+from repro.util.timeutil import format_epoch
+
+
+def log_summary(store: EventStore, name: str = "") -> dict:
+    """Paper Table-1 style summary of one log."""
+    out = {
+        "name": name,
+        "records": len(store),
+        "start": format_epoch(store.times[0]) if len(store) else "-",
+        "end": format_epoch(store.times[-1]) if len(store) else "-",
+        "span_days": store.span_seconds() / 86400.0 if len(store) else 0.0,
+        "approx_size_mb": _approx_text_size_mb(store),
+    }
+    return out
+
+
+def _approx_text_size_mb(store: EventStore) -> float:
+    """Approximate on-disk text size of the log (sampled line length)."""
+    if len(store) == 0:
+        return 0.0
+    # Average over the interned entry strings weighted by usage, plus the
+    # fixed-ish prefix (epoch, date, location, timestamp, job, type,
+    # facility, severity ~ 85 chars).
+    counts = np.bincount(store.entry_ids, minlength=len(store.entry_table))
+    lengths = np.array([len(e) for e in store.entry_table], dtype=np.int64)
+    total_chars = int((counts * (lengths + 86)).sum())
+    return total_chars / 1e6
+
+
+def category_fatal_counts(
+    events: EventStore, classifier: Optional[TaxonomyClassifier] = None
+) -> dict[MainCategory, int]:
+    """Paper Table-4 row: compressed *fatal* events per main category."""
+    classifier = classifier or TaxonomyClassifier()
+    fatal = events.fatal_events()
+    counts: dict[MainCategory, int] = {cat: 0 for cat in CATEGORY_ORDER}
+    if len(fatal) == 0:
+        return counts
+    cat_ids = classifier.main_category_ids(fatal)
+    cats = list(MainCategory)
+    binned = np.bincount(cat_ids, minlength=len(cats))
+    for i, cat in enumerate(cats):
+        counts[cat] = int(binned[i])
+    return counts
+
+
+def severity_breakdown(store: EventStore) -> dict[str, int]:
+    """Record count per severity name (diagnostic summaries)."""
+    return {sev.name: n for sev, n in store.severity_counts().items()}
+
+
+def format_table4(
+    counts_by_log: dict[str, dict[MainCategory, int]]
+) -> str:
+    """Render per-log category counts in the paper's Table-4 layout."""
+    logs = list(counts_by_log)
+    header = f"{'Main Category':<14}" + "".join(f"{name:>10}" for name in logs)
+    lines = [header, "-" * len(header)]
+    for cat in CATEGORY_ORDER:
+        row = f"{cat.value.capitalize():<14}" + "".join(
+            f"{counts_by_log[log][cat]:>10}" for log in logs
+        )
+        lines.append(row)
+    totals = [sum(counts_by_log[log].values()) for log in logs]
+    lines.append("-" * len(header))
+    lines.append(f"{'TOTAL':<14}" + "".join(f"{t:>10}" for t in totals))
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""RAS (Reliability, Availability, Serviceability) event data model.
+
+This subpackage is the substrate every phase of the predictor operates on:
+
+- :mod:`repro.ras.fields` — the ``SEVERITY`` and ``FACILITY`` vocabularies of
+  the CMCS repository (paper Table 2).
+- :mod:`repro.ras.events` — the per-record :class:`RasEvent` object.
+- :mod:`repro.ras.store` — :class:`EventStore`, a columnar NumPy-backed store
+  with O(log n) time-range queries; the in-memory stand-in for the paper's
+  centralized DB2 repository.
+- :mod:`repro.ras.logfile` — text serialization (a Loghub-compatible line
+  format plus our extended dialect carrying JOB_ID).
+"""
+
+from repro.ras.events import RasEvent, NO_JOB
+from repro.ras.fields import Severity, Facility, FATAL_SEVERITIES
+from repro.ras.logfile import (
+    LogDialect,
+    read_log,
+    write_log,
+    iter_log_lines,
+    format_event,
+    parse_line,
+)
+from repro.ras.store import EventStore
+
+__all__ = [
+    "RasEvent",
+    "NO_JOB",
+    "Severity",
+    "Facility",
+    "FATAL_SEVERITIES",
+    "EventStore",
+    "LogDialect",
+    "read_log",
+    "write_log",
+    "iter_log_lines",
+    "format_event",
+    "parse_line",
+]

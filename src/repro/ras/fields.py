@@ -1,0 +1,70 @@
+"""Controlled vocabularies of the CMCS RAS repository (paper Table 2).
+
+``SEVERITY`` is ordinal: ``INFO < WARNING < SEVERE < ERROR < FATAL <
+FAILURE``.  The paper's prediction target is the top two levels — *fatal
+events* — because only those "usually lead to application/software crashes";
+everything below is *non-fatal* and serves as precursor signal.
+
+``FACILITY`` names the hardware/software component that reported the event.
+The set below matches the facilities observed in public Blue Gene/L logs.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Severity(enum.IntEnum):
+    """Ordinal severity of a RAS record (increasing order of severity)."""
+
+    INFO = 0
+    WARNING = 1
+    SEVERE = 2
+    ERROR = 3
+    FATAL = 4
+    FAILURE = 5
+
+    @property
+    def is_fatal(self) -> bool:
+        """True for the two levels the paper predicts (FATAL and FAILURE)."""
+        return self >= Severity.FATAL
+
+    @classmethod
+    def from_name(cls, name: str) -> "Severity":
+        """Parse a severity name case-insensitively."""
+        try:
+            return cls[name.strip().upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity: {name!r}") from None
+
+
+#: The severities the predictor treats as failures.
+FATAL_SEVERITIES: frozenset[Severity] = frozenset({Severity.FATAL, Severity.FAILURE})
+
+
+class Facility(enum.IntEnum):
+    """Reporting component of a RAS record.
+
+    Values mirror the facilities found in production Blue Gene/L RAS logs
+    (KERNEL, APP, DISCOVERY, MMCS, LINKCARD, MONITOR, HARDWARE, CMCS,
+    BGLMASTER, SERV_NET).
+    """
+
+    KERNEL = 0
+    APP = 1
+    DISCOVERY = 2
+    MMCS = 3
+    LINKCARD = 4
+    MONITOR = 5
+    HARDWARE = 6
+    CMCS = 7
+    BGLMASTER = 8
+    SERV_NET = 9
+
+    @classmethod
+    def from_name(cls, name: str) -> "Facility":
+        """Parse a facility name case-insensitively."""
+        try:
+            return cls[name.strip().upper()]
+        except KeyError:
+            raise ValueError(f"unknown facility: {name!r}") from None

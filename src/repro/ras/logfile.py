@@ -1,0 +1,204 @@
+"""Text serialization of RAS logs.
+
+Two line dialects are supported:
+
+``REPRO`` (this project's canonical format, carries JOB_ID)::
+
+    <epoch> <YYYY.MM.DD> <location> <YYYY-MM-DD-HH.MM.SS.ffffff> <job_id> \\
+        <event_type> <facility> <severity> <entry data ...>
+
+``LOGHUB`` (the public Loghub/USENIX BG/L dump format; no JOB_ID field)::
+
+    <alert_tag> <epoch> <YYYY.MM.DD> <location> <YYYY-MM-DD-HH.MM.SS.ffffff> \\
+        <location> <event_type> <facility> <severity> <entry data ...>
+
+The reader auto-detects the dialect per line, so mixed files and real public
+BG/L dumps both load.  Malformed lines raise :class:`LogParseError` by
+default, or are counted and skipped with ``errors="skip"`` — production logs
+do contain occasional truncated lines.
+"""
+
+from __future__ import annotations
+
+import enum
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO, Union
+
+from repro.ras.events import NO_JOB, RasEvent
+from repro.ras.fields import Facility, Severity
+from repro.util.timeutil import format_bgl_date, format_bgl_timestamp
+
+
+class LogDialect(enum.Enum):
+    """Line format variant."""
+
+    REPRO = "repro"
+    LOGHUB = "loghub"
+
+
+class LogParseError(ValueError):
+    """A log line could not be parsed."""
+
+    def __init__(self, line_no: int, line: str, reason: str) -> None:
+        super().__init__(f"line {line_no}: {reason}: {line[:120]!r}")
+        self.line_no = line_no
+        self.line = line
+        self.reason = reason
+
+
+@dataclass
+class ReadStats:
+    """Bookkeeping from a :func:`read_log` call."""
+
+    lines: int = 0
+    parsed: int = 0
+    skipped: int = 0
+
+
+def format_event(event: RasEvent, dialect: LogDialect = LogDialect.REPRO) -> str:
+    """Render one event as a log line in the given dialect."""
+    date = format_bgl_date(event.time)
+    stamp = format_bgl_timestamp(event.time)
+    if dialect is LogDialect.REPRO:
+        return (
+            f"{event.time} {date} {event.location} {stamp} {event.job_id} "
+            f"{event.event_type} {event.facility.name} {event.severity.name} "
+            f"{event.entry_data}"
+        )
+    if dialect is LogDialect.LOGHUB:
+        tag = "-" if not event.is_fatal else event.severity.name
+        return (
+            f"{tag} {event.time} {date} {event.location} {stamp} {event.location} "
+            f"{event.event_type} {event.facility.name} {event.severity.name} "
+            f"{event.entry_data}"
+        )
+    raise ValueError(f"unknown dialect: {dialect!r}")
+
+
+def parse_line(line: str, line_no: int = 0) -> RasEvent:
+    """Parse one log line, auto-detecting the dialect.
+
+    A line whose first whitespace-separated token is an integer is REPRO
+    dialect (it starts with the epoch); otherwise the first token is the
+    Loghub alert tag and the epoch is the second token.
+    """
+    parts = line.rstrip("\n").split(" ")
+    if len(parts) < 9:
+        raise LogParseError(line_no, line, "too few fields")
+    try:
+        int(parts[0])
+        is_repro = True
+    except ValueError:
+        is_repro = False
+
+    try:
+        if is_repro:
+            epoch = int(parts[0])
+            location = parts[2]
+            job_id = int(parts[4])
+            event_type = parts[5]
+            facility = Facility.from_name(parts[6])
+            severity = Severity.from_name(parts[7])
+            entry = " ".join(parts[8:])
+        else:
+            epoch = int(parts[1])
+            location = parts[3]
+            job_id = NO_JOB
+            event_type = parts[6]
+            facility = Facility.from_name(parts[7])
+            severity = Severity.from_name(parts[8])
+            entry = " ".join(parts[9:])
+    except (ValueError, IndexError) as exc:
+        raise LogParseError(line_no, line, str(exc)) from exc
+
+    if not entry:
+        raise LogParseError(line_no, line, "empty entry data")
+    return RasEvent(
+        time=epoch,
+        location=location,
+        facility=facility,
+        severity=severity,
+        entry_data=entry,
+        job_id=job_id,
+        event_type=event_type,
+    )
+
+
+def iter_log_lines(
+    source: Union[str, Path, TextIO],
+    errors: str = "raise",
+    stats: ReadStats | None = None,
+) -> Iterator[RasEvent]:
+    """Yield events from a path or open text stream.
+
+    Parameters
+    ----------
+    errors:
+        ``"raise"`` (default) raises :class:`LogParseError` on a bad line;
+        ``"skip"`` counts it in ``stats`` and continues.
+    """
+    if errors not in ("raise", "skip"):
+        raise ValueError(f"errors must be 'raise' or 'skip', got {errors!r}")
+    own = False
+    if isinstance(source, (str, Path)):
+        fh: TextIO = open(source, "r", encoding="utf-8")
+        own = True
+    else:
+        fh = source
+    try:
+        for line_no, line in enumerate(fh, start=1):
+            if stats is not None:
+                stats.lines += 1
+            if not line.strip():
+                continue
+            try:
+                ev = parse_line(line, line_no)
+            except LogParseError:
+                if errors == "raise":
+                    raise
+                if stats is not None:
+                    stats.skipped += 1
+                continue
+            if stats is not None:
+                stats.parsed += 1
+            yield ev
+    finally:
+        if own:
+            fh.close()
+
+
+def read_log(
+    source: Union[str, Path, TextIO],
+    errors: str = "raise",
+    stats: ReadStats | None = None,
+):
+    """Read a whole log into an :class:`repro.ras.store.EventStore`."""
+    from repro.ras.store import EventStore
+
+    return EventStore.from_events(iter_log_lines(source, errors=errors, stats=stats))
+
+
+def write_log(
+    events: Iterable[RasEvent],
+    target: Union[str, Path, TextIO],
+    dialect: LogDialect = LogDialect.REPRO,
+) -> int:
+    """Write events as log lines; returns the number of lines written."""
+    own = False
+    if isinstance(target, (str, Path)):
+        fh: TextIO = open(target, "w", encoding="utf-8")
+        own = True
+    else:
+        fh = target
+    n = 0
+    try:
+        for ev in events:
+            fh.write(format_event(ev, dialect))
+            fh.write("\n")
+            n += 1
+    finally:
+        if own:
+            fh.close()
+    return n

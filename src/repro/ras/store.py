@@ -1,0 +1,437 @@
+"""Columnar, NumPy-backed storage for RAS event streams.
+
+The full-scale ANL log holds ~4.2 million records; a list of Python objects
+at that scale makes every pass over the log a Python-level loop.
+:class:`EventStore` instead keeps one NumPy array per RAS attribute (with
+string attributes interned through lookup tables), so that the hot operations
+of the pipeline — time-range queries, severity masks, group-bys for
+compression — are vectorized.  This is the in-memory stand-in for the paper's
+centralized DB2 repository.
+
+Invariants
+----------
+- All columns have equal length.
+- ``times`` is kept sorted (ascending); constructors sort on ingest, and
+  every derived store preserves order.  Sortedness is what allows
+  ``searchsorted``-based O(log n) window queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.ras.events import NO_JOB, RasEvent
+from repro.ras.fields import Facility, Severity
+
+#: Sentinel subcategory id for unclassified events.
+UNCLASSIFIED: int = -1
+
+
+class _InternTable:
+    """Bidirectional string <-> int id mapping shared across derived stores."""
+
+    __slots__ = ("strings", "_index")
+
+    def __init__(self, strings: Optional[Sequence[str]] = None) -> None:
+        self.strings: list[str] = list(strings) if strings else []
+        self._index: dict[str, int] = {s: i for i, s in enumerate(self.strings)}
+
+    def intern(self, s: str) -> int:
+        idx = self._index.get(s)
+        if idx is None:
+            idx = len(self.strings)
+            self.strings.append(s)
+            self._index[s] = idx
+        return idx
+
+    def __getitem__(self, idx: int) -> str:
+        return self.strings[idx]
+
+    def __len__(self) -> int:
+        return len(self.strings)
+
+    def copy(self) -> "_InternTable":
+        return _InternTable(self.strings)
+
+
+class EventStore:
+    """A time-sorted columnar collection of RAS events.
+
+    Construct with :meth:`from_events` (from ``RasEvent`` objects) or
+    :meth:`from_columns` (from pre-built arrays, used by the synthetic
+    generator for speed).  Stores are immutable in practice: all mutating-ish
+    operations return new stores sharing intern tables.
+    """
+
+    __slots__ = (
+        "times",
+        "severities",
+        "facilities",
+        "jobs",
+        "location_ids",
+        "entry_ids",
+        "subcat_ids",
+        "_locations",
+        "_entries",
+        "_subcats",
+    )
+
+    def __init__(
+        self,
+        times: np.ndarray,
+        severities: np.ndarray,
+        facilities: np.ndarray,
+        jobs: np.ndarray,
+        location_ids: np.ndarray,
+        entry_ids: np.ndarray,
+        subcat_ids: np.ndarray,
+        locations: _InternTable,
+        entries: _InternTable,
+        subcats: _InternTable,
+    ) -> None:
+        n = len(times)
+        for name, col in (
+            ("severities", severities),
+            ("facilities", facilities),
+            ("jobs", jobs),
+            ("location_ids", location_ids),
+            ("entry_ids", entry_ids),
+            ("subcat_ids", subcat_ids),
+        ):
+            if len(col) != n:
+                raise ValueError(f"column {name} has length {len(col)}, expected {n}")
+        self.times = times
+        self.severities = severities
+        self.facilities = facilities
+        self.jobs = jobs
+        self.location_ids = location_ids
+        self.entry_ids = entry_ids
+        self.subcat_ids = subcat_ids
+        self._locations = locations
+        self._entries = entries
+        self._subcats = subcats
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def empty(cls) -> "EventStore":
+        """A store with zero events."""
+        z = np.empty(0, dtype=np.int64)
+        return cls(
+            z,
+            np.empty(0, dtype=np.int8),
+            np.empty(0, dtype=np.int8),
+            z.copy(),
+            np.empty(0, dtype=np.int32),
+            np.empty(0, dtype=np.int32),
+            np.empty(0, dtype=np.int32),
+            _InternTable(),
+            _InternTable(),
+            _InternTable(),
+        )
+
+    @classmethod
+    def from_events(cls, events: Iterable[RasEvent]) -> "EventStore":
+        """Build a store from event objects; sorts by time (stable)."""
+        events = list(events)
+        n = len(events)
+        times = np.empty(n, dtype=np.int64)
+        severities = np.empty(n, dtype=np.int8)
+        facilities = np.empty(n, dtype=np.int8)
+        jobs = np.empty(n, dtype=np.int64)
+        location_ids = np.empty(n, dtype=np.int32)
+        entry_ids = np.empty(n, dtype=np.int32)
+        subcat_ids = np.empty(n, dtype=np.int32)
+        locations = _InternTable()
+        entries = _InternTable()
+        subcats = _InternTable()
+        for i, ev in enumerate(events):
+            times[i] = ev.time
+            severities[i] = int(ev.severity)
+            facilities[i] = int(ev.facility)
+            jobs[i] = ev.job_id
+            location_ids[i] = locations.intern(ev.location)
+            entry_ids[i] = entries.intern(ev.entry_data)
+            subcat_ids[i] = (
+                UNCLASSIFIED if ev.subcategory is None else subcats.intern(ev.subcategory)
+            )
+        store = cls(
+            times, severities, facilities, jobs,
+            location_ids, entry_ids, subcat_ids,
+            locations, entries, subcats,
+        )
+        return store.sorted_by_time()
+
+    @classmethod
+    def from_columns(
+        cls,
+        times: np.ndarray,
+        severities: np.ndarray,
+        facilities: np.ndarray,
+        jobs: np.ndarray,
+        location_ids: np.ndarray,
+        entry_ids: np.ndarray,
+        subcat_ids: np.ndarray,
+        locations: Sequence[str],
+        entries: Sequence[str],
+        subcats: Sequence[str],
+    ) -> "EventStore":
+        """Build directly from columns (bulk path used by the generator)."""
+        store = cls(
+            np.asarray(times, dtype=np.int64),
+            np.asarray(severities, dtype=np.int8),
+            np.asarray(facilities, dtype=np.int8),
+            np.asarray(jobs, dtype=np.int64),
+            np.asarray(location_ids, dtype=np.int32),
+            np.asarray(entry_ids, dtype=np.int32),
+            np.asarray(subcat_ids, dtype=np.int32),
+            _InternTable(list(locations)),
+            _InternTable(list(entries)),
+            _InternTable(list(subcats)),
+        )
+        return store.sorted_by_time()
+
+    # ------------------------------------------------------------------ #
+    # Basic protocol
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        span = ""
+        if len(self):
+            span = f", t=[{self.times[0]}..{self.times[-1]}]"
+        return f"EventStore(n={len(self)}{span})"
+
+    def __getitem__(
+        self, key: Union[int, slice, np.ndarray]
+    ) -> Union[RasEvent, "EventStore"]:
+        """``store[i]`` -> :class:`RasEvent`; slice/array -> derived store."""
+        if isinstance(key, (int, np.integer)):
+            return self.event_at(int(key))
+        return self.select(key)
+
+    def __iter__(self) -> Iterator[RasEvent]:
+        for i in range(len(self)):
+            yield self.event_at(i)
+
+    def event_at(self, i: int) -> RasEvent:
+        """Materialize row ``i`` as a :class:`RasEvent`."""
+        sc = int(self.subcat_ids[i])
+        return RasEvent(
+            time=int(self.times[i]),
+            location=self._locations[int(self.location_ids[i])],
+            facility=Facility(int(self.facilities[i])),
+            severity=Severity(int(self.severities[i])),
+            entry_data=self._entries[int(self.entry_ids[i])],
+            job_id=int(self.jobs[i]),
+            subcategory=None if sc == UNCLASSIFIED else self._subcats[sc],
+        )
+
+    def to_events(self) -> list[RasEvent]:
+        """Materialize the whole store as event objects (small stores only)."""
+        return [self.event_at(i) for i in range(len(self))]
+
+    # ------------------------------------------------------------------ #
+    # String table access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def location_table(self) -> list[str]:
+        """The interned location strings (index = location id)."""
+        return self._locations.strings
+
+    @property
+    def entry_table(self) -> list[str]:
+        """The interned ENTRY_DATA strings (index = entry id)."""
+        return self._entries.strings
+
+    @property
+    def subcat_table(self) -> list[str]:
+        """The interned subcategory names (index = subcategory id)."""
+        return self._subcats.strings
+
+    def location_of(self, i: int) -> str:
+        """Location string of row ``i``."""
+        return self._locations[int(self.location_ids[i])]
+
+    def entry_of(self, i: int) -> str:
+        """ENTRY_DATA string of row ``i``."""
+        return self._entries[int(self.entry_ids[i])]
+
+    def subcat_of(self, i: int) -> Optional[str]:
+        """Subcategory name of row ``i`` (``None`` if unclassified)."""
+        sc = int(self.subcat_ids[i])
+        return None if sc == UNCLASSIFIED else self._subcats[sc]
+
+    def subcat_id_of(self, name: str) -> int:
+        """Id of a subcategory name, interning it if new."""
+        return self._subcats.intern(name)
+
+    # ------------------------------------------------------------------ #
+    # Derivation
+    # ------------------------------------------------------------------ #
+
+    def _derive(self, idx: np.ndarray) -> "EventStore":
+        return EventStore(
+            self.times[idx],
+            self.severities[idx],
+            self.facilities[idx],
+            self.jobs[idx],
+            self.location_ids[idx],
+            self.entry_ids[idx],
+            self.subcat_ids[idx],
+            self._locations,
+            self._entries,
+            self._subcats,
+        )
+
+    def select(self, key: Union[slice, np.ndarray, Sequence[int]]) -> "EventStore":
+        """Derived store from a slice, boolean mask or index array.
+
+        The derived store shares intern tables with its parent (ids remain
+        comparable across the two), and preserves time order because parents
+        are sorted and the selection preserves relative order for masks and
+        forward slices.
+        """
+        if isinstance(key, slice):
+            idx = np.arange(len(self))[key]
+        else:
+            key = np.asarray(key)
+            if key.dtype == bool:
+                if key.shape != (len(self),):
+                    raise ValueError(
+                        f"boolean mask has shape {key.shape}, expected ({len(self)},)"
+                    )
+                idx = np.flatnonzero(key)
+            else:
+                idx = key.astype(np.int64)
+        return self._derive(idx)
+
+    def sorted_by_time(self) -> "EventStore":
+        """Return a time-sorted copy (stable); no-op copy if already sorted."""
+        if len(self) > 1 and np.any(np.diff(self.times) < 0):
+            order = np.argsort(self.times, kind="stable")
+            return self._derive(order)
+        return self
+
+    def is_time_sorted(self) -> bool:
+        """True if the time column is non-decreasing."""
+        return len(self) < 2 or bool(np.all(np.diff(self.times) >= 0))
+
+    def time_window(self, start: float, end: float) -> "EventStore":
+        """Events with ``start <= time < end`` (O(log n) on sorted store)."""
+        lo = int(np.searchsorted(self.times, start, side="left"))
+        hi = int(np.searchsorted(self.times, end, side="left"))
+        return self._derive(np.arange(lo, hi))
+
+    def concat(self, other: "EventStore") -> "EventStore":
+        """Merge two stores into a new time-sorted store.
+
+        Intern ids of ``other`` are remapped onto this store's tables.
+        """
+        locations = self._locations.copy()
+        entries = self._entries.copy()
+        subcats = self._subcats.copy()
+        loc_map = np.array(
+            [locations.intern(s) for s in other._locations.strings] or [0],
+            dtype=np.int32,
+        )
+        ent_map = np.array(
+            [entries.intern(s) for s in other._entries.strings] or [0],
+            dtype=np.int32,
+        )
+        sub_map = np.array(
+            [subcats.intern(s) for s in other._subcats.strings] or [0],
+            dtype=np.int32,
+        )
+        other_sub = other.subcat_ids.copy()
+        mask = other_sub != UNCLASSIFIED
+        remapped_sub = np.full(len(other), UNCLASSIFIED, dtype=np.int32)
+        if mask.any():
+            remapped_sub[mask] = sub_map[other_sub[mask]]
+        merged = EventStore(
+            np.concatenate([self.times, other.times]),
+            np.concatenate([self.severities, other.severities]),
+            np.concatenate([self.facilities, other.facilities]),
+            np.concatenate([self.jobs, other.jobs]),
+            np.concatenate(
+                [self.location_ids, loc_map[other.location_ids] if len(other) else other.location_ids]
+            ),
+            np.concatenate(
+                [self.entry_ids, ent_map[other.entry_ids] if len(other) else other.entry_ids]
+            ),
+            np.concatenate([self.subcat_ids, remapped_sub]),
+            locations,
+            entries,
+            subcats,
+        )
+        return merged.sorted_by_time()
+
+    # ------------------------------------------------------------------ #
+    # Masks and summaries
+    # ------------------------------------------------------------------ #
+
+    def fatal_mask(self) -> np.ndarray:
+        """Boolean mask of failure records (severity FATAL or FAILURE)."""
+        return self.severities >= int(Severity.FATAL)
+
+    def fatal_events(self) -> "EventStore":
+        """The failure records only."""
+        return self.select(self.fatal_mask())
+
+    def nonfatal_events(self) -> "EventStore":
+        """The non-failure records only."""
+        return self.select(~self.fatal_mask())
+
+    def severity_counts(self) -> dict[Severity, int]:
+        """Record count per severity level."""
+        counts = np.bincount(self.severities, minlength=len(Severity))
+        return {sev: int(counts[int(sev)]) for sev in Severity}
+
+    def subcat_counts(self) -> dict[str, int]:
+        """Record count per subcategory (unclassified rows are skipped)."""
+        mask = self.subcat_ids != UNCLASSIFIED
+        if not mask.any():
+            return {}
+        counts = np.bincount(self.subcat_ids[mask], minlength=len(self._subcats))
+        return {
+            self._subcats[i]: int(c) for i, c in enumerate(counts) if c > 0
+        }
+
+    def span_seconds(self) -> int:
+        """Duration covered by the store (0 for fewer than 2 events)."""
+        if len(self) < 2:
+            return 0
+        return int(self.times[-1] - self.times[0])
+
+    def with_subcat_ids(
+        self, subcat_ids: np.ndarray, subcat_names: Sequence[str]
+    ) -> "EventStore":
+        """Return a copy with the subcategory column replaced.
+
+        Used by the taxonomy classifier, which computes labels for all rows
+        in one vectorized pass.
+        """
+        ids = np.asarray(subcat_ids, dtype=np.int32)
+        if ids.shape != (len(self),):
+            raise ValueError(
+                f"subcat_ids has shape {ids.shape}, expected ({len(self)},)"
+            )
+        return EventStore(
+            self.times,
+            self.severities,
+            self.facilities,
+            self.jobs,
+            self.location_ids,
+            self.entry_ids,
+            ids,
+            self._locations,
+            self._entries,
+            _InternTable(list(subcat_names)),
+        )

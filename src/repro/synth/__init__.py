@@ -1,0 +1,47 @@
+"""Synthetic Blue Gene/L RAS log generation.
+
+The paper's experiments run on proprietary production logs; this subpackage
+generates statistically faithful substitutes (see DESIGN.md §2 for the
+substitution argument).  The generator plants exactly the structures the
+three-phase predictor exploits:
+
+- **causal chains** (:mod:`repro.synth.chains`) — non-fatal precursor
+  patterns escalating to fatal events with a configured confidence, modeled
+  on the paper's Figure-3 rules;
+- **failure bursts** — temporally clustered network/I-O-stream fatal events
+  (the statistical predictor's signal);
+- **orphan fatals** — failures with no precursors (the rule method's recall
+  ceiling);
+- **background noise** — high-rate informational records providing log
+  volume and false-match pressure;
+
+and the CMCS duplication layer turns the unique ground truth into the
+redundant raw log that Phase 1 must compress.
+
+Profiles :func:`repro.synth.profiles.anl_profile` and
+:func:`repro.synth.profiles.sdsc_profile` are calibrated so the pipeline's
+measured results land on the paper's reported numbers (Tables 4-5,
+Figures 2-5); ``scale`` shortens the simulated span proportionally.
+"""
+
+from repro.synth.chains import ChainTemplate, default_chain_templates
+from repro.synth.generator import GeneratedLog, LogGenerator
+from repro.synth.profiles import (
+    NoiseSpec,
+    SystemProfile,
+    anl_profile,
+    sdsc_profile,
+    profile_by_name,
+)
+
+__all__ = [
+    "ChainTemplate",
+    "default_chain_templates",
+    "GeneratedLog",
+    "LogGenerator",
+    "NoiseSpec",
+    "SystemProfile",
+    "anl_profile",
+    "sdsc_profile",
+    "profile_by_name",
+]

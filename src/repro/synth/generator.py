@@ -1,0 +1,428 @@
+"""End-to-end synthetic RAS log generation.
+
+``LogGenerator.generate()`` produces, for one :class:`SystemProfile`:
+
+1. a **job trace** (the machine's workload over the simulated span);
+2. a **ground-truth unique event stream** composed of chain instances,
+   burst members, orphan fatals and background noise, with per-category
+   fatal counts hitting the profile's (scaled) Table-4 budget exactly;
+3. the **raw record store** — the ground truth expanded through the CMCS
+   duplication simulator, which is what the Phase-1 pipeline consumes.
+
+Budget accounting per category ``c``::
+
+    budget(c) = round(table4[c] * scale)
+    chains(c) = round(budget * chain_fraction[c])      # precursor-bearing
+    bursts(c) = round(budget * burst_fraction[c])      # temporally clustered
+    orphans(c) = budget - chains(c) - bursts(c)        # isolated, no signal
+
+Burst quota that the branching process cannot place (e.g. quotas exhausted
+mid-chain) is returned to the orphan pool, so category totals stay exact.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.bgl.cmcs import CmcsSimulator, GroundTruthEvent
+from repro.bgl.jobs import IDLE, JobTrace, JobWorkloadModel
+from repro.bgl.locations import LocationKind
+from repro.bgl.topology import Machine
+from repro.ras.events import NO_JOB
+from repro.ras.store import EventStore
+from repro.synth.profiles import SystemProfile
+from repro.taxonomy.categories import MainCategory
+from repro.taxonomy.subcategories import by_category, by_name
+from repro.util.rng import SeedLike, as_generator, spawn_child
+from repro.util.timeutil import DAY
+
+_NETIO = (MainCategory.NETWORK, MainCategory.IOSTREAM)
+
+
+@dataclass
+class GeneratedLog:
+    """Everything one generation run produced."""
+
+    profile: SystemProfile
+    scale: float
+    t0: int
+    t1: int
+    ground_truth: list[GroundTruthEvent]
+    raw: EventStore
+    job_trace: JobTrace
+
+    @property
+    def n_unique(self) -> int:
+        return len(self.ground_truth)
+
+    @property
+    def n_raw(self) -> int:
+        return len(self.raw)
+
+    def ground_truth_fatal_counts(self) -> dict[MainCategory, int]:
+        """Planted fatal events per main category (the Table-4 target)."""
+        counts: dict[MainCategory, int] = {c: 0 for c in MainCategory}
+        for gt in self.ground_truth:
+            sc = by_name(gt.subcategory)
+            if sc.is_fatal:
+                counts[sc.category] += 1
+        return counts
+
+
+class LogGenerator:
+    """Synthesizes one system's RAS log from a profile.
+
+    Parameters
+    ----------
+    scale:
+        Fraction of the profile's full span to simulate (rates unchanged).
+    noise_multiplier:
+        Scales background noise rates only — fatal structure is unaffected,
+        so benches that do not need log *volume* can run much faster.
+    seed:
+        Master seed; every subsystem draws from an independent child stream.
+    """
+
+    def __init__(
+        self,
+        profile: SystemProfile,
+        scale: float = 1.0,
+        noise_multiplier: float = 1.0,
+        seed: SeedLike = 0,
+    ) -> None:
+        if not 0.0 < scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {scale}")
+        if noise_multiplier < 0:
+            raise ValueError("noise_multiplier must be >= 0")
+        self.profile = profile
+        self.scale = float(scale)
+        self.noise_multiplier = float(noise_multiplier)
+        self.rng = as_generator(seed)
+        self.t0 = int(profile.start_epoch)
+        self.t1 = int(profile.start_epoch + profile.days * scale * DAY)
+
+    # ------------------------------------------------------------------ #
+    # Budget arithmetic
+    # ------------------------------------------------------------------ #
+
+    def budgets(self) -> dict[MainCategory, int]:
+        """Scaled per-category fatal budgets."""
+        return {
+            cat: int(round(self.profile.fatal_budget.get(cat, 0) * self.scale))
+            for cat in MainCategory
+        }
+
+    @staticmethod
+    def _split(budget: int, fraction: float) -> int:
+        return int(round(budget * fraction))
+
+    # ------------------------------------------------------------------ #
+    # Component processes
+    # ------------------------------------------------------------------ #
+
+    def _gen_chains(
+        self,
+        rng: np.random.Generator,
+        quotas: dict[MainCategory, int],
+        burst_times: Optional[np.ndarray] = None,
+    ) -> list[GroundTruthEvent]:
+        """Chain instances; plants exactly ``quotas[cat]`` heads per category.
+
+        A ``chain_burst_anchor_fraction`` share of instances is anchored
+        1-3 minutes after a randomly chosen burst member (when any exist),
+        so those instances' heads fall inside the statistical predictor's
+        horizon as well — the coverage overlap of the two base methods.
+        """
+        events: list[GroundTruthEvent] = []
+        templates = list(self.profile.chains)
+        anchor_frac = self.profile.chain_burst_anchor_fraction
+        if burst_times is None or len(burst_times) == 0:
+            anchor_frac = 0.0
+        for cat, quota in quotas.items():
+            if quota <= 0:
+                continue
+            cat_templates = [
+                tpl for tpl in templates if by_name(tpl.head).category is cat
+            ]
+            if not cat_templates:
+                raise ValueError(
+                    f"profile {self.profile.name}: no chain template with a "
+                    f"{cat.value} head but chain quota {quota}"
+                )
+            weights = np.array([tpl.weight for tpl in cat_templates])
+            shares = _largest_remainder(quota * weights / weights.sum())
+            for tpl, n_heads in zip(cat_templates, shares):
+                if n_heads == 0:
+                    continue
+                n_inst = max(
+                    int(n_heads),
+                    int(round(n_heads / tpl.confidence)) if tpl.confidence else int(n_heads),
+                )
+                horizon = self.t1 - self.t0 - tpl.max_extent
+                if horizon <= 0:
+                    raise ValueError(
+                        "simulated span too short for chain extent; "
+                        "increase scale"
+                    )
+                anchors = self.t0 + rng.random(n_inst) * horizon
+                with_head = np.zeros(n_inst, dtype=bool)
+                with_head[rng.choice(n_inst, size=int(n_heads), replace=False)] = True
+                if anchor_frac > 0.0 and tpl.anchorable:
+                    # Only escalating instances anchor to bursts: the overlap
+                    # mechanism concerns failures covered by both methods.
+                    anchored = (rng.random(n_inst) < anchor_frac) & with_head
+                    n_anchored = int(np.count_nonzero(anchored))
+                    if n_anchored:
+                        # Without replacement where possible: two instances of
+                        # one template anchored to the same burst member would
+                        # produce same-ENTRY_DATA heads within the spatial
+                        # compression threshold and be merged away.
+                        if n_anchored <= len(burst_times):
+                            idx = rng.choice(
+                                len(burst_times), size=n_anchored, replace=False
+                            )
+                        else:
+                            idx = rng.integers(len(burst_times), size=n_anchored)
+                        picks = burst_times[idx]
+                        offsets = 60.0 + rng.random(n_anchored) * 120.0
+                        candidate = picks + offsets
+                        # Keep anchored instances inside the horizon.
+                        candidate = np.clip(candidate, self.t0, self.t0 + horizon)
+                        anchors[anchored] = candidate
+                lag_lo, lag_hi = tpl.head_lag
+                hl_factor = max(1.0, self.profile.headless_span_factor)
+                for a, has_head in zip(anchors, with_head):
+                    span = tpl.body_span if has_head else tpl.body_span * hl_factor
+                    offsets = np.sort(rng.random(len(tpl.body))) * span
+                    last = a
+                    for item, off in zip(tpl.body, offsets):
+                        t = int(a + off)
+                        last = max(last, t)
+                        events.append(GroundTruthEvent(time=t, subcategory=item))
+                    if has_head:
+                        head_t = int(last + lag_lo + rng.random() * (lag_hi - lag_lo))
+                        events.append(
+                            GroundTruthEvent(time=head_t, subcategory=tpl.head)
+                        )
+        return events
+
+    def _gen_bursts(
+        self, rng: np.random.Generator, quotas: dict[MainCategory, int]
+    ) -> tuple[list[GroundTruthEvent], dict[MainCategory, int]]:
+        """Failure storms; returns events + unplaced quota.
+
+        Network/iostream quota forms storm skeletons (sequential members
+        separated by the configured lag); other-category burst quota attaches
+        to random skeleton members as leaves.  Storm sizes are drawn as
+        ``2 + Poisson(mean - 2)``, truncated by the remaining quota, so the
+        per-member follow-up probability is controlled and the cluster-count
+        variance stays low even at small scales.
+        """
+        cfg = self.profile.burst
+        remaining = dict(quotas)
+        events: list[tuple[int, MainCategory]] = []
+        lag_lo, lag_hi = cfg.lag
+        netio_times: list[int] = []
+
+        def pick_netio() -> Optional[MainCategory]:
+            cats = [c for c in _NETIO if remaining.get(c, 0) > 0]
+            if not cats:
+                return None
+            weights = np.array([remaining[c] for c in cats], dtype=np.float64)
+            cat = cats[int(rng.choice(len(cats), p=weights / weights.sum()))]
+            remaining[cat] -= 1
+            return cat
+
+        while sum(remaining.get(c, 0) for c in _NETIO) > 0:
+            size = 2 + int(rng.poisson(max(0.0, cfg.mean_cluster_size - 2.0)))
+            size = min(size, cfg.max_cluster_size)
+            t = int(self.t0 + rng.random() * (self.t1 - self.t0))
+            for _ in range(size):
+                cat = pick_netio()
+                if cat is None or t >= self.t1:
+                    break
+                events.append((t, cat))
+                netio_times.append(t)
+                t += int(lag_lo + rng.random() * (lag_hi - lag_lo))
+
+        # Other-category burst quota: leaves hanging off storm members.
+        for cat in MainCategory:
+            if cat in _NETIO:
+                continue
+            quota = remaining.get(cat, 0)
+            placed = 0
+            for _ in range(quota):
+                if not netio_times:
+                    break
+                parent = netio_times[int(rng.integers(len(netio_times)))]
+                t = int(parent + lag_lo + rng.random() * (lag_hi - lag_lo))
+                if t >= self.t1:
+                    continue
+                events.append((t, cat))
+                placed += 1
+            remaining[cat] = quota - placed
+
+        out = [
+            GroundTruthEvent(time=t, subcategory=self._pick_fatal_subcat(rng, cat))
+            for t, cat in events
+        ]
+        return out, remaining
+
+    def _pick_fatal_subcat(
+        self, rng: np.random.Generator, cat: MainCategory
+    ) -> str:
+        """A concrete fatal subcategory of ``cat``, per profile weights."""
+        fatal = [sc.name for sc in by_category(cat) if sc.is_fatal]
+        if not fatal:
+            raise ValueError(f"category {cat.value} has no fatal subcategories")
+        weights = np.array(
+            [self.profile.fatal_subcat_weights.get(n, 1.0) for n in fatal]
+        )
+        return fatal[int(rng.choice(len(fatal), p=weights / weights.sum()))]
+
+    def _gen_orphans(
+        self, rng: np.random.Generator, quotas: dict[MainCategory, int]
+    ) -> list[GroundTruthEvent]:
+        """Isolated fatal events with neither precursors nor followers."""
+        events: list[GroundTruthEvent] = []
+        for cat, quota in quotas.items():
+            for _ in range(max(0, quota)):
+                t = int(self.t0 + rng.random() * (self.t1 - self.t0))
+                events.append(
+                    GroundTruthEvent(
+                        time=t, subcategory=self._pick_fatal_subcat(rng, cat)
+                    )
+                )
+        return events
+
+    def _noise_times(self, rng: np.random.Generator, lam: float) -> np.ndarray:
+        """Poisson(lam) arrival times, optionally diurnally modulated.
+
+        Modulation uses thinning: candidates drawn at the peak-compatible
+        rate are accepted with probability proportional to the day-cycle
+        intensity ``1 + a*sin(2*pi*hour_of_day/24)``, preserving the
+        expected total count.
+        """
+        a = self.profile.diurnal_amplitude
+        span = self.t1 - self.t0
+        if a <= 0.0:
+            n = int(rng.poisson(lam))
+            return self.t0 + rng.random(n) * span
+        n_candidates = int(rng.poisson(lam * (1.0 + a)))
+        times = self.t0 + rng.random(n_candidates) * span
+        phase = 2.0 * np.pi * ((times % DAY) / DAY)
+        accept = rng.random(n_candidates) * (1.0 + a) <= 1.0 + a * np.sin(phase)
+        return times[accept]
+
+    def _gen_noise(self, rng: np.random.Generator) -> list[GroundTruthEvent]:
+        """Background non-fatal events at profile rates."""
+        events: list[GroundTruthEvent] = []
+        span_days = (self.t1 - self.t0) / DAY
+        for spec in self.profile.noise:
+            lam = spec.rate_per_day * span_days * self.noise_multiplier
+            if lam <= 0:
+                continue
+            times = self._noise_times(rng, lam)
+            events.extend(
+                GroundTruthEvent(time=int(t), subcategory=spec.subcategory)
+                for t in times
+            )
+        return events
+
+    # ------------------------------------------------------------------ #
+    # Assembly
+    # ------------------------------------------------------------------ #
+
+    def generate(self) -> GeneratedLog:
+        """Run all processes and expand through the CMCS simulator."""
+        rng_jobs, rng_chain, rng_burst, rng_orphan, rng_noise, rng_cmcs, rng_attach = (
+            spawn_child(self.rng, streams=7)
+        )
+        machine = Machine(self.profile.machine)
+        wl = self.profile.workload
+        trace = JobWorkloadModel(
+            machine,
+            mean_interarrival=wl.mean_interarrival,
+            mean_duration=wl.mean_duration,
+            sigma_duration=wl.sigma_duration,
+            p_full_machine=wl.p_full_machine,
+        ).generate(self.t0, self.t1, seed=rng_jobs)
+
+        budgets = self.budgets()
+        chain_q = {
+            c: self._split(budgets[c], self.profile.chain_fraction.get(c, 0.0))
+            for c in MainCategory
+        }
+        burst_q = {
+            c: self._split(budgets[c], self.profile.burst_fraction.get(c, 0.0))
+            for c in MainCategory
+        }
+        burst_events, unplaced = self._gen_bursts(rng_burst, burst_q)
+        burst_times = np.array([e.time for e in burst_events], dtype=np.float64)
+        events = self._gen_chains(rng_chain, chain_q, burst_times)
+        events.extend(burst_events)
+        orphan_q = {
+            c: budgets[c] - chain_q[c] - (burst_q[c] - unplaced.get(c, 0))
+            for c in MainCategory
+        }
+        events.extend(self._gen_orphans(rng_orphan, orphan_q))
+        events.extend(self._gen_noise(rng_noise))
+
+        events = self._attach_jobs(rng_attach, events, trace)
+        events.sort(key=lambda e: e.time)
+
+        cmcs = CmcsSimulator(
+            machine,
+            job_trace=trace,
+            duplication=self.profile.duplication,
+            seed=rng_cmcs,
+        )
+        raw = cmcs.expand(events)
+        return GeneratedLog(
+            profile=self.profile,
+            scale=self.scale,
+            t0=self.t0,
+            t1=self.t1,
+            ground_truth=events,
+            raw=raw,
+            job_trace=trace,
+        )
+
+    def _attach_jobs(
+        self,
+        rng: np.random.Generator,
+        events: list[GroundTruthEvent],
+        trace: JobTrace,
+    ) -> list[GroundTruthEvent]:
+        """Attach JOB_IDs to compute/I-O level events when a job is running."""
+        out: list[GroundTruthEvent] = []
+        for gt in events:
+            sc = by_name(gt.subcategory)
+            if sc.location_kind in (LocationKind.COMPUTE_CHIP, LocationKind.IO_NODE):
+                jid = trace.any_job_at(gt.time)
+                job = jid if jid != IDLE else NO_JOB
+            else:
+                job = NO_JOB
+            out.append(
+                GroundTruthEvent(
+                    time=gt.time,
+                    subcategory=gt.subcategory,
+                    job_id=job,
+                    location=gt.location,
+                )
+            )
+        return out
+
+
+def _largest_remainder(shares: np.ndarray) -> np.ndarray:
+    """Round non-negative shares to integers preserving the total."""
+    floor = np.floor(shares).astype(np.int64)
+    deficit = int(round(shares.sum())) - int(floor.sum())
+    if deficit > 0:
+        order = np.argsort(-(shares - floor))
+        floor[order[:deficit]] += 1
+    return floor

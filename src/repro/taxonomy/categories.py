@@ -1,0 +1,51 @@
+"""The eight main RAS event categories (paper §3.1).
+
+Events are first categorized "based on the subsystem in which they occur,
+according to the LOCATION field, the FACILITY field, and the description
+listed in the ENTRY DATA field".
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class MainCategory(enum.Enum):
+    """High-level subsystem a RAS event belongs to."""
+
+    APPLICATION = "application"
+    """Application instruction failures (program load, login, node maps)."""
+
+    IOSTREAM = "iostream"
+    """Socket read/write calls and I/O procedure calls."""
+
+    KERNEL = "kernel"
+    """Compute-node kernel: instructions and alignment of data."""
+
+    MEMORY = "memory"
+    """Memory hierarchy (caches, DDR, EDRAM, parity)."""
+
+    MIDPLANE = "midplane"
+    """Midplane configuration and switches."""
+
+    NETWORK = "network"
+    """Torus/tree/Ethernet traffic between compute chips and I/O."""
+
+    NODECARD = "nodecard"
+    """Node-card operation and configuration."""
+
+    OTHER = "other"
+    """Service infrastructure: BGLMaster, CMCS control, link-card service."""
+
+
+#: Presentation order used by every paper table (Table 3 / Table 4).
+CATEGORY_ORDER: tuple[MainCategory, ...] = (
+    MainCategory.APPLICATION,
+    MainCategory.IOSTREAM,
+    MainCategory.KERNEL,
+    MainCategory.MEMORY,
+    MainCategory.MIDPLANE,
+    MainCategory.NETWORK,
+    MainCategory.NODECARD,
+    MainCategory.OTHER,
+)

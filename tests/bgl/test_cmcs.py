@@ -1,0 +1,130 @@
+"""Tests for repro.bgl.cmcs (duplication simulator)."""
+
+import numpy as np
+import pytest
+
+from repro.bgl.cmcs import CmcsSimulator, DuplicationModel, GroundTruthEvent
+from repro.bgl.jobs import Job, JobTrace
+from repro.bgl.locations import SYSTEM_LOCATION
+from repro.bgl.topology import ANL_SPEC, Machine
+from repro.ras.events import NO_JOB
+from repro.ras.fields import Severity
+from repro.taxonomy.subcategories import by_name
+
+
+@pytest.fixture
+def machine():
+    return Machine(ANL_SPEC)
+
+
+@pytest.fixture
+def trace(machine):
+    return JobTrace(machine, [Job(1, 0, 1_000_000, (0, 1))])
+
+
+def test_duplication_model_validation():
+    with pytest.raises(ValueError):
+        DuplicationModel(mean_reporting_chips=0)
+    with pytest.raises(ValueError):
+        DuplicationModel(max_repeats=0)
+    with pytest.raises(ValueError):
+        DuplicationModel(jitter_span=-1)
+
+
+def test_sample_bounds():
+    dup = DuplicationModel(mean_reporting_chips=8, max_reporting_chips=16,
+                           mean_repeats=2, max_repeats=4)
+    rng = np.random.default_rng(0)
+    for _ in range(200):
+        assert 1 <= dup.sample_chip_count(rng, 512) <= 16
+        assert 1 <= dup.sample_repeats(rng) <= 4
+
+
+def test_sample_chip_count_respects_availability():
+    dup = DuplicationModel(mean_reporting_chips=100, max_reporting_chips=512)
+    rng = np.random.default_rng(0)
+    assert dup.sample_chip_count(rng, 3) <= 3
+
+
+def test_expand_empty(machine):
+    sim = CmcsSimulator(machine, seed=0)
+    assert len(sim.expand([])) == 0
+
+
+def test_expand_system_event_single_location(machine):
+    sim = CmcsSimulator(machine, seed=0)
+    store = sim.expand(
+        [GroundTruthEvent(time=100, subcategory="BGLMasterRestartInfo")]
+    )
+    assert len(store) >= 1
+    assert all(store.location_of(i) == SYSTEM_LOCATION for i in range(len(store)))
+
+
+def test_expand_job_fatal_fans_out(machine, trace):
+    dup = DuplicationModel(mean_reporting_chips=32, mean_repeats=1.0,
+                           max_repeats=1)
+    sim = CmcsSimulator(machine, job_trace=trace, duplication=dup, seed=1)
+    store = sim.expand(
+        [GroundTruthEvent(time=100, subcategory="loadProgramFailure", job_id=1)]
+    )
+    # Many chip locations report the same fault.
+    locations = {store.location_of(i) for i in range(len(store))}
+    assert len(locations) > 4
+    # ... all with identical ENTRY_DATA and JOB_ID (spatial-duplicate shape).
+    assert len({store.entry_of(i) for i in range(len(store))}) == 1
+    assert set(store.jobs.tolist()) == {1}
+
+
+def test_expand_duplicates_within_jitter(machine, trace):
+    dup = DuplicationModel(jitter_span=60.0)
+    sim = CmcsSimulator(machine, job_trace=trace, duplication=dup, seed=2)
+    store = sim.expand(
+        [GroundTruthEvent(time=500, subcategory="socketReadFailure", job_id=1)]
+    )
+    assert store.times.min() == 500  # first report at the true event time
+    assert store.times.max() < 500 + 60
+
+
+def test_expand_preserves_severity_and_facility(machine):
+    sim = CmcsSimulator(machine, seed=3)
+    sc = by_name("kernelPanicFailure")
+    store = sim.expand(
+        [GroundTruthEvent(time=10, subcategory="kernelPanicFailure")]
+    )
+    assert all(Severity(int(s)) == sc.severity for s in store.severities)
+    assert all(int(f) == int(sc.facility) for f in store.facilities)
+
+
+def test_expand_hardware_event_no_fanout(machine, trace):
+    sim = CmcsSimulator(machine, job_trace=trace, seed=4)
+    store = sim.expand(
+        [GroundTruthEvent(time=10, subcategory="linkcardFailure", job_id=NO_JOB)]
+    )
+    assert len({store.location_of(i) for i in range(len(store))}) == 1
+
+
+def test_expand_pinned_location(machine):
+    sim = CmcsSimulator(machine, seed=5)
+    store = sim.expand(
+        [GroundTruthEvent(time=10, subcategory="fanSpeedWarning",
+                          location="R00-M1-S")]
+    )
+    assert store.location_of(0) == "R00-M1-S"
+
+
+def test_expand_is_time_sorted(machine, trace):
+    sim = CmcsSimulator(machine, job_trace=trace, seed=6)
+    events = [
+        GroundTruthEvent(time=t, subcategory="timerInterruptInfo", job_id=1)
+        for t in (5000, 100, 3000)
+    ]
+    store = sim.expand(events)
+    assert store.is_time_sorted()
+
+
+def test_expand_deterministic(machine, trace):
+    events = [GroundTruthEvent(time=100, subcategory="dmaError", job_id=1)]
+    a = CmcsSimulator(machine, job_trace=trace, seed=9).expand(events)
+    b = CmcsSimulator(machine, job_trace=trace, seed=9).expand(events)
+    assert len(a) == len(b)
+    assert np.array_equal(a.times, b.times)

@@ -1,0 +1,81 @@
+"""Tests for repro.bgl.locations (grammar, navigation)."""
+
+import pytest
+
+from repro.bgl.locations import (
+    SYSTEM_LOCATION,
+    LocationError,
+    LocationKind,
+    format_location,
+    location_kind,
+    parent_location,
+    parse_location,
+)
+
+CASES = [
+    ("R03", LocationKind.RACK),
+    ("R03-M1", LocationKind.MIDPLANE),
+    ("R03-M0-N07", LocationKind.NODECARD),
+    ("R03-M0-N07-C21", LocationKind.COMPUTE_CHIP),
+    ("R03-M0-N07-I02", LocationKind.IO_NODE),
+    ("R03-M1-L2", LocationKind.LINKCARD),
+    ("R03-M1-S", LocationKind.SERVICE_CARD),
+    (SYSTEM_LOCATION, LocationKind.SYSTEM),
+]
+
+
+@pytest.mark.parametrize("code,kind", CASES)
+def test_kind_detection(code, kind):
+    assert location_kind(code) == kind
+
+
+@pytest.mark.parametrize("code,kind", CASES)
+def test_parse_format_roundtrip(code, kind):
+    parts = parse_location(code)
+    rebuilt = format_location(
+        kind,
+        rack=parts["rack"],
+        midplane=parts["midplane"],
+        nodecard=parts["nodecard"],
+        chip=parts["chip"],
+        ionode=parts["ionode"],
+        linkcard=parts["linkcard"],
+    )
+    assert rebuilt == code
+
+
+@pytest.mark.parametrize(
+    "bad",
+    ["", "R3", "R03-M2", "R03-M0-N7", "R03-M0-N07-C2", "X99", "R03-M0-N07-Q01",
+     "r03", "R03-M0-"],
+)
+def test_invalid_codes_rejected(bad):
+    with pytest.raises(LocationError):
+        parse_location(bad)
+
+
+def test_format_requires_components():
+    with pytest.raises(LocationError, match="midplane"):
+        format_location(LocationKind.NODECARD, rack=0)
+
+
+def test_format_rejects_bad_midplane():
+    with pytest.raises(LocationError):
+        format_location(LocationKind.MIDPLANE, rack=0, midplane=2)
+
+
+@pytest.mark.parametrize(
+    "code,parent",
+    [
+        ("R03-M0-N07-C21", "R03-M0-N07"),
+        ("R03-M0-N07-I01", "R03-M0-N07"),
+        ("R03-M0-N07", "R03-M0"),
+        ("R03-M1-L2", "R03-M1"),
+        ("R03-M1-S", "R03-M1"),
+        ("R03-M1", "R03"),
+        ("R03", None),
+        (SYSTEM_LOCATION, None),
+    ],
+)
+def test_parent_navigation(code, parent):
+    assert parent_location(code) == parent

@@ -1,0 +1,84 @@
+"""Tests for the ``bgl-predict`` command-line interface."""
+
+import pytest
+
+from repro.cli.main import main
+
+
+@pytest.fixture(scope="module")
+def log_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "anl.log"
+    rc = main([
+        "generate", "--profile", "ANL", "--scale", "0.02",
+        "--seed", "7", "-o", str(path),
+    ])
+    assert rc == 0
+    return path
+
+
+def test_generate_writes_log(log_path, capsys):
+    assert log_path.exists()
+    assert log_path.stat().st_size > 0
+
+
+def test_generate_loghub_dialect(tmp_path, capsys):
+    path = tmp_path / "lh.log"
+    rc = main([
+        "generate", "--profile", "SDSC", "--scale", "0.01",
+        "--seed", "1", "-o", str(path), "--dialect", "loghub",
+    ])
+    assert rc == 0
+    first = path.read_text().splitlines()[0]
+    # Loghub lines start with the alert tag, not an epoch.
+    assert not first.split(" ")[0].isdigit()
+
+
+def test_preprocess_reports_compression(log_path, capsys):
+    rc = main(["preprocess", str(log_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "unique events" in out
+    assert "TOTAL" in out  # Table-4 style block
+
+
+def test_preprocess_writes_unique_log(log_path, tmp_path, capsys):
+    out_path = tmp_path / "unique.log"
+    rc = main(["preprocess", str(log_path), "-o", str(out_path)])
+    assert rc == 0
+    assert out_path.exists()
+    raw_lines = len(log_path.read_text().splitlines())
+    unique_lines = len(out_path.read_text().splitlines())
+    assert unique_lines < raw_lines
+
+
+def test_mine_prints_rules(log_path, capsys):
+    rc = main(["mine", str(log_path), "--top", "5"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "==>" in out
+    assert "no-precursor" in out
+
+
+def test_evaluate_prints_metrics(log_path, capsys):
+    rc = main([
+        "evaluate", str(log_path), "--method", "statistical", "--folds", "4",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "precision=" in out and "recall=" in out
+
+
+def test_sweep_prints_table(log_path, capsys):
+    rc = main([
+        "sweep", str(log_path), "--method", "rule",
+        "--windows", "10,30", "--folds", "4",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "window(min)" in out
+    assert out.count("\n") >= 3
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,94 @@
+"""Shared fixtures.
+
+Expensive artifacts (generated logs, preprocessed stores) are session-scoped:
+the synthetic generator is deterministic given (profile, scale, seed), so all
+tests observing the same small ANL log share one instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import ThreePhasePredictor
+from repro.ras.events import RasEvent
+from repro.ras.fields import Facility, Severity
+from repro.ras.store import EventStore
+from repro.synth.generator import GeneratedLog, LogGenerator
+from repro.synth.profiles import anl_profile, sdsc_profile
+from repro.taxonomy.classifier import TaxonomyClassifier
+
+#: Scale used by most pipeline tests: ~55 fatal events, fast to generate.
+SMALL_SCALE = 0.02
+
+
+@pytest.fixture(scope="session")
+def small_anl_log() -> GeneratedLog:
+    """A small deterministic ANL-profile log (raw + ground truth)."""
+    return LogGenerator(anl_profile(), scale=SMALL_SCALE, seed=7).generate()
+
+
+@pytest.fixture(scope="session")
+def small_sdsc_log() -> GeneratedLog:
+    """A small deterministic SDSC-profile log."""
+    return LogGenerator(sdsc_profile(), scale=SMALL_SCALE, seed=7).generate()
+
+
+@pytest.fixture(scope="session")
+def anl_events(small_anl_log) -> EventStore:
+    """Phase-1 output (classified, compressed unique events) for the ANL log."""
+    return ThreePhasePredictor().preprocess(small_anl_log.raw).events
+
+
+@pytest.fixture(scope="session")
+def sdsc_events(small_sdsc_log) -> EventStore:
+    """Phase-1 output for the SDSC log."""
+    return ThreePhasePredictor().preprocess(small_sdsc_log.raw).events
+
+
+@pytest.fixture(scope="session")
+def classifier() -> TaxonomyClassifier:
+    return TaxonomyClassifier()
+
+
+def make_event(
+    time: int = 1000,
+    location: str = "R00-M0-N00-C00",
+    facility: Facility = Facility.KERNEL,
+    severity: Severity = Severity.INFO,
+    entry: str = "timer interrupt rollover serviced",
+    job_id: int = 17,
+) -> RasEvent:
+    """Handy single-event constructor for unit tests."""
+    return RasEvent(
+        time=time,
+        location=location,
+        facility=facility,
+        severity=severity,
+        entry_data=entry,
+        job_id=job_id,
+    )
+
+
+@pytest.fixture
+def tiny_store() -> EventStore:
+    """Five handcrafted events: 3 INFO dupes, 1 FATAL, 1 WARNING."""
+    events = [
+        make_event(time=100, entry="alpha msg", severity=Severity.INFO),
+        make_event(time=150, entry="alpha msg", severity=Severity.INFO),
+        make_event(time=200, entry="alpha msg", severity=Severity.INFO),
+        make_event(
+            time=300,
+            entry="load program failure: invalid or missing program image",
+            severity=Severity.FATAL,
+            facility=Facility.APP,
+        ),
+        make_event(
+            time=420,
+            entry="fan speed below nominal rpm",
+            severity=Severity.WARNING,
+            facility=Facility.MONITOR,
+            location="R00-M0-S",
+            job_id=-1,
+        ),
+    ]
+    return EventStore.from_events(events)

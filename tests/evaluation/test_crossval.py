@@ -1,0 +1,95 @@
+"""Tests for repro.evaluation.crossval."""
+
+import pytest
+
+from repro.evaluation.crossval import (
+    cross_validate,
+    fold_index_ranges,
+    holdout_validate,
+)
+from repro.predictors.base import FailureWarning, Predictor
+from repro.predictors.statistical import StatisticalPredictor
+from repro.util.timeutil import HOUR, MINUTE
+
+
+def test_fold_index_ranges_partition():
+    ranges = fold_index_ranges(103, 10)
+    assert len(ranges) == 10
+    assert ranges[0][0] == 0 and ranges[-1][1] == 103
+    # Contiguous, gap-free, sizes differ by at most one.
+    sizes = []
+    prev_end = 0
+    for start, end in ranges:
+        assert start == prev_end
+        prev_end = end
+        sizes.append(end - start)
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_fold_index_ranges_validation():
+    with pytest.raises(ValueError):
+        fold_index_ranges(100, 1)
+    with pytest.raises(ValueError):
+        fold_index_ranges(5, 10)
+
+
+class _CountingPredictor(Predictor):
+    """Remembers the stores it saw; predicts nothing."""
+
+    name = "counting"
+    instances = []
+
+    def __init__(self):
+        super().__init__()
+        self.train_len = None
+        _CountingPredictor.instances.append(self)
+
+    def fit(self, events):
+        self.train_len = len(events)
+        self._fitted = True
+        return self
+
+    def predict(self, events):
+        self._check_fitted()
+        return []
+
+
+def test_cross_validate_fold_structure(anl_events):
+    _CountingPredictor.instances = []
+    result = cross_validate(_CountingPredictor, anl_events, k=5)
+    assert result.k == 5
+    assert len(_CountingPredictor.instances) == 5  # fresh predictor per fold
+    n = len(anl_events)
+    for p in _CountingPredictor.instances:
+        assert p.train_len in (n - n // 5, n - n // 5 - 1)
+    # Fatals across test folds partition all fatals.
+    total_fatals = sum(m.n_fatals for m in result.fold_metrics)
+    assert total_fatals == len(anl_events.fatal_events())
+
+
+def test_cross_validate_averages(anl_events):
+    result = cross_validate(
+        lambda: StatisticalPredictor(window=HOUR, lead=5 * MINUTE),
+        anl_events,
+        k=5,
+    )
+    assert 0.0 <= result.precision <= 1.0
+    assert 0.0 <= result.recall <= 1.0
+    s = result.summary()
+    assert s["k"] == 5
+    assert s["fatals"] == len(anl_events.fatal_events())
+
+
+def test_holdout_validate(anl_events):
+    metrics, match = holdout_validate(
+        lambda: StatisticalPredictor(window=HOUR, lead=5 * MINUTE),
+        anl_events,
+        train_fraction=0.7,
+    )
+    assert metrics.n_fatals == match.metrics.n_fatals
+    assert metrics.n_fatals > 0
+
+
+def test_holdout_validation_errors(anl_events):
+    with pytest.raises(ValueError):
+        holdout_validate(lambda: StatisticalPredictor(), anl_events, 0.0)

@@ -1,0 +1,61 @@
+"""Tests for repro.evaluation.export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.evaluation.crossval import CVResult
+from repro.evaluation.export import (
+    write_category_csv,
+    write_cdf_csv,
+    write_sweep_csv,
+)
+from repro.evaluation.sweep import SweepPoint
+from repro.taxonomy.categories import MainCategory
+
+
+def _pt(window, p, r):
+    return SweepPoint(window=window, precision=p, recall=r,
+                      result=CVResult([], []))
+
+
+def test_sweep_csv_roundtrip(tmp_path):
+    path = tmp_path / "sweep.csv"
+    n = write_sweep_csv([_pt(300, 0.8, 0.4), _pt(3600, 0.7, 0.6)], path)
+    assert n == 2
+    rows = list(csv.DictReader(path.open()))
+    assert rows[0]["window_minutes"] == "5"
+    assert float(rows[0]["precision"]) == pytest.approx(0.8)
+    assert float(rows[1]["f1"]) == pytest.approx(2 * 0.7 * 0.6 / 1.3, abs=1e-5)
+
+
+def test_sweep_csv_to_stream():
+    buf = io.StringIO()
+    write_sweep_csv([_pt(600, 0.5, 0.5)], buf)
+    assert buf.getvalue().startswith("window_minutes,precision")
+
+
+def test_cdf_csv(tmp_path):
+    path = tmp_path / "cdf.csv"
+    n = write_cdf_csv([300, 600], [0.1, 0.2], path)
+    assert n == 2
+    rows = list(csv.DictReader(path.open()))
+    assert rows[1]["offset_seconds"] == "600"
+
+
+def test_cdf_csv_length_mismatch():
+    with pytest.raises(ValueError):
+        write_cdf_csv([1, 2], [0.1], io.StringIO())
+
+
+def test_category_csv(tmp_path):
+    counts = {c: 0 for c in MainCategory}
+    counts[MainCategory.NETWORK] = 5
+    path = tmp_path / "cat.csv"
+    n = write_category_csv({"ANL": counts}, path)
+    assert n == 9  # 8 categories + total
+    rows = list(csv.reader(path.open()))
+    assert rows[0] == ["category", "ANL"]
+    assert ["network", "5"] in rows
+    assert rows[-1] == ["total", "5"]

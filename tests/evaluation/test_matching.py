@@ -1,0 +1,93 @@
+"""Tests for repro.evaluation.matching."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.matching import match_warnings
+from repro.predictors.base import FailureWarning
+from repro.ras.fields import Severity
+from repro.ras.store import EventStore
+from tests.conftest import make_event
+
+
+def _store_with_fatals(times, nonfatal_times=()):
+    events = [
+        make_event(time=t, severity=Severity.FATAL,
+                   entry="kernel panic: unrecoverable condition detected")
+        for t in times
+    ] + [
+        make_event(time=t, severity=Severity.INFO, entry="noise")
+        for t in nonfatal_times
+    ]
+    return EventStore.from_events(events)
+
+
+def w(issued, start, end, conf=0.5, source="s", detail=""):
+    return FailureWarning(issued_at=issued, horizon_start=start,
+                          horizon_end=end, confidence=conf, source=source,
+                          detail=detail)
+
+
+def test_simple_hit_and_miss():
+    store = _store_with_fatals([100, 1000])
+    warnings = [w(50, 60, 200), w(400, 410, 500)]
+    res = match_warnings(warnings, store)
+    assert list(res.warning_hit) == [True, False]
+    assert list(res.fatal_covered) == [True, False]
+    assert res.metrics.precision == pytest.approx(0.5)
+    assert res.metrics.recall == pytest.approx(0.5)
+
+
+def test_horizon_is_closed_interval():
+    store = _store_with_fatals([100, 200])
+    res = match_warnings([w(10, 100, 200)], store)
+    assert res.warning_hit[0]
+    assert res.fatal_covered.all()
+    # Just outside on both ends:
+    res2 = match_warnings([w(10, 101, 199)], store)
+    assert not res2.warning_hit[0]
+
+
+def test_one_warning_covers_many_fatals():
+    store = _store_with_fatals([100, 150, 180])
+    res = match_warnings([w(50, 60, 200)], store)
+    assert res.metrics.tp_warnings == 1
+    assert res.metrics.covered_fatals == 3
+
+
+def test_many_warnings_one_fatal():
+    store = _store_with_fatals([100])
+    res = match_warnings([w(10, 50, 150), w(20, 60, 160)], store)
+    assert res.metrics.tp_warnings == 2
+    assert res.metrics.covered_fatals == 1
+
+
+def test_nonfatal_events_ignored():
+    store = _store_with_fatals([1000], nonfatal_times=[100, 110])
+    res = match_warnings([w(50, 60, 200)], store)
+    assert not res.warning_hit[0]
+    assert res.metrics.n_fatals == 1
+
+
+def test_lead_time_earliest_warning():
+    store = _store_with_fatals([100])
+    res = match_warnings([w(10, 50, 150), w(90, 95, 150)], store)
+    # Lead comes from the earliest covering warning: 100 - 10.
+    assert res.lead_seconds[0] == pytest.approx(90)
+    assert res.mean_lead == pytest.approx(90)
+
+
+def test_no_warnings():
+    store = _store_with_fatals([100])
+    res = match_warnings([], store)
+    assert res.metrics.n_warnings == 0
+    assert res.metrics.recall == 0.0
+    assert np.isnan(res.lead_seconds).all()
+
+
+def test_no_fatals():
+    store = _store_with_fatals([], nonfatal_times=[10])
+    res = match_warnings([w(5, 6, 100)], store)
+    assert res.metrics.recall == 1.0  # nothing to predict
+    assert res.metrics.precision == 0.0
+    assert np.isnan(res.mean_lead)

@@ -1,0 +1,106 @@
+"""Tests for repro.evaluation.report (ASCII rendering)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.crossval import CVResult
+from repro.evaluation.report import (
+    ascii_chart,
+    cdf_chart,
+    comparison_table,
+    sweep_chart,
+)
+from repro.evaluation.sweep import SweepPoint
+
+
+def _pt(window, p, r):
+    return SweepPoint(window=window, precision=p, recall=r,
+                      result=CVResult([], []))
+
+
+def test_ascii_chart_dimensions():
+    chart = ascii_chart([0, 1, 2], {"y": [0.0, 0.5, 1.0]},
+                        width=40, height=8, y_range=(0, 1))
+    lines = chart.splitlines()
+    data_lines = [ln for ln in lines if "|" in ln]
+    assert len(data_lines) == 8
+    assert all(len(ln) <= 8 + 1 + 40 for ln in data_lines)
+
+
+def test_ascii_chart_places_extremes():
+    chart = ascii_chart([0, 1], {"y": [0.0, 1.0]}, width=20, height=5,
+                        y_range=(0, 1))
+    lines = [ln for ln in chart.splitlines() if "|" in ln]
+    assert "*" in lines[0]       # y=1 on the top row
+    assert "*" in lines[-1]      # y=0 on the bottom row
+
+
+def test_ascii_chart_multiple_series_markers():
+    chart = ascii_chart([0, 1], {"a": [0.1, 0.1], "b": [0.9, 0.9]},
+                        y_range=(0, 1))
+    assert "*" in chart and "o" in chart
+    assert "*=a" in chart and "o=b" in chart
+
+
+def test_ascii_chart_validation():
+    with pytest.raises(ValueError):
+        ascii_chart([0, 1], {})
+    with pytest.raises(ValueError):
+        ascii_chart([], {"y": []})
+    with pytest.raises(ValueError):
+        ascii_chart([0], {"y": [1.0]}, y_range=(1, 0))
+
+
+def test_ascii_chart_flat_series():
+    chart = ascii_chart([0, 1], {"y": [0.5, 0.5]})
+    assert "*" in chart
+
+
+def test_ascii_chart_skips_nan():
+    chart = ascii_chart([0, 1, 2], {"y": [0.2, float("nan"), 0.8]},
+                        y_range=(0, 1))
+    data_area = "\n".join(ln for ln in chart.splitlines() if "|" in ln)
+    assert data_area.count("*") == 2
+
+
+def test_sweep_chart():
+    points = [_pt(300, 0.9, 0.3), _pt(3600, 0.7, 0.6)]
+    chart = sweep_chart(points, title="demo")
+    assert chart.startswith("demo")
+    assert "precision" in chart and "recall" in chart
+    with pytest.raises(ValueError):
+        sweep_chart([])
+
+
+def test_cdf_chart():
+    grid = np.array([300.0, 600.0, 3600.0])
+    chart = cdf_chart(grid, [0.1, 0.3, 0.8], title="cdf")
+    assert "minutes since a failure" in chart
+    assert chart.startswith("cdf")
+
+
+def test_comparison_table():
+    table = comparison_table(
+        {"meta": (0.8, 0.6), "never": (0.0, 0.0)}, title="cmp"
+    )
+    assert "cmp" in table
+    assert "0.8000" in table
+    assert "0.6857" in table  # f1 of (0.8, 0.6)
+    assert table.splitlines()[-1].startswith("never")
+
+
+def test_cli_report_runs(tmp_path, capsys):
+    from repro.cli.main import main
+
+    path = tmp_path / "log.log"
+    assert main(["generate", "--profile", "SDSC", "--scale", "0.02",
+                 "--seed", "3", "-o", str(path)]) == 0
+    capsys.readouterr()
+    rc = main(["report", str(path), "--rule-window", "25",
+               "--folds", "4", "--windows", "15,60"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Failure-gap CDF" in out
+    assert "Method comparison" in out
+    assert "Meta-learner sweep" in out
+    assert "==>" in out

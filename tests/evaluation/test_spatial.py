@@ -1,0 +1,104 @@
+"""Tests for repro.evaluation.spatial."""
+
+import math
+
+import pytest
+
+from repro.bgl.locations import LocationKind
+from repro.evaluation.spatial import (
+    colocated_fraction,
+    failure_counts_by_location,
+    hotspots,
+    spatial_concentration,
+)
+from repro.ras.fields import Severity
+from repro.ras.store import EventStore
+from tests.conftest import make_event
+
+
+def _fatal(time, location):
+    return make_event(
+        time=time, location=location, severity=Severity.FATAL,
+        entry="kernel panic: unrecoverable condition detected",
+    )
+
+
+@pytest.fixture
+def skewed_store():
+    """9 failures on one node card, 1 on another, plus a SYSTEM event."""
+    events = [
+        _fatal(1000 + 900 * k, f"R00-M0-N00-C{k:02d}") for k in range(9)
+    ]
+    events.append(_fatal(20_000, "R00-M1-N05-C00"))
+    events.append(_fatal(30_000, "SYSTEM"))
+    events.append(make_event(time=40_000, entry="noise"))  # non-fatal ignored
+    return EventStore.from_events(events)
+
+
+def test_counts_by_midplane(skewed_store):
+    counts = failure_counts_by_location(skewed_store, LocationKind.MIDPLANE)
+    assert counts["R00-M0"] == 9
+    assert counts["R00-M1"] == 1
+    assert counts["(other)"] == 1  # the SYSTEM event
+
+
+def test_counts_by_nodecard(skewed_store):
+    counts = failure_counts_by_location(skewed_store, LocationKind.NODECARD)
+    assert counts["R00-M0-N00"] == 9
+    assert counts["R00-M1-N05"] == 1
+
+
+def test_counts_empty():
+    assert failure_counts_by_location(EventStore.empty()) == {}
+
+
+def test_hotspots_ranked(skewed_store):
+    top = hotspots(skewed_store, LocationKind.NODECARD, top=5)
+    assert top[0] == ("R00-M0-N00", 9)
+    assert len(top) == 2  # "(other)" excluded
+
+
+def test_concentration_skew(skewed_store):
+    g = spatial_concentration(skewed_store, LocationKind.NODECARD)
+    assert 0.3 < g <= 1.0
+
+
+def test_concentration_even():
+    events = [
+        _fatal(1000 * k, f"R00-M0-N{k:02d}-C00") for k in range(8)
+    ]
+    g = spatial_concentration(EventStore.from_events(events),
+                              LocationKind.NODECARD)
+    assert g == pytest.approx(0.0, abs=1e-9)
+
+
+def test_concentration_empty():
+    assert spatial_concentration(EventStore.empty()) == 0.0
+
+
+def test_colocated_fraction(skewed_store):
+    # The nine N00 failures are 900 s apart and share a midplane; the later
+    # events are far in time.
+    frac = colocated_fraction(skewed_store, within_seconds=1000,
+                              level=LocationKind.MIDPLANE)
+    assert frac == pytest.approx(1.0)
+
+
+def test_colocated_fraction_no_close_pairs(skewed_store):
+    assert math.isnan(
+        colocated_fraction(skewed_store, within_seconds=1,
+                           level=LocationKind.MIDPLANE)
+    )
+
+
+def test_colocated_fraction_few_events():
+    store = EventStore.from_events([_fatal(1, "R00-M0-N00-C00")])
+    assert math.isnan(colocated_fraction(store, 100))
+
+
+def test_on_generated_log(anl_events):
+    """Generated logs have sensible spatial structure at every level."""
+    counts = failure_counts_by_location(anl_events, LocationKind.MIDPLANE)
+    assert sum(counts.values()) == len(anl_events.fatal_events())
+    g = spatial_concentration(anl_events, LocationKind.NODECARD)
+    assert 0.0 <= g < 0.9

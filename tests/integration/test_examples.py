@@ -1,0 +1,46 @@
+"""Smoke-run the example scripts (they are part of the public surface).
+
+``reproduce_anl_study.py`` and ``custom_cluster.py`` take minutes at their
+committed scales and are exercised manually / by the benches; the two fast
+examples run here end to end.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+def test_quickstart_runs(capsys):
+    out = _run("quickstart.py", capsys)
+    assert "precision =" in out
+    assert "mean warning lead time" in out
+
+
+@pytest.mark.slow
+def test_online_monitor_runs(capsys):
+    out = _run("online_monitor.py", capsys)
+    assert "shift summary:" in out
+    assert "failures caught:" in out
+
+
+def test_all_examples_importable():
+    """Every example at least parses and resolves its imports."""
+    import ast
+
+    for path in sorted(EXAMPLES.glob("*.py")):
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
+        # main() must exist and the module must be guard-executed.
+        names = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+        assert "main" in names, path.name
+        assert '__name__ == "__main__"' in source, path.name

@@ -1,0 +1,124 @@
+"""Failure-injection tests: malformed inputs, degenerate streams."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import ThreePhasePredictor
+from repro.meta.stacked import MetaLearner
+from repro.mining.transactions import build_event_sets
+from repro.predictors.rulebased import RuleBasedPredictor
+from repro.predictors.statistical import StatisticalPredictor
+from repro.ras.fields import Severity
+from repro.ras.logfile import ReadStats, read_log
+from repro.ras.store import EventStore
+from repro.taxonomy.classifier import TaxonomyClassifier
+from tests.conftest import make_event
+
+
+def _labeled(events):
+    return TaxonomyClassifier().classify_store(EventStore.from_events(events))
+
+
+def test_corrupted_log_lines_are_survivable(small_anl_log, tmp_path):
+    """A log with interleaved garbage loads with errors='skip'."""
+    from repro.ras.logfile import format_event
+
+    path = tmp_path / "corrupt.log"
+    with open(path, "w") as fh:
+        for i, ev in enumerate(small_anl_log.raw.to_events()[:500]):
+            fh.write(format_event(ev) + "\n")
+            if i % 50 == 0:
+                fh.write("XXXX corrupted line !!!\n")
+                fh.write("\n")
+    stats = ReadStats()
+    store = read_log(path, errors="skip", stats=stats)
+    assert len(store) == 500
+    assert stats.skipped == 10
+
+
+def test_all_fatal_stream():
+    """A stream with no non-fatal events: rules mine nothing, statistical
+    still works, meta degrades gracefully."""
+    events = _labeled([
+        make_event(time=1000 + 400 * k, severity=Severity.FAILURE,
+                   entry="uncorrectable torus error: retransmission limit exceeded")
+        for k in range(50)
+    ])
+    rb = RuleBasedPredictor().fit(events)
+    assert len(rb.ruleset) == 0
+    assert rb.no_precursor_fraction == 1.0
+    assert rb.predict(events) == []
+
+    meta = MetaLearner().fit(events)
+    warnings = meta.predict(events)
+    assert all(w.detail.startswith("statistical") for w in warnings)
+
+
+def test_all_nonfatal_stream():
+    """No failures at all: nothing to learn, nothing to predict."""
+    events = _labeled([
+        make_event(time=1000 + 60 * k, severity=Severity.INFO,
+                   entry="timer interrupt rollover serviced")
+        for k in range(50)
+    ])
+    sp = StatisticalPredictor().fit(events)
+    assert sp.trigger_categories == ()
+    meta = MetaLearner().fit(events)
+    assert meta.predict(events) == []
+    db = build_event_sets(events, rule_window=900)
+    assert len(db) == 0
+
+
+def test_single_event_stream():
+    events = _labeled([
+        make_event(time=5, severity=Severity.FATAL,
+                   entry="kernel panic: unrecoverable condition detected")
+    ])
+    p = ThreePhasePredictor()
+    p.fit(events)
+    assert p.predict(events) == []
+
+
+def test_identical_timestamps():
+    """Many events at the same second (the CMCS reality) must not break
+    window logic or compression."""
+    events = _labeled(
+        [
+            make_event(time=1000, location=f"R00-M0-N{n:02d}-C00",
+                       severity=Severity.INFO,
+                       entry="dma transfer error: descriptor retried")
+            for n in range(16)
+        ]
+        + [
+            make_event(time=1000, severity=Severity.FAILURE,
+                       entry="kernel panic: unrecoverable condition detected")
+        ]
+    )
+    p = ThreePhasePredictor()
+    result = p.preprocess(events.select(np.arange(len(events))))
+    assert len(result.events) >= 1
+    p.fit(events)
+    p.predict(events)
+
+
+def test_unknown_messages_classify_to_fallback_and_flow_through():
+    events = [
+        make_event(time=100 + k, entry=f"mystery message {k}")
+        for k in range(20)
+    ] + [
+        make_event(time=200, severity=Severity.FATAL,
+                   entry="another mystery, fatal this time"),
+    ]
+    p = ThreePhasePredictor()
+    result = p.preprocess(EventStore.from_events(events))
+    assert len(result.events.fatal_events()) == 1
+    p.fit(result.events)  # must not raise
+
+
+def test_empty_log_stream():
+    store = read_log(io.StringIO(""))
+    assert len(store) == 0
+    result = ThreePhasePredictor().preprocess(store)
+    assert result.unique_events == 0

@@ -1,0 +1,44 @@
+"""The committed sample log must stay loadable and pipeline-compatible."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import ThreePhasePredictor
+from repro.ras.logfile import read_log
+
+SAMPLE = Path(__file__).resolve().parents[2] / "data" / "sample_anl.log"
+
+
+@pytest.fixture(scope="module")
+def sample_store():
+    assert SAMPLE.exists(), "data/sample_anl.log missing from the repo"
+    return read_log(SAMPLE)
+
+
+def test_sample_loads(sample_store):
+    assert len(sample_store) == 4000
+    assert sample_store.is_time_sorted()
+
+
+def test_sample_preprocesses(sample_store):
+    result = ThreePhasePredictor().preprocess(sample_store)
+    assert 0 < result.unique_events < len(sample_store)
+    assert result.overall_compression > 0.5
+    # The sample's span begins at the ANL profile's start date.
+    assert result.events.times[0] >= 1106265600
+
+
+def test_sample_classifies_fully(sample_store):
+    from repro.taxonomy.classifier import OTHER_FALLBACK, TaxonomyClassifier
+
+    labeled = TaxonomyClassifier().classify_store(sample_store)
+    assert OTHER_FALLBACK not in labeled.subcat_counts()
+
+
+def test_sample_cli_roundtrip(capsys):
+    from repro.cli.main import main
+
+    assert main(["preprocess", str(SAMPLE)]) == 0
+    out = capsys.readouterr().out
+    assert "unique events" in out

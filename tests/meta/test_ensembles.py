@@ -1,0 +1,87 @@
+"""Tests for repro.meta.ensembles (dispatch-policy ablations)."""
+
+import pytest
+
+from repro.evaluation.matching import match_warnings
+from repro.meta.ensembles import POLICIES, PolicyEnsemble
+
+
+@pytest.fixture(scope="module")
+def split(anl_events):
+    n = len(anl_events)
+    cut = int(n * 0.7)
+    return anl_events.select(slice(0, cut)), anl_events.select(slice(cut, n))
+
+
+@pytest.fixture(scope="module")
+def fitted(split):
+    train, _ = split
+    out = {}
+    for policy in POLICIES:
+        out[policy] = PolicyEnsemble(policy).fit(train)
+    return out
+
+
+def test_unknown_policy():
+    with pytest.raises(ValueError, match="policy"):
+        PolicyEnsemble("majority")
+
+
+def test_single_base_policies_match_bases(fitted, split):
+    _, test = split
+    rule_only = fitted["rule_only"].predict(test)
+    base_rule = fitted["rule_only"].rulebased.predict(test)
+    assert [w.issued_at for w in rule_only] == [w.issued_at for w in base_rule]
+
+    stat_only = fitted["statistical_only"].predict(test)
+    base_stat = fitted["statistical_only"].statistical.predict(test)
+    assert len(stat_only) == len(base_stat)
+
+
+def test_union_has_all_warnings(fitted, split):
+    _, test = split
+    union = fitted["union"].predict(test)
+    n_rule = len(fitted["union"].rulebased.predict(test))
+    n_stat = len(fitted["union"].statistical.predict(test))
+    assert len(union) == n_rule + n_stat
+
+
+def test_union_recall_at_least_single_base(fitted, split):
+    _, test = split
+    r = {
+        p: match_warnings(fitted[p].predict(test), test).metrics.recall
+        for p in ("union", "rule_only", "statistical_only")
+    }
+    assert r["union"] >= max(r["rule_only"], r["statistical_only"])
+
+
+def test_intersection_smaller_than_union(fitted, split):
+    _, test = split
+    inter = fitted["intersection"].predict(test)
+    union = fitted["union"].predict(test)
+    assert len(inter) <= len(union)
+
+
+def test_confidence_max_bounded_by_union(fitted, split):
+    # Note: intersection keeps BOTH members of an overlapping pair while
+    # confidence_max keeps one, so no fixed order holds between those two;
+    # only the union bound is an invariant.
+    _, test = split
+    n_inter = len(fitted["intersection"].predict(test))
+    n_conf = len(fitted["confidence_max"].predict(test))
+    n_union = len(fitted["union"].predict(test))
+    assert n_conf <= n_union
+    assert n_inter <= n_union
+
+
+def test_warnings_sorted(fitted, split):
+    _, test = split
+    for policy in POLICIES:
+        ws = fitted[policy].predict(test)
+        assert all(
+            ws[i].issued_at <= ws[i + 1].issued_at for i in range(len(ws) - 1)
+        )
+
+
+def test_name_reflects_policy():
+    assert PolicyEnsemble("union").name == "ensemble[union]"

@@ -1,0 +1,132 @@
+"""Tests for repro.meta.multi (N-base meta-learning)."""
+
+import pytest
+
+from repro.evaluation.matching import match_warnings
+from repro.meta.multi import MultiMeta
+from repro.predictors.base import FailureWarning, Predictor
+from repro.predictors.extensions import PeriodicityPredictor
+from repro.predictors.rulebased import RuleBasedPredictor
+from repro.predictors.statistical import StatisticalPredictor
+from repro.ras.store import EventStore
+from repro.util.timeutil import HOUR, MINUTE
+
+
+class _Fixed(Predictor):
+    """Emits a canned warning list (testing harness)."""
+
+    def __init__(self, name, warnings):
+        super().__init__()
+        self.name = name
+        self._warnings = warnings
+
+    def fit(self, events):
+        self._fitted = True
+        return self
+
+    def predict(self, events):
+        self._check_fitted()
+        return list(self._warnings)
+
+
+def w(issued, conf, source, end=None):
+    return FailureWarning(
+        issued_at=issued, horizon_start=issued + 1,
+        horizon_end=end if end is not None else issued + 600,
+        confidence=conf, source=source, detail=source,
+    )
+
+
+def test_requires_bases():
+    with pytest.raises(ValueError):
+        MultiMeta([])
+
+
+def test_requires_unique_names():
+    a = _Fixed("x", [])
+    b = _Fixed("x", [])
+    with pytest.raises(ValueError, match="unique"):
+        MultiMeta([a, b])
+
+
+def test_fit_fits_all_bases():
+    bases = [_Fixed("a", []), _Fixed("b", [])]
+    mm = MultiMeta(bases).fit(EventStore.empty())
+    assert all(b.is_fitted for b in bases)
+    assert mm.predict(EventStore.empty()) == []
+
+
+def test_dominated_warning_suppressed():
+    strong = w(100, 0.9, "a")
+    weak = w(150, 0.5, "b")  # overlaps strong's horizon, lower confidence
+    mm = MultiMeta([_Fixed("a", [strong]), _Fixed("b", [weak])]).fit(
+        EventStore.empty()
+    )
+    kept = mm.predict(EventStore.empty())
+    assert kept == [strong]
+    assert mm.suppressed == {"a": 0, "b": 1}
+    assert mm.contributions == {"a": 1, "b": 0}
+
+
+def test_non_overlapping_both_kept():
+    a = w(100, 0.9, "a", end=200)
+    b = w(500, 0.5, "b")
+    mm = MultiMeta([_Fixed("a", [a]), _Fixed("b", [b])]).fit(
+        EventStore.empty()
+    )
+    assert len(mm.predict(EventStore.empty())) == 2
+
+
+def test_equal_confidence_both_kept():
+    a = w(100, 0.7, "a")
+    b = w(150, 0.7, "b")
+    mm = MultiMeta([_Fixed("a", [a]), _Fixed("b", [b])]).fit(
+        EventStore.empty()
+    )
+    assert len(mm.predict(EventStore.empty())) == 2
+
+
+def test_same_base_never_suppresses_itself():
+    a1 = w(100, 0.9, "a")
+    a2 = w(150, 0.5, "a")
+    mm = MultiMeta([_Fixed("a", [a1, a2])]).fit(EventStore.empty())
+    assert len(mm.predict(EventStore.empty())) == 2
+
+
+def test_three_bases_on_real_log(anl_events):
+    """Future-work configuration: statistical + rule + periodicity."""
+    cut = int(len(anl_events) * 0.5)
+    train = anl_events.select(slice(0, cut))
+    test = anl_events.select(slice(cut, len(anl_events)))
+
+    mm = MultiMeta([
+        StatisticalPredictor(window=HOUR, lead=5 * MINUTE),
+        RuleBasedPredictor(rule_window=15 * MINUTE,
+                           prediction_window=30 * MINUTE),
+        PeriodicityPredictor(),
+    ]).fit(train)
+    kept = mm.predict(test)
+    m = match_warnings(kept, test).metrics
+
+    # Sanity bounds (the tiny session fixture leaves few test failures;
+    # magnitude is asserted by the benches at scale).
+    assert sum(mm.contributions.values()) == len(kept)
+    assert m.n_warnings > 0
+    assert 0.0 <= m.precision <= 1.0
+
+    # Arbitration must not lose recall vs the best single base.
+    singles = []
+    for base in (
+        StatisticalPredictor(window=HOUR, lead=5 * MINUTE),
+        RuleBasedPredictor(rule_window=15 * MINUTE,
+                           prediction_window=30 * MINUTE),
+    ):
+        base.fit(train)
+        singles.append(match_warnings(base.predict(test), test).metrics.recall)
+    assert m.recall >= max(singles) - 0.05
+
+
+def test_not_fitted():
+    mm = MultiMeta([_Fixed("a", [])])
+    with pytest.raises(Exception):
+        mm.predict(EventStore.empty())

@@ -1,0 +1,167 @@
+"""Tests for repro.meta.stacked (the coverage-based meta-learner)."""
+
+import pytest
+
+from repro.evaluation.matching import match_warnings
+from repro.meta.stacked import MetaLearner
+from repro.predictors.rulebased import RuleBasedPredictor
+from repro.predictors.statistical import StatisticalPredictor
+from repro.ras.fields import Facility, Severity
+from repro.ras.store import EventStore
+from repro.taxonomy.classifier import TaxonomyClassifier
+from repro.util.timeutil import HOUR, MINUTE
+from tests.conftest import make_event
+
+
+def _labeled(events):
+    return TaxonomyClassifier().classify_store(EventStore.from_events(events))
+
+
+def _chain(t0, with_head=True):
+    events = [
+        make_event(time=t0, severity=Severity.WARNING,
+                   entry="watchdog timer approaching expiration"),
+        make_event(time=t0 + 60, severity=Severity.ERROR,
+                   entry="kernel assertion failed: internal consistency check"),
+    ]
+    if with_head:
+        events.append(
+            make_event(time=t0 + 180, severity=Severity.FAILURE,
+                       entry="kernel panic: unrecoverable condition detected")
+        )
+    return events
+
+
+def _net_fatal(t):
+    return make_event(time=t, severity=Severity.FAILURE, facility=Facility.KERNEL,
+                      entry="uncorrectable torus error: retransmission limit exceeded")
+
+
+@pytest.fixture
+def mixed_train():
+    """Chains plus network storms: both base signals present."""
+    events = []
+    for k in range(25):
+        events.extend(_chain(10_000 + k * 7200))
+    for k in range(25):
+        t = 2_000_000 + k * 7200
+        events.extend([_net_fatal(t), _net_fatal(t + 10 * MINUTE),
+                       _net_fatal(t + 20 * MINUTE)])
+    return _labeled(events)
+
+
+@pytest.fixture
+def meta(mixed_train):
+    return MetaLearner(
+        prediction_window=30 * MINUTE, rule_window=15 * MINUTE
+    ).fit(mixed_train)
+
+
+def test_fit_fits_both_bases(meta):
+    assert meta.statistical.is_fitted
+    assert meta.rulebased.is_fitted
+    assert len(meta.rulebased.ruleset) >= 1
+    assert meta.statistical.trigger_categories
+
+
+def test_case1_rule_dispatch(meta):
+    """Non-fatal-only context: the rule method speaks."""
+    test = _labeled(_chain(9_000_000))
+    warnings = meta.predict(test)
+    assert len(warnings) == 1
+    assert warnings[0].detail.startswith("rule:")
+    assert meta.dispatch_counts == {"rule": 1, "statistical": 0}
+
+
+def test_case2_statistical_dispatch(meta):
+    """Fatal-only context with trigger history: the statistical method."""
+    test = _labeled([
+        _net_fatal(9_000_000),
+        _net_fatal(9_000_000 + 10 * MINUTE),
+    ])
+    warnings = meta.predict(test)
+    assert len(warnings) == 1
+    assert warnings[0].detail == "statistical: network"
+    # Issued at the second fatal (the first has no trigger history).
+    assert warnings[0].issued_at == 9_000_000 + 10 * MINUTE
+
+
+def test_isolated_trigger_is_silent(meta):
+    """A single isolated network fatal is a pattern *start*, not evidence."""
+    test = _labeled([_net_fatal(9_000_000)])
+    assert meta.predict(test) == []
+
+
+def test_statistical_band_fixed(meta):
+    """Meta statistical warnings keep the 5min-1h band regardless of W."""
+    test = _labeled([
+        _net_fatal(9_000_000),
+        _net_fatal(9_000_000 + 10 * MINUTE),
+    ])
+    [w] = meta.predict(test)
+    assert w.horizon_start == w.issued_at + 5 * MINUTE
+    assert w.horizon_end == w.issued_at + HOUR
+
+
+def test_stat_dedup_within_storm(meta):
+    """One active statistical warning per category inside a storm."""
+    base = 9_000_000
+    test = _labeled([_net_fatal(base + k * 10 * MINUTE) for k in range(5)])
+    warnings = meta.predict(test)
+    assert len(warnings) == 1
+
+
+def test_meta_covers_union_of_signals(meta):
+    """Chains AND storms in the test stream: meta covers both kinds."""
+    events = (
+        _chain(9_000_000)
+        + [_net_fatal(9_500_000 + k * 10 * MINUTE) for k in range(4)]
+    )
+    test = _labeled(events)
+    warnings = meta.predict(test)
+    match = match_warnings(warnings, test)
+    # 5 fatals total: 1 chain head + 4 storm members; chain head and storm
+    # members 2..4 are coverable.
+    assert match.metrics.covered_fatals >= 3
+
+
+def test_meta_beats_both_bases_on_recall(anl_events):
+    """The paper's headline claim, on the small ANL log."""
+    n = len(anl_events)
+    cut = int(n * 0.7)
+    train = anl_events.select(slice(0, cut))
+    test = anl_events.select(slice(cut, n))
+    W, G = 30 * MINUTE, 15 * MINUTE
+
+    stat = StatisticalPredictor(window=HOUR, lead=5 * MINUTE).fit(train)
+    rule = RuleBasedPredictor(rule_window=G, prediction_window=W).fit(train)
+    meta = MetaLearner(prediction_window=W, rule_window=G).fit(train)
+
+    r_stat = match_warnings(stat.predict(test), test).metrics.recall
+    r_rule = match_warnings(rule.predict(test), test).metrics.recall
+    r_meta = match_warnings(meta.predict(test), test).metrics.recall
+    assert r_meta >= max(r_stat, r_rule)
+
+
+def test_dispatch_counts_reset_per_predict(meta):
+    test = _labeled(_chain(9_000_000))
+    meta.predict(test)
+    first = dict(meta.dispatch_counts)
+    meta.predict(test)
+    assert meta.dispatch_counts == first
+
+
+def test_empty_test_store(meta):
+    assert meta.predict(
+        TaxonomyClassifier().classify_store(EventStore.empty())
+    ) == []
+
+
+def test_not_fitted():
+    with pytest.raises(Exception):
+        MetaLearner().predict(EventStore.empty())
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        MetaLearner(prediction_window=0)

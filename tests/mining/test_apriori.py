@@ -1,0 +1,97 @@
+"""Tests for repro.mining.apriori on hand-checked databases."""
+
+import pytest
+
+from repro.mining.apriori import apriori, support_of
+
+
+def fs(*items):
+    return frozenset(items)
+
+
+#: Classic textbook database.
+DB = [
+    fs(1, 2, 5),
+    fs(2, 4),
+    fs(2, 3),
+    fs(1, 2, 4),
+    fs(1, 3),
+    fs(2, 3),
+    fs(1, 3),
+    fs(1, 2, 3, 5),
+    fs(1, 2, 3),
+]
+
+
+def test_known_database_counts():
+    result = apriori(DB, min_support=2 / 9)
+    # Hand-checked frequent itemsets (min count 2).
+    assert result[fs(1)] == 6
+    assert result[fs(2)] == 7
+    assert result[fs(3)] == 6
+    assert result[fs(4)] == 2
+    assert result[fs(5)] == 2
+    assert result[fs(1, 2)] == 4
+    assert result[fs(1, 3)] == 4
+    assert result[fs(2, 3)] == 4
+    assert result[fs(1, 5)] == 2
+    assert result[fs(2, 5)] == 2
+    assert result[fs(1, 2, 3)] == 2
+    assert result[fs(1, 2, 5)] == 2
+    # Infrequent itemsets absent.
+    assert fs(3, 5) not in result
+    assert fs(1, 4) not in result
+
+
+def test_support_threshold_inclusive():
+    # Support exactly at the threshold passes.
+    db = [fs(1), fs(1), fs(2), fs(2)]
+    result = apriori(db, min_support=0.5)
+    assert fs(1) in result and fs(2) in result
+
+
+def test_higher_support_prunes_more():
+    low = apriori(DB, min_support=0.1)
+    high = apriori(DB, min_support=0.5)
+    assert set(high) <= set(low)
+    assert len(high) < len(low)
+
+
+def test_max_len_caps_itemset_size():
+    result = apriori(DB, min_support=0.1, max_len=2)
+    assert all(len(s) <= 2 for s in result)
+
+
+def test_empty_database():
+    assert apriori([], min_support=0.1) == {}
+
+
+def test_empty_transactions_ignored():
+    result = apriori([fs(), fs(1), fs(1)], min_support=0.5)
+    assert result == {fs(1): 2}
+
+
+def test_apriori_property_holds():
+    """Every subset of a frequent itemset is frequent with >= count."""
+    result = apriori(DB, min_support=0.2)
+    for itemset, count in result.items():
+        for item in itemset:
+            sub = itemset - {item}
+            if sub:
+                assert sub in result
+                assert result[sub] >= count
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        apriori(DB, min_support=1.5)
+    with pytest.raises(ValueError):
+        apriori(DB, min_support=0.1, max_len=0)
+
+
+def test_support_of():
+    counts = apriori(DB, min_support=0.2)
+    assert support_of([1, 2], counts, len(DB)) == pytest.approx(4 / 9)
+    assert support_of([99], counts, len(DB)) == 0.0
+    with pytest.raises(ValueError):
+        support_of([1], counts, 0)

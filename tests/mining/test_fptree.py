@@ -1,0 +1,68 @@
+"""Tests for repro.mining.fptree (FP-growth) — including Apriori equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.mining.apriori import apriori
+from repro.mining.fptree import fpgrowth
+
+
+def fs(*items):
+    return frozenset(items)
+
+
+DB = [
+    fs(1, 2, 5),
+    fs(2, 4),
+    fs(2, 3),
+    fs(1, 2, 4),
+    fs(1, 3),
+    fs(2, 3),
+    fs(1, 3),
+    fs(1, 2, 3, 5),
+    fs(1, 2, 3),
+]
+
+
+def test_known_database_matches_apriori():
+    assert fpgrowth(DB, 2 / 9) == apriori(DB, 2 / 9)
+
+
+@pytest.mark.parametrize("min_support", [0.1, 0.25, 0.5, 0.9])
+def test_equivalence_random_databases(min_support):
+    rng = np.random.default_rng(int(min_support * 100))
+    for _ in range(5):
+        n_items = int(rng.integers(3, 12))
+        db = [
+            frozenset(
+                int(x)
+                for x in rng.choice(
+                    n_items, size=int(rng.integers(0, n_items)), replace=False
+                )
+            )
+            for _ in range(int(rng.integers(1, 60)))
+        ]
+        assert fpgrowth(db, min_support) == apriori(db, min_support), db
+
+
+def test_max_len_equivalence():
+    assert fpgrowth(DB, 0.1, max_len=2) == apriori(DB, 0.1, max_len=2)
+
+
+def test_empty_database():
+    assert fpgrowth([], 0.1) == {}
+
+
+def test_single_transaction():
+    assert fpgrowth([fs(1, 2)], 1.0) == {
+        fs(1): 1,
+        fs(2): 1,
+        fs(1, 2): 1,
+    }
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        fpgrowth(DB, -0.1)
+    with pytest.raises(ValueError):
+        fpgrowth(DB, 0.1, max_len=0)

@@ -1,0 +1,131 @@
+"""Tests for repro.mining.transactions (event-set construction)."""
+
+import pytest
+
+from repro.mining.transactions import (
+    EventSetDB,
+    build_event_sets,
+    build_tiled_windows,
+)
+from repro.ras.fields import Facility, Severity
+from repro.ras.store import EventStore
+from repro.taxonomy.classifier import TaxonomyClassifier
+from tests.conftest import make_event
+
+
+def _labeled(*events):
+    return TaxonomyClassifier().classify_store(EventStore.from_events(events))
+
+
+@pytest.fixture
+def chain_store():
+    """Two non-fatal precursors, then a fatal, then an isolated fatal."""
+    return _labeled(
+        make_event(time=100, severity=Severity.INFO,
+                   entry="ddr error correction: single bit error corrected by ecc"),
+        make_event(time=200, severity=Severity.INFO,
+                   entry="interrupt mask register updated for memory unit"),
+        make_event(time=400, severity=Severity.FAILURE, facility=Facility.KERNEL,
+                   entry="communication failure on socket read: connection closed by peer"),
+        make_event(time=9000, severity=Severity.FATAL, facility=Facility.KERNEL,
+                   entry="uncorrectable torus error: retransmission limit exceeded"),
+    )
+
+
+def test_one_transaction_per_fatal(chain_store):
+    db = build_event_sets(chain_store, rule_window=600)
+    assert len(db) == 2
+
+
+def test_body_contains_preceding_nonfatals(chain_store):
+    db = build_event_sets(chain_store, rule_window=600)
+    names = {db.name_of(i) for i in db.bodies[0]}
+    assert names == {"ddrErrorCorrectionInfo", "maskInfo"}
+    head_names = {db.name_of(i) for i in db.heads[0]}
+    assert head_names == {"socketReadFailure"}
+
+
+def test_window_excludes_old_events(chain_store):
+    db = build_event_sets(chain_store, rule_window=250)
+    # Only maskInfo (t=200) is within 250 s of the fatal at t=400.
+    names = {db.name_of(i) for i in db.bodies[0]}
+    assert names == {"maskInfo"}
+
+
+def test_isolated_fatal_has_empty_body(chain_store):
+    db = build_event_sets(chain_store, rule_window=600)
+    assert db.bodies[1] == frozenset()
+    assert db.no_precursor_fraction() == pytest.approx(0.5)
+
+
+def test_window_is_strictly_before_fatal(chain_store):
+    # An event at the same second as the fatal is NOT a precursor.
+    extra = _labeled(
+        make_event(time=400, severity=Severity.INFO,
+                   entry="timer interrupt rollover serviced"),
+        make_event(time=400, severity=Severity.FATAL, facility=Facility.KERNEL,
+                   entry="kernel panic: unrecoverable condition detected"),
+    )
+    db = build_event_sets(extra, rule_window=600)
+    assert db.bodies[0] == frozenset()
+
+
+def test_fatal_events_never_in_bodies(anl_events):
+    db = build_event_sets(anl_events, rule_window=900)
+    for body in db.bodies:
+        assert not (body & db.fatal_items)
+
+
+def test_transactions_union(chain_store):
+    db = build_event_sets(chain_store, rule_window=600)
+    t = db.transactions()
+    assert t[0] == db.bodies[0] | db.heads[0]
+
+
+def test_requires_classified_store(tiny_store):
+    with pytest.raises(ValueError, match="classified"):
+        build_event_sets(tiny_store, rule_window=600)
+
+
+def test_requires_positive_window(chain_store):
+    with pytest.raises(ValueError):
+        build_event_sets(chain_store, rule_window=0)
+
+
+def test_tiled_windows_cover_failure_free_stretches():
+    store = _labeled(
+        make_event(time=100, severity=Severity.INFO,
+                   entry="timer interrupt rollover serviced"),
+        make_event(time=5000, severity=Severity.INFO,
+                   entry="dma transfer error: descriptor retried"),
+        make_event(time=9000, severity=Severity.FATAL, facility=Facility.KERNEL,
+                   entry="kernel panic: unrecoverable condition detected"),
+    )
+    db = build_tiled_windows(store, window=600)
+    # The window holding t=5000 has a body but no head.
+    assert any(b and not h for b, h in zip(db.bodies, db.heads))
+    # Windows with no events at all are skipped.
+    assert len(db) == 3
+
+
+def test_tiled_windows_empty_store():
+    db = build_tiled_windows(
+        TaxonomyClassifier().classify_store(EventStore.empty()), window=600
+    )
+    assert len(db) == 0
+
+
+def test_no_precursor_fraction_empty_db():
+    db = EventSetDB([], [], [], frozenset())
+    assert db.no_precursor_fraction() == 0.0
+
+
+def test_db_alignment_validated():
+    with pytest.raises(ValueError):
+        EventSetDB([frozenset()], [], [], frozenset())
+
+
+def test_paper_no_precursor_range(anl_events):
+    """The ANL profile plants a substantial no-precursor fraction."""
+    db = build_event_sets(anl_events, rule_window=15 * 60)
+    assert 0.1 < db.no_precursor_fraction() < 0.7

@@ -1,0 +1,93 @@
+"""Tests for repro.predictors.extensions."""
+
+import pytest
+
+from repro.predictors.extensions import (
+    AlwaysWarnPredictor,
+    NeverWarnPredictor,
+    PeriodicityPredictor,
+)
+from repro.evaluation.matching import match_warnings
+from repro.ras.fields import Facility, Severity
+from repro.ras.store import EventStore
+from repro.taxonomy.classifier import TaxonomyClassifier
+from repro.util.timeutil import HOUR
+from tests.conftest import make_event
+
+
+def _labeled(events):
+    return TaxonomyClassifier().classify_store(EventStore.from_events(events))
+
+
+@pytest.fixture
+def periodic_store():
+    """Network failures exactly every 6 hours."""
+    return _labeled([
+        make_event(time=10_000 + k * 6 * HOUR, severity=Severity.FAILURE,
+                   facility=Facility.KERNEL,
+                   entry="uncorrectable torus error: retransmission limit exceeded")
+        for k in range(40)
+    ])
+
+
+def test_periodicity_learns_period(periodic_store):
+    from repro.taxonomy.categories import MainCategory
+
+    p = PeriodicityPredictor().fit(periodic_store)
+    assert MainCategory.NETWORK in p.periods
+    median, conf = p.periods[MainCategory.NETWORK]
+    assert median == pytest.approx(6 * HOUR)
+    assert conf == pytest.approx(1.0)
+
+
+def test_periodicity_predicts_next_failure(periodic_store):
+    p = PeriodicityPredictor().fit(periodic_store)
+    warnings = p.predict(periodic_store)
+    assert warnings
+    match = match_warnings(warnings, periodic_store)
+    # All but the last failure are followed on schedule.
+    assert match.metrics.recall > 0.9
+    assert match.metrics.precision > 0.9
+
+
+def test_periodicity_ignores_dispersed_categories(anl_events):
+    """Storm-driven categories are not quasi-periodic: nothing learned or
+    few periods with honest (low) confidence."""
+    p = PeriodicityPredictor(dispersion=0.2).fit(anl_events)
+    from repro.taxonomy.categories import MainCategory
+
+    assert MainCategory.IOSTREAM not in p.periods
+
+
+def test_periodicity_min_samples():
+    store = _labeled([
+        make_event(time=1000, severity=Severity.FAILURE,
+                   entry="kernel panic: unrecoverable condition detected"),
+    ])
+    p = PeriodicityPredictor(min_samples=10).fit(store)
+    assert p.periods == {}
+    assert p.predict(store) == []
+
+
+def test_periodicity_validation():
+    with pytest.raises(ValueError):
+        PeriodicityPredictor(min_samples=1)
+    with pytest.raises(ValueError):
+        PeriodicityPredictor(half_band=0)
+
+
+def test_always_warn_baseline(periodic_store):
+    p = AlwaysWarnPredictor(window=HOUR).fit(periodic_store)
+    warnings = p.predict(periodic_store)
+    assert len(warnings) == len(periodic_store)
+    # Failures every 6h, horizon 1h: precision is the base rate (~0),
+    # recall stays 0 because no fatal falls within 1h of a previous event.
+    match = match_warnings(warnings, periodic_store)
+    assert match.metrics.precision < 0.1
+
+
+def test_never_warn_baseline(periodic_store):
+    p = NeverWarnPredictor().fit(periodic_store)
+    match = match_warnings(p.predict(periodic_store), periodic_store)
+    assert match.metrics.recall == 0.0
+    assert match.metrics.n_warnings == 0

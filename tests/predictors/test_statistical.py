@@ -1,0 +1,147 @@
+"""Tests for repro.predictors.statistical."""
+
+import numpy as np
+import pytest
+
+from repro.predictors.statistical import StatisticalPredictor, failure_gap_cdf
+from repro.ras.fields import Facility, Severity
+from repro.ras.store import EventStore
+from repro.taxonomy.categories import MainCategory
+from repro.taxonomy.classifier import TaxonomyClassifier
+from repro.util.timeutil import HOUR, MINUTE
+from tests.conftest import make_event
+
+
+def _fatal(time, entry="uncorrectable torus error: retransmission limit exceeded"):
+    return make_event(
+        time=time, severity=Severity.FAILURE, facility=Facility.KERNEL,
+        entry=entry,
+    )
+
+
+def _labeled(events):
+    return TaxonomyClassifier().classify_store(EventStore.from_events(events))
+
+
+@pytest.fixture
+def bursty_store():
+    """Network fatals in pairs 10 minutes apart, pairs 1 day apart."""
+    events = []
+    for day in range(20):
+        t = 100_000 + day * 86_400
+        events.append(_fatal(t))
+        events.append(_fatal(t + 10 * MINUTE))
+    return _labeled(events)
+
+
+def test_fit_learns_follow_probability(bursty_store):
+    sp = StatisticalPredictor(window=HOUR, lead=5 * MINUTE).fit(bursty_store)
+    # Every first-of-pair is followed within the band; seconds are not.
+    assert sp.follow_probability[MainCategory.NETWORK] == pytest.approx(0.5)
+    assert MainCategory.NETWORK in sp.trigger_categories
+
+
+def test_trigger_threshold(bursty_store):
+    sp = StatisticalPredictor(trigger_threshold=0.9).fit(bursty_store)
+    assert sp.trigger_categories == ()
+
+
+def test_forced_categories(bursty_store):
+    sp = StatisticalPredictor(
+        categories=[MainCategory.MEMORY], trigger_threshold=0.9
+    ).fit(bursty_store)
+    assert sp.trigger_categories == (MainCategory.MEMORY,)
+
+
+def test_predict_emits_one_warning_per_trigger(bursty_store):
+    sp = StatisticalPredictor(window=HOUR, lead=0.0).fit(bursty_store)
+    warnings = sp.predict(bursty_store)
+    assert len(warnings) == len(bursty_store)  # every fatal is network
+    w = warnings[0]
+    assert w.source == "statistical"
+    assert w.detail == "network"
+    assert w.horizon_start == w.issued_at + 1  # lead 0 still excludes self
+    assert w.horizon_end == w.issued_at + HOUR
+
+
+def test_predict_respects_lead(bursty_store):
+    sp = StatisticalPredictor(window=HOUR, lead=5 * MINUTE).fit(bursty_store)
+    w = sp.predict(bursty_store)[0]
+    assert w.horizon_start == w.issued_at + 5 * MINUTE
+
+
+def test_predict_empty_when_no_triggers(bursty_store):
+    sp = StatisticalPredictor(trigger_threshold=0.9).fit(bursty_store)
+    assert sp.predict(bursty_store) == []
+
+
+def test_deduplicate_option(bursty_store):
+    sp = StatisticalPredictor(
+        window=HOUR, lead=0.0, deduplicate=True
+    ).fit(bursty_store)
+    warnings = sp.predict(bursty_store)
+    # Second of each pair falls inside the first's horizon -> suppressed.
+    assert len(warnings) == 20
+
+
+def test_candidate_confidence(bursty_store):
+    sp = StatisticalPredictor(window=HOUR, lead=5 * MINUTE).fit(bursty_store)
+    assert sp.candidate_confidence(MainCategory.NETWORK) == pytest.approx(0.5)
+    assert sp.candidate_confidence(MainCategory.MEMORY) is None
+
+
+def test_fit_empty_store():
+    sp = StatisticalPredictor().fit(
+        TaxonomyClassifier().classify_store(EventStore.empty())
+    )
+    assert sp.trigger_categories == ()
+    assert sp.predict(
+        TaxonomyClassifier().classify_store(EventStore.empty())
+    ) == []
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        StatisticalPredictor(window=0)
+    with pytest.raises(ValueError):
+        StatisticalPredictor(window=100, lead=100)
+    with pytest.raises(ValueError):
+        StatisticalPredictor(trigger_threshold=2.0)
+
+
+def test_not_fitted(bursty_store):
+    with pytest.raises(Exception):
+        StatisticalPredictor().predict(bursty_store)
+
+
+def test_anl_triggers_are_network_and_iostream(anl_events):
+    """On the ANL profile the selected triggers match the paper's analysis."""
+    sp = StatisticalPredictor(window=HOUR, lead=5 * MINUTE).fit(anl_events)
+    assert MainCategory.NETWORK in sp.trigger_categories
+    assert MainCategory.IOSTREAM in sp.trigger_categories
+
+
+# ---------------------------------------------------------------------- #
+# failure_gap_cdf (Figure 2)
+# ---------------------------------------------------------------------- #
+
+
+def test_cdf_monotone_nondecreasing(anl_events):
+    grid, cdf = failure_gap_cdf(anl_events)
+    assert np.all(np.diff(cdf) >= 0)
+    assert 0.0 <= cdf[0] <= cdf[-1] <= 1.0
+
+
+def test_cdf_known_gaps(bursty_store):
+    grid = np.array([5 * MINUTE, 15 * MINUTE, 2 * 86_400], dtype=float)
+    _, cdf = failure_gap_cdf(bursty_store, grid)
+    # Half the gaps are 10 min, half ~1 day.
+    assert cdf[0] == pytest.approx(0.0)
+    assert cdf[1] == pytest.approx(20 / 39, abs=0.01)
+    assert cdf[2] == pytest.approx(1.0)
+
+
+def test_cdf_too_few_fatals():
+    store = _labeled([_fatal(100)])
+    grid, cdf = failure_gap_cdf(store)
+    assert np.all(cdf == 0)

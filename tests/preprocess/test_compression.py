@@ -1,0 +1,168 @@
+"""Tests for repro.preprocess.compression (Phase-1 steps 2-3)."""
+
+import numpy as np
+import pytest
+
+from repro.preprocess.compression import (
+    DEFAULT_THRESHOLD,
+    spatial_compress,
+    temporal_compress,
+)
+from repro.ras.events import RasEvent
+from repro.ras.fields import Facility, Severity
+from repro.ras.store import EventStore
+from tests.conftest import make_event
+
+
+def _store(*events):
+    return EventStore.from_events(events)
+
+
+def test_default_threshold_is_papers():
+    assert DEFAULT_THRESHOLD == 300
+
+
+def test_temporal_merges_same_job_location_within_threshold():
+    s = _store(
+        make_event(time=100, job_id=1, location="R00-M0-N00-C00"),
+        make_event(time=200, job_id=1, location="R00-M0-N00-C00"),
+        make_event(time=350, job_id=1, location="R00-M0-N00-C00"),
+    )
+    out, stats = temporal_compress(s)
+    # Gap-based clustering: 100-200-350 chain all within 300 s gaps -> one.
+    assert len(out) == 1
+    assert stats.removed == 2
+
+
+def test_temporal_respects_gap_not_cluster_span():
+    # Events 100, 350, 600: every consecutive gap <= 300 -> single cluster
+    # even though the span is 500 s (gap-based semantics).
+    s = _store(
+        *[make_event(time=t, job_id=1, location="R00") for t in (100, 350, 600)]
+    )
+    out, _ = temporal_compress(s)
+    assert len(out) == 1
+
+
+def test_temporal_splits_on_large_gap():
+    s = _store(
+        make_event(time=100, job_id=1, location="R00"),
+        make_event(time=500, job_id=1, location="R00"),
+    )
+    out, _ = temporal_compress(s)
+    assert len(out) == 2
+
+
+def test_temporal_distinguishes_jobs_and_locations():
+    s = _store(
+        make_event(time=100, job_id=1, location="R00"),
+        make_event(time=110, job_id=2, location="R00"),
+        make_event(time=120, job_id=1, location="R01"),
+    )
+    out, _ = temporal_compress(s)
+    assert len(out) == 3
+
+
+def test_temporal_keeps_max_severity_representative():
+    s = _store(
+        make_event(time=100, job_id=1, location="R00", severity=Severity.INFO,
+                   entry="info msg"),
+        make_event(time=150, job_id=1, location="R00", severity=Severity.FATAL,
+                   entry="load program failure: invalid or missing program image",
+                   facility=Facility.APP),
+        make_event(time=200, job_id=1, location="R00", severity=Severity.INFO,
+                   entry="info msg"),
+    )
+    out, stats = temporal_compress(s)
+    assert len(out) == 1
+    assert out[0].severity is Severity.FATAL
+    assert out[0].time == 150  # earliest max-severity record keeps its time
+    # Removed records were the two INFO ones.
+    assert stats.removed_by_severity[int(Severity.INFO)] == 2
+
+
+def test_temporal_key_mode_entry_preserves_distinct_messages():
+    s = _store(
+        make_event(time=100, job_id=1, location="R00", entry="msg a"),
+        make_event(time=150, job_id=1, location="R00", entry="msg b"),
+    )
+    literal, _ = temporal_compress(s, key_mode="job_location")
+    conservative, _ = temporal_compress(s, key_mode="job_location_entry")
+    assert len(literal) == 1
+    assert len(conservative) == 2
+
+
+def test_temporal_invalid_key_mode(tiny_store):
+    with pytest.raises(ValueError, match="key_mode"):
+        temporal_compress(tiny_store, key_mode="bogus")
+
+
+def test_spatial_merges_same_entry_job_across_locations():
+    s = _store(
+        make_event(time=100, job_id=1, location="R00-M0-N00-C00", entry="x"),
+        make_event(time=150, job_id=1, location="R00-M0-N00-C01", entry="x"),
+        make_event(time=200, job_id=1, location="R00-M1-N03-C05", entry="x"),
+    )
+    out, stats = spatial_compress(s)
+    assert len(out) == 1
+    assert stats.compression_ratio == pytest.approx(2 / 3)
+
+
+def test_spatial_keeps_different_entries():
+    s = _store(
+        make_event(time=100, job_id=1, location="R00", entry="x"),
+        make_event(time=150, job_id=1, location="R01", entry="y"),
+    )
+    out, _ = spatial_compress(s)
+    assert len(out) == 2
+
+
+def test_spatial_keeps_different_jobs():
+    s = _store(
+        make_event(time=100, job_id=1, location="R00", entry="x"),
+        make_event(time=150, job_id=2, location="R01", entry="x"),
+    )
+    out, _ = spatial_compress(s)
+    assert len(out) == 2
+
+
+def test_compress_empty_store():
+    out, stats = temporal_compress(EventStore.empty())
+    assert len(out) == 0
+    assert stats.compression_ratio == 0.0
+
+
+def test_compress_single_record(tiny_store):
+    one = tiny_store.select(slice(0, 1))
+    out, stats = temporal_compress(one)
+    assert len(out) == 1
+    assert stats.removed == 0
+
+
+def test_compression_output_time_sorted(tiny_store):
+    out, _ = temporal_compress(tiny_store)
+    assert out.is_time_sorted()
+    out2, _ = spatial_compress(out)
+    assert out2.is_time_sorted()
+
+
+def test_compression_idempotent(tiny_store):
+    once, _ = temporal_compress(tiny_store)
+    twice, stats = temporal_compress(once)
+    assert len(twice) == len(once)
+    assert stats.removed == 0
+
+
+def test_threshold_validation(tiny_store):
+    with pytest.raises(ValueError):
+        temporal_compress(tiny_store, threshold=0)
+
+
+def test_cmcs_roundtrip_recovers_unique_fatals(small_anl_log):
+    """Compression must recover the planted fatal events (count-wise)."""
+    from repro.core.pipeline import ThreePhasePredictor
+
+    result = ThreePhasePredictor().preprocess(small_anl_log.raw)
+    planted = sum(small_anl_log.ground_truth_fatal_counts().values())
+    recovered = len(result.events.fatal_events())
+    assert recovered == pytest.approx(planted, rel=0.05)

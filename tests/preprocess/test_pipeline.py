@@ -1,0 +1,70 @@
+"""Tests for repro.preprocess.pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.preprocess.pipeline import (
+    PreprocessPipeline,
+    job_impacting_filter,
+)
+from repro.ras.events import NO_JOB
+from repro.ras.fields import Severity
+from repro.ras.store import EventStore, UNCLASSIFIED
+from tests.conftest import make_event
+
+
+def test_run_classifies_everything(tiny_store):
+    result = PreprocessPipeline().run(tiny_store)
+    assert not np.any(result.events.subcat_ids == UNCLASSIFIED)
+
+
+def test_run_counts_consistent(small_anl_log):
+    result = PreprocessPipeline().run(small_anl_log.raw)
+    assert result.raw_records == len(small_anl_log.raw)
+    assert result.unique_events == len(result.events)
+    assert result.unique_events <= result.raw_records
+    assert 0.0 <= result.overall_compression < 1.0
+    # Temporal output feeds spatial input.
+    assert result.temporal_stats.output_records == result.spatial_stats.input_records
+
+
+def test_run_substantial_compression(small_anl_log):
+    """The raw log is massively redundant; Phase 1 must remove most of it."""
+    result = PreprocessPipeline().run(small_anl_log.raw)
+    assert result.overall_compression > 0.9
+
+
+def test_event_filter_hook():
+    events = [
+        make_event(time=100, severity=Severity.FATAL, job_id=NO_JOB,
+                   entry="uncorrectable torus error: retransmission limit exceeded"),
+        make_event(time=5000, severity=Severity.FATAL, job_id=7,
+                   entry="uncorrectable torus error: retransmission limit exceeded"),
+        make_event(time=9000, severity=Severity.INFO, job_id=NO_JOB,
+                   entry="timer interrupt rollover serviced"),
+    ]
+    store = EventStore.from_events(events)
+    result = PreprocessPipeline(event_filter=job_impacting_filter).run(store)
+    # The job-less fatal is filtered; the non-fatal and job fatal survive.
+    assert result.filtered_out == 1
+    fatal = result.events.fatal_events()
+    assert len(fatal) == 1
+    assert fatal[0].job_id == 7
+
+
+def test_no_filter_by_default(tiny_store):
+    result = PreprocessPipeline().run(tiny_store)
+    assert result.filtered_out == 0
+
+
+def test_empty_input():
+    result = PreprocessPipeline().run(EventStore.empty())
+    assert result.unique_events == 0
+    assert result.overall_compression == 0.0
+
+
+def test_custom_threshold_changes_output(small_anl_log):
+    tight = PreprocessPipeline(threshold=30.0).run(small_anl_log.raw)
+    loose = PreprocessPipeline(threshold=300.0).run(small_anl_log.raw)
+    # A tighter threshold merges less.
+    assert tight.unique_events >= loose.unique_events

@@ -1,0 +1,67 @@
+"""Tests for repro.preprocess.summary."""
+
+import pytest
+
+from repro.preprocess.summary import (
+    category_fatal_counts,
+    format_table4,
+    log_summary,
+    severity_breakdown,
+)
+from repro.ras.store import EventStore
+from repro.taxonomy.categories import CATEGORY_ORDER, MainCategory
+from repro.taxonomy.classifier import TaxonomyClassifier
+
+
+def test_log_summary_fields(small_anl_log):
+    s = log_summary(small_anl_log.raw, name="ANL")
+    assert s["name"] == "ANL"
+    assert s["records"] == len(small_anl_log.raw)
+    assert s["span_days"] > 0
+    assert s["approx_size_mb"] > 0
+
+
+def test_log_summary_empty():
+    s = log_summary(EventStore.empty())
+    assert s["records"] == 0
+    assert s["start"] == "-"
+
+
+def test_severity_breakdown(tiny_store):
+    b = severity_breakdown(tiny_store)
+    assert b["INFO"] == 3
+    assert b["FATAL"] == 1
+    assert sum(b.values()) == len(tiny_store)
+
+
+def test_category_fatal_counts(anl_events):
+    counts = category_fatal_counts(anl_events)
+    assert set(counts) == set(CATEGORY_ORDER)
+    total = sum(counts.values())
+    assert total == len(anl_events.fatal_events())
+    # Iostream is the dominant fatal category in the ANL profile (Table 4).
+    assert counts[MainCategory.IOSTREAM] == max(counts.values())
+
+
+def test_category_fatal_counts_empty():
+    counts = category_fatal_counts(
+        TaxonomyClassifier().classify_store(EventStore.empty())
+    )
+    assert all(v == 0 for v in counts.values())
+
+
+def test_format_table4_layout(anl_events, sdsc_events):
+    table = format_table4(
+        {
+            "ANL": category_fatal_counts(anl_events),
+            "SDSC": category_fatal_counts(sdsc_events),
+        }
+    )
+    lines = table.splitlines()
+    assert "Main Category" in lines[0]
+    assert "ANL" in lines[0] and "SDSC" in lines[0]
+    assert lines[-1].startswith("TOTAL")
+    # One row per category between header and total.
+    assert sum(1 for ln in lines if any(
+        ln.startswith(c.value.capitalize()) for c in CATEGORY_ORDER
+    )) == 8

@@ -1,0 +1,236 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bgl.locations import LocationKind, format_location, parse_location
+from repro.evaluation.crossval import fold_index_ranges
+from repro.evaluation.matching import match_warnings
+from repro.mining.apriori import apriori
+from repro.mining.fptree import fpgrowth
+from repro.predictors.base import FailureWarning, dedup_warnings
+from repro.preprocess.compression import spatial_compress, temporal_compress
+from repro.ras.events import RasEvent
+from repro.ras.fields import Facility, Severity
+from repro.ras.logfile import format_event, parse_line
+from repro.ras.store import EventStore
+
+# ---------------------------------------------------------------------- #
+# Strategies
+# ---------------------------------------------------------------------- #
+
+locations = st.sampled_from(
+    ["R00-M0-N00-C00", "R00-M0-N01-C05", "R00-M1-N02-I00", "R00-M1-L2",
+     "R00-M0-S", "R01", "SYSTEM"]
+)
+
+entries = st.sampled_from(
+    ["alpha event text", "beta event text", "gamma event text",
+     "kernel panic: unrecoverable condition detected"]
+)
+
+
+@st.composite
+def ras_events(draw):
+    return RasEvent(
+        time=draw(st.integers(min_value=0, max_value=100_000)),
+        location=draw(locations),
+        facility=draw(st.sampled_from(list(Facility))),
+        severity=draw(st.sampled_from(list(Severity))),
+        entry_data=draw(entries),
+        job_id=draw(st.integers(min_value=-1, max_value=3)),
+    )
+
+
+event_lists = st.lists(ras_events(), min_size=0, max_size=40)
+
+transactions = st.lists(
+    st.frozensets(st.integers(min_value=0, max_value=8), max_size=6),
+    min_size=0,
+    max_size=30,
+)
+
+# ---------------------------------------------------------------------- #
+# Miner equivalence and monotonicity
+# ---------------------------------------------------------------------- #
+
+
+@given(transactions, st.floats(min_value=0.05, max_value=1.0))
+@settings(max_examples=60, deadline=None)
+def test_apriori_fpgrowth_equivalent(db, min_support):
+    assert apriori(db, min_support) == fpgrowth(db, min_support)
+
+
+@given(transactions)
+@settings(max_examples=40, deadline=None)
+def test_apriori_support_monotone_in_threshold(db):
+    low = apriori(db, 0.1)
+    high = apriori(db, 0.5)
+    assert set(high) <= set(low)
+
+
+@given(transactions)
+@settings(max_examples=40, deadline=None)
+def test_apriori_downward_closure(db):
+    result = apriori(db, 0.15)
+    for itemset, count in result.items():
+        for item in itemset:
+            sub = itemset - {item}
+            if sub:
+                assert result[sub] >= count
+
+
+# ---------------------------------------------------------------------- #
+# Compression invariants
+# ---------------------------------------------------------------------- #
+
+
+@given(event_lists, st.sampled_from(["temporal", "spatial"]))
+@settings(max_examples=60, deadline=None)
+def test_compression_idempotent(events, which):
+    store = EventStore.from_events(events)
+    fn = temporal_compress if which == "temporal" else spatial_compress
+    once, _ = fn(store)
+    twice, stats = fn(once)
+    assert len(twice) == len(once)
+    assert stats.removed == 0
+
+
+@given(event_lists)
+@settings(max_examples=60, deadline=None)
+def test_compression_never_grows_and_stays_sorted(events):
+    store = EventStore.from_events(events)
+    out, stats = temporal_compress(store)
+    assert len(out) <= len(store)
+    assert out.is_time_sorted()
+    assert stats.input_records == len(store)
+    assert stats.output_records == len(out)
+
+
+@given(event_lists)
+@settings(max_examples=60, deadline=None)
+def test_compression_order_invariant(events):
+    """Input record order must not change the compressed output."""
+    a = EventStore.from_events(events)
+    b = EventStore.from_events(list(reversed(events)))
+    out_a, _ = temporal_compress(a)
+    out_b, _ = temporal_compress(b)
+    assert len(out_a) == len(out_b)
+    assert list(out_a.times) == list(out_b.times)
+
+
+@given(event_lists)
+@settings(max_examples=60, deadline=None)
+def test_compression_preserves_max_severity(events):
+    """Compression must never lose the most severe record entirely."""
+    store = EventStore.from_events(events)
+    if len(store) == 0:
+        return
+    out, _ = temporal_compress(store)
+    assert out.severities.max() == store.severities.max()
+
+
+# ---------------------------------------------------------------------- #
+# Location grammar round-trip
+# ---------------------------------------------------------------------- #
+
+
+@given(
+    st.sampled_from(list(LocationKind)),
+    st.integers(min_value=0, max_value=99),
+    st.integers(min_value=0, max_value=1),
+    st.integers(min_value=0, max_value=99),
+    st.integers(min_value=0, max_value=99),
+    st.integers(min_value=0, max_value=9),
+)
+@settings(max_examples=120, deadline=None)
+def test_location_roundtrip(kind, rack, midplane, nodecard, unit, linkcard):
+    code = format_location(
+        kind, rack=rack, midplane=midplane, nodecard=nodecard,
+        chip=unit, ionode=unit, linkcard=linkcard,
+    )
+    parts = parse_location(code)
+    assert parts["kind"] == kind
+    rebuilt = format_location(
+        kind,
+        rack=parts["rack"],
+        midplane=parts["midplane"],
+        nodecard=parts["nodecard"],
+        chip=parts["chip"],
+        ionode=parts["ionode"],
+        linkcard=parts["linkcard"],
+    )
+    assert rebuilt == code
+
+
+# ---------------------------------------------------------------------- #
+# Log line round-trip
+# ---------------------------------------------------------------------- #
+
+
+@given(ras_events())
+@settings(max_examples=100, deadline=None)
+def test_logline_roundtrip(event):
+    assert parse_line(format_event(event)) == event
+
+
+# ---------------------------------------------------------------------- #
+# Warning/metric invariants
+# ---------------------------------------------------------------------- #
+
+
+@st.composite
+def warnings_strategy(draw):
+    issued = draw(st.integers(min_value=0, max_value=10_000))
+    start = issued + draw(st.integers(min_value=0, max_value=100))
+    end = start + draw(st.integers(min_value=0, max_value=5_000))
+    return FailureWarning(
+        issued_at=issued, horizon_start=start, horizon_end=end,
+        confidence=draw(st.floats(min_value=0, max_value=1)),
+        source=draw(st.sampled_from(["a", "b"])),
+        detail=draw(st.sampled_from(["x", "y"])),
+    )
+
+
+@given(st.lists(warnings_strategy(), max_size=30), event_lists)
+@settings(max_examples=60, deadline=None)
+def test_matching_bounds(warnings, events):
+    store = EventStore.from_events(events)
+    res = match_warnings(warnings, store)
+    m = res.metrics
+    assert 0 <= m.tp_warnings <= m.n_warnings == len(warnings)
+    assert 0 <= m.covered_fatals <= m.n_fatals == len(store.fatal_events())
+    assert 0.0 <= m.precision <= 1.0
+    assert 0.0 <= m.recall <= 1.0
+    assert 0.0 <= m.f1 <= 1.0
+
+
+@given(st.lists(warnings_strategy(), max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_dedup_is_subset_and_idempotent(warnings):
+    kept = dedup_warnings(warnings)
+    assert len(kept) <= len(warnings)
+    assert dedup_warnings(kept) == kept
+    # No two kept warnings of the same key overlap actively.
+    by_key = {}
+    for w in kept:
+        key = (w.source, w.detail)
+        if key in by_key:
+            assert w.issued_at > by_key[key]
+        by_key[key] = w.horizon_end
+
+
+# ---------------------------------------------------------------------- #
+# Fold partition
+# ---------------------------------------------------------------------- #
+
+
+@given(st.integers(min_value=2, max_value=500), st.integers(min_value=2, max_value=20))
+@settings(max_examples=80, deadline=None)
+def test_fold_ranges_partition(n, k):
+    if n < k:
+        return
+    ranges = fold_index_ranges(n, k)
+    covered = [i for s, e in ranges for i in range(s, e)]
+    assert covered == list(range(n))
+    sizes = [e - s for s, e in ranges]
+    assert max(sizes) - min(sizes) <= 1

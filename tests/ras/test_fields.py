@@ -1,0 +1,55 @@
+"""Tests for repro.ras.fields."""
+
+import pytest
+
+from repro.ras.fields import FATAL_SEVERITIES, Facility, Severity
+
+
+def test_severity_ordering_matches_paper():
+    order = [
+        Severity.INFO,
+        Severity.WARNING,
+        Severity.SEVERE,
+        Severity.ERROR,
+        Severity.FATAL,
+        Severity.FAILURE,
+    ]
+    assert order == sorted(order)
+    assert [s.name for s in order] == [
+        "INFO", "WARNING", "SEVERE", "ERROR", "FATAL", "FAILURE",
+    ]
+
+
+@pytest.mark.parametrize(
+    "sev,expected",
+    [
+        (Severity.INFO, False),
+        (Severity.WARNING, False),
+        (Severity.SEVERE, False),
+        (Severity.ERROR, False),
+        (Severity.FATAL, True),
+        (Severity.FAILURE, True),
+    ],
+)
+def test_is_fatal(sev, expected):
+    assert sev.is_fatal is expected
+    assert (sev in FATAL_SEVERITIES) is expected
+
+
+def test_severity_from_name_case_insensitive():
+    assert Severity.from_name(" fatal ") is Severity.FATAL
+
+
+def test_severity_from_name_unknown():
+    with pytest.raises(ValueError, match="unknown severity"):
+        Severity.from_name("CRITICAL")
+
+
+def test_facility_from_name():
+    assert Facility.from_name("kernel") is Facility.KERNEL
+    with pytest.raises(ValueError):
+        Facility.from_name("nope")
+
+
+def test_facility_count():
+    assert len(Facility) == 10

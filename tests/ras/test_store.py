@@ -1,0 +1,148 @@
+"""Tests for repro.ras.store.EventStore."""
+
+import numpy as np
+import pytest
+
+from repro.ras.events import RasEvent
+from repro.ras.fields import Facility, Severity
+from repro.ras.store import UNCLASSIFIED, EventStore
+from tests.conftest import make_event
+
+
+def test_empty_store():
+    s = EventStore.empty()
+    assert len(s) == 0
+    assert s.is_time_sorted()
+    assert s.severity_counts()[Severity.INFO] == 0
+    assert s.span_seconds() == 0
+
+
+def test_from_events_sorts_by_time():
+    events = [make_event(time=t) for t in (50, 10, 30)]
+    s = EventStore.from_events(events)
+    assert list(s.times) == [10, 30, 50]
+    assert s.is_time_sorted()
+
+
+def test_roundtrip_event_objects(tiny_store):
+    events = tiny_store.to_events()
+    again = EventStore.from_events(events)
+    assert again.to_events() == events
+
+
+def test_getitem_int_returns_event(tiny_store):
+    ev = tiny_store[3]
+    assert isinstance(ev, RasEvent)
+    assert ev.severity is Severity.FATAL
+
+
+def test_getitem_slice_returns_store(tiny_store):
+    sub = tiny_store[1:3]
+    assert isinstance(sub, EventStore)
+    assert len(sub) == 2
+
+
+def test_select_boolean_mask(tiny_store):
+    mask = tiny_store.fatal_mask()
+    fatal = tiny_store.select(mask)
+    assert len(fatal) == 1
+    assert fatal[0].severity is Severity.FATAL
+
+
+def test_select_bad_mask_shape(tiny_store):
+    with pytest.raises(ValueError, match="mask"):
+        tiny_store.select(np.array([True, False]))
+
+
+def test_select_index_array(tiny_store):
+    sub = tiny_store.select(np.array([0, 4]))
+    assert list(sub.times) == [100, 420]
+
+
+def test_fatal_and_nonfatal_partition(tiny_store):
+    assert len(tiny_store.fatal_events()) + len(tiny_store.nonfatal_events()) == len(
+        tiny_store
+    )
+
+
+def test_time_window_half_open(tiny_store):
+    w = tiny_store.time_window(100, 300)
+    assert list(w.times) == [100, 150, 200]
+
+
+def test_severity_counts(tiny_store):
+    counts = tiny_store.severity_counts()
+    assert counts[Severity.INFO] == 3
+    assert counts[Severity.FATAL] == 1
+    assert counts[Severity.WARNING] == 1
+
+
+def test_intern_tables_shared_by_selection(tiny_store):
+    sub = tiny_store.select(tiny_store.fatal_mask())
+    assert sub.location_table is tiny_store.location_table
+
+
+def test_entry_interning(tiny_store):
+    # Three "alpha msg" rows share one entry id.
+    ids = tiny_store.entry_ids[:3]
+    assert len(set(ids.tolist())) == 1
+
+
+def test_concat_remaps_intern_ids():
+    a = EventStore.from_events([make_event(time=1, entry="one", location="R00")])
+    b = EventStore.from_events([make_event(time=2, entry="two", location="R01")])
+    merged = a.concat(b)
+    assert len(merged) == 2
+    assert merged.entry_of(0) == "one"
+    assert merged.entry_of(1) == "two"
+    assert merged.is_time_sorted()
+
+
+def test_concat_with_empty():
+    a = EventStore.from_events([make_event(time=1)])
+    merged = a.concat(EventStore.empty())
+    assert len(merged) == 1
+
+
+def test_concat_preserves_subcategories():
+    a = EventStore.from_events(
+        [make_event(time=1).with_subcategory("timerInterruptInfo")]
+    )
+    b = EventStore.from_events(
+        [make_event(time=2).with_subcategory("dmaError")]
+    )
+    merged = a.concat(b)
+    assert merged.subcat_of(0) == "timerInterruptInfo"
+    assert merged.subcat_of(1) == "dmaError"
+
+
+def test_with_subcat_ids_validates_shape(tiny_store):
+    with pytest.raises(ValueError):
+        tiny_store.with_subcat_ids(np.zeros(2, dtype=np.int32), ["a"])
+
+
+def test_with_subcat_ids_replaces_table(tiny_store):
+    ids = np.zeros(len(tiny_store), dtype=np.int32)
+    labeled = tiny_store.with_subcat_ids(ids, ["onlyLabel"])
+    assert labeled.subcat_of(0) == "onlyLabel"
+    assert labeled.subcat_counts() == {"onlyLabel": len(tiny_store)}
+
+
+def test_unclassified_rows_skipped_in_counts(tiny_store):
+    assert tiny_store.subcat_counts() == {}
+    assert int(tiny_store.subcat_ids[0]) == UNCLASSIFIED
+
+
+def test_span_seconds(tiny_store):
+    assert tiny_store.span_seconds() == 320
+
+
+def test_iteration_yields_events(tiny_store):
+    assert sum(1 for _ in tiny_store) == len(tiny_store)
+
+
+def test_event_at_fields(tiny_store):
+    ev = tiny_store.event_at(4)
+    assert ev.location == "R00-M0-S"
+    assert ev.facility is Facility.MONITOR
+    assert ev.job_id == -1

@@ -1,0 +1,176 @@
+"""Tests for repro.synth.generator."""
+
+import numpy as np
+import pytest
+
+from repro.synth.generator import LogGenerator, _largest_remainder
+from repro.synth.profiles import anl_profile, sdsc_profile
+from repro.taxonomy.categories import MainCategory
+from repro.taxonomy.subcategories import by_name
+
+
+def test_largest_remainder_preserves_total():
+    shares = np.array([1.4, 2.3, 0.3])
+    out = _largest_remainder(shares)
+    assert out.sum() == 4
+    assert (out >= np.floor(shares)).all()
+
+
+def test_largest_remainder_exact_integers():
+    assert list(_largest_remainder(np.array([2.0, 3.0]))) == [2, 3]
+
+
+def test_scale_validation():
+    with pytest.raises(ValueError):
+        LogGenerator(anl_profile(), scale=0.0)
+    with pytest.raises(ValueError):
+        LogGenerator(anl_profile(), scale=1.5)
+    with pytest.raises(ValueError):
+        LogGenerator(anl_profile(), noise_multiplier=-1)
+
+
+def test_budgets_scale_linearly():
+    gen = LogGenerator(anl_profile(), scale=0.5)
+    budgets = gen.budgets()
+    assert budgets[MainCategory.IOSTREAM] == round(1173 * 0.5)
+    assert budgets[MainCategory.OTHER] == round(8 * 0.5)
+
+
+def test_generated_fatal_counts_hit_budget(small_anl_log):
+    budgets = LogGenerator(anl_profile(), scale=0.02).budgets()
+    counts = small_anl_log.ground_truth_fatal_counts()
+    for cat in MainCategory:
+        assert counts[cat] == budgets[cat], cat
+
+
+def test_ground_truth_within_horizon(small_anl_log):
+    for gt in small_anl_log.ground_truth:
+        assert small_anl_log.t0 <= gt.time < small_anl_log.t1
+
+
+def test_ground_truth_sorted(small_anl_log):
+    times = [gt.time for gt in small_anl_log.ground_truth]
+    assert times == sorted(times)
+
+
+def test_raw_store_larger_than_ground_truth(small_anl_log):
+    """CMCS duplication inflates the record count substantially."""
+    assert small_anl_log.n_raw > 5 * small_anl_log.n_unique
+
+
+def test_determinism():
+    a = LogGenerator(sdsc_profile(), scale=0.01, seed=99).generate()
+    b = LogGenerator(sdsc_profile(), scale=0.01, seed=99).generate()
+    assert a.n_unique == b.n_unique
+    assert a.n_raw == b.n_raw
+    assert np.array_equal(a.raw.times, b.raw.times)
+
+
+def test_different_seeds_differ():
+    a = LogGenerator(sdsc_profile(), scale=0.01, seed=1).generate()
+    b = LogGenerator(sdsc_profile(), scale=0.01, seed=2).generate()
+    assert a.n_unique != b.n_unique or not np.array_equal(a.raw.times, b.raw.times)
+
+
+def test_noise_multiplier_zero_removes_background():
+    log = LogGenerator(anl_profile(), scale=0.01, noise_multiplier=0.0,
+                       seed=5).generate()
+    noise_names = {s.subcategory for s in anl_profile().noise}
+    # Only chain bodies may use body-noise subcategory names; pure-noise
+    # subcategories (e.g. timerInterruptInfo) must be absent.
+    chain_items = {
+        item for t in anl_profile().chains for item in t.body
+    }
+    pure_noise = noise_names - chain_items
+    present = {gt.subcategory for gt in log.ground_truth}
+    assert not (pure_noise & present)
+
+
+def test_job_attachment_for_chip_events(small_anl_log):
+    """Compute/I-O level events carry jobs when the machine is busy."""
+    from repro.bgl.locations import LocationKind
+
+    chip_events = [
+        gt for gt in small_anl_log.ground_truth
+        if by_name(gt.subcategory).location_kind
+        in (LocationKind.COMPUTE_CHIP, LocationKind.IO_NODE)
+    ]
+    with_job = sum(1 for gt in chip_events if gt.job_id != -1)
+    assert with_job / len(chip_events) > 0.3
+
+
+def test_no_jobs_for_hardware_events(small_anl_log):
+    from repro.bgl.locations import LocationKind
+
+    for gt in small_anl_log.ground_truth:
+        kind = by_name(gt.subcategory).location_kind
+        if kind in (LocationKind.LINKCARD, LocationKind.SERVICE_CARD,
+                    LocationKind.SYSTEM):
+            assert gt.job_id == -1
+
+
+def test_burst_members_cluster_in_time(small_anl_log):
+    """Network/iostream fatals show strong short-gap clustering."""
+    netio_times = sorted(
+        gt.time for gt in small_anl_log.ground_truth
+        if by_name(gt.subcategory).is_fatal
+        and by_name(gt.subcategory).category
+        in (MainCategory.NETWORK, MainCategory.IOSTREAM)
+    )
+    gaps = np.diff(netio_times)
+    # A sizeable share of gaps are within the storm lag band (<= 45 min).
+    assert (gaps <= 45 * 60).mean() > 0.2
+
+
+def test_chain_bodies_precede_heads(small_anl_log):
+    """Most head-subcategory events have that chain's precursors before them.
+
+    Not all: the same fatal subcategory can also be planted as a burst leaf
+    or orphan, and some heads belong to sibling templates.
+    """
+    tpl = anl_profile().chains[0]
+    heads = [gt.time for gt in small_anl_log.ground_truth
+             if gt.subcategory == tpl.head]
+    bodies = np.asarray(sorted(
+        gt.time for gt in small_anl_log.ground_truth
+        if gt.subcategory in tpl.body
+    ))
+    assert heads and bodies.size
+    with_precursor = 0
+    for h in heads:
+        lo = np.searchsorted(bodies, h - tpl.max_extent)
+        hi = np.searchsorted(bodies, h)
+        with_precursor += int(hi > lo)
+    assert with_precursor / len(heads) > 0.5
+
+
+def test_diurnal_modulation_shapes_noise():
+    """With strong amplitude, noise concentrates in the sinusoid's peak
+    half-day; without it, the spread is uniform."""
+    import dataclasses
+
+    from repro.util.timeutil import DAY
+
+    base = anl_profile()
+    flat = dataclasses.replace(base, diurnal_amplitude=0.0)
+    wavy = dataclasses.replace(base, diurnal_amplitude=0.9)
+
+    def peak_share(profile):
+        gen = LogGenerator(profile, scale=0.05, seed=31)
+        times = np.array([
+            gt.time for gt in gen.generate().ground_truth
+            if not by_name(gt.subcategory).is_fatal
+        ])
+        phase = (times % DAY) / DAY
+        # The sinusoid peaks in the first half of the UTC day.
+        return float(((phase > 0.0) & (phase < 0.5)).mean())
+
+    assert peak_share(flat) == pytest.approx(0.5, abs=0.05)
+    assert peak_share(wavy) > 0.6
+
+
+def test_diurnal_amplitude_validated():
+    import dataclasses
+
+    with pytest.raises(ValueError):
+        dataclasses.replace(anl_profile(), diurnal_amplitude=1.5)

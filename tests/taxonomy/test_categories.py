@@ -1,0 +1,24 @@
+"""Tests for repro.taxonomy.categories."""
+
+from repro.taxonomy.categories import CATEGORY_ORDER, MainCategory
+
+
+def test_eight_categories():
+    assert len(MainCategory) == 8
+
+
+def test_order_matches_paper_tables():
+    assert [c.value for c in CATEGORY_ORDER] == [
+        "application",
+        "iostream",
+        "kernel",
+        "memory",
+        "midplane",
+        "network",
+        "nodecard",
+        "other",
+    ]
+
+
+def test_order_is_complete():
+    assert set(CATEGORY_ORDER) == set(MainCategory)

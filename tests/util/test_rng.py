@@ -1,0 +1,48 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngMixin, as_generator, spawn_child
+
+
+def test_as_generator_from_int_deterministic():
+    a = as_generator(123).random(5)
+    b = as_generator(123).random(5)
+    assert np.array_equal(a, b)
+
+
+def test_as_generator_passthrough():
+    g = np.random.default_rng(0)
+    assert as_generator(g) is g
+
+
+def test_as_generator_none_gives_generator():
+    assert isinstance(as_generator(None), np.random.Generator)
+
+
+def test_spawn_child_streams_differ():
+    parent = as_generator(7)
+    a, b = spawn_child(parent, streams=2)
+    assert not np.array_equal(a.random(10), b.random(10))
+
+
+def test_spawn_child_deterministic_from_seed():
+    x = spawn_child(as_generator(9), streams=3)[2].random(4)
+    y = spawn_child(as_generator(9), streams=3)[2].random(4)
+    assert np.array_equal(x, y)
+
+
+def test_spawn_child_rejects_zero_streams():
+    with pytest.raises(ValueError):
+        spawn_child(as_generator(0), streams=0)
+
+
+def test_rng_mixin_lazy_and_reseed():
+    class Thing(RngMixin):
+        pass
+
+    t = Thing(seed=5)
+    first = t.rng.random()
+    t.reseed(5)
+    assert t.rng.random() == first
