@@ -7,10 +7,9 @@ threshold and also compare the paper-literal temporal key (JOB_ID+LOCATION)
 against the conservative variant that additionally keys on ENTRY_DATA.
 """
 
-import pytest
 
 from benchmarks.conftest import report
-from repro.preprocess.compression import spatial_compress, temporal_compress
+from repro.preprocess.compression import temporal_compress
 from repro.preprocess.pipeline import PreprocessPipeline
 
 THRESHOLDS = (30, 100, 300, 900, 3600)

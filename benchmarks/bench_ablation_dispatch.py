@@ -9,7 +9,6 @@ substantially better precision, and intersection trades nearly all recall
 for precision.
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.evaluation.crossval import cross_validate

@@ -9,7 +9,6 @@ mining time and prediction quality.
 
 import time
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.evaluation.crossval import cross_validate

@@ -6,7 +6,6 @@ window contents on the same folds as the paper's two base methods and the
 meta-learner, and measures what adding it as a fourth base buys.
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.evaluation.crossval import cross_validate

@@ -10,7 +10,6 @@ target set.
 """
 
 from benchmarks.conftest import report
-from repro.core.pipeline import ThreePhasePredictor
 from repro.evaluation.crossval import cross_validate
 from repro.meta.stacked import MetaLearner
 from repro.preprocess.pipeline import PreprocessPipeline, job_impacting_filter

@@ -10,7 +10,6 @@ restart-from-scratch losses into restart-from-checkpoint losses.
 import pytest
 
 from benchmarks.conftest import report
-from repro.core.pipeline import ThreePhasePredictor
 from repro.evaluation.scheduling import simulate_rescue
 from repro.meta.stacked import MetaLearner
 from repro.predictors.statistical import StatisticalPredictor

@@ -1,6 +1,5 @@
 """Calibration harness: measure paper-target metrics on both profiles."""
 import sys, time
-import numpy as np
 from repro import LogGenerator, anl_profile, sdsc_profile, ThreePhasePredictor
 from repro.predictors.statistical import StatisticalPredictor
 from repro.predictors.rulebased import RuleBasedPredictor
@@ -60,10 +59,12 @@ def meta_diag(profile, rule_window, W):
     ws = ml.predict(test)
     m = match_warnings(ws, test)
     import collections
-    per = collections.Counter(); hit = collections.Counter()
+    per = collections.Counter()
+    hit = collections.Counter()
     for w_, h in zip(ws, m.warning_hit):
         src = w_.detail.split(":")[0]
-        per[src]+=1; hit[src]+=int(h)
+        per[src] += 1
+        hit[src] += int(h)
     print(f"meta diag W={W}: P={m.metrics.precision:.3f} R={m.metrics.recall:.3f} dispatch={ml.dispatch_counts}")
     for k in per:
         print(f"    {k}: {per[k]} warnings, precision {hit[k]/per[k]:.3f}")

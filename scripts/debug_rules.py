@@ -1,43 +1,83 @@
-import numpy as np, collections
-from repro import LogGenerator, anl_profile, ThreePhasePredictor
+"""Diagnostic dump for the rule-based and statistical predictors.
+
+Generates a small ANL-profile log from an explicit seed, fits both base
+predictors on a 70/30 temporal split and prints the mined rules, per-rule
+firing precision and the fatal follow-up probability the statistical
+predictor exploits.  Everything is deterministic given ``SEED`` — part of
+the repro-lint contract for the linted ``scripts/`` tree.
+
+Usage: PYTHONPATH=src python scripts/debug_rules.py
+"""
+
+import collections
+
+from repro import LogGenerator, ThreePhasePredictor, anl_profile
+from repro.evaluation.matching import match_warnings
 from repro.predictors.rulebased import RuleBasedPredictor
 from repro.predictors.statistical import StatisticalPredictor
-from repro.evaluation.matching import match_warnings
 from repro.taxonomy.categories import MainCategory
-from repro.util.timeutil import MINUTE, HOUR
-
-log = LogGenerator(anl_profile(), scale=0.1, seed=42).generate()
-p = ThreePhasePredictor()
-events = p.preprocess(log.raw).events
-print("unique", len(events), "fatals", len(events.fatal_events()))
-# planted vs compressed fatal count
-gt_fatal = sum(1 for e in log.ground_truth if __import__('repro.taxonomy.subcategories', fromlist=['by_name']).by_name(e.subcategory).is_fatal)
-print("planted fatals", gt_fatal)
-
-cut = int(len(events)*0.7)
-train, test = events.select(slice(0,cut)), events.select(slice(cut,len(events)))
-rb = RuleBasedPredictor(rule_window=15*MINUTE, prediction_window=30*MINUTE).fit(train)
-print("no-precursor", round(rb.no_precursor_fraction,3), "rules:", len(rb.ruleset))
-for r in rb.ruleset:
-    print("  ", r.format(rb.ruleset.item_names), f"supp={r.support:.3f}")
-warnings = rb.predict(test)
-m = match_warnings(warnings, test)
-print("rule: warnings", len(warnings), "P", round(m.metrics.precision,3), "R", round(m.metrics.recall,3))
-# per-rule precision
-stats = collections.Counter(); hits = collections.Counter()
-for w, h in zip(warnings, m.warning_hit):
-    key = w.detail.split(" ==>")[0]
-    stats[key]+=1; hits[key]+=int(h)
-for k in stats:
-    print(f"   fire {stats[k]:4d} hit {hits[k]:4d} ({hits[k]/stats[k]:.2f})  {k}")
-
-sp = StatisticalPredictor(window=HOUR, lead=5*MINUTE, categories=[MainCategory.NETWORK, MainCategory.IOSTREAM]).fit(train)
-ws = sp.predict(test)
-ms = match_warnings(ws, test)
-print("stat: warnings", len(ws), "P", round(ms.metrics.precision,3), "R", round(ms.metrics.recall,3))
-# ground-truth burst structure check on full fatal stream
-fat = events.fatal_events()
-ft = fat.times.astype(float)
+from repro.taxonomy.subcategories import by_name
+from repro.util.timeutil import HOUR, MINUTE
 from repro.util.windows import count_in_windows
-follow = count_in_windows(ft, ft, 300, 3601) > 0
-print("P(any fatal follows a fatal in [5,60]min):", round(follow.mean(),3))
+
+SEED = 42
+SCALE = 0.1
+
+
+def main() -> None:
+    log = LogGenerator(anl_profile(), scale=SCALE, seed=SEED).generate()
+    events = ThreePhasePredictor().preprocess(log.raw).events
+    print("unique", len(events), "fatals", len(events.fatal_events()))
+    planted = sum(
+        1 for e in log.ground_truth if by_name(e.subcategory).is_fatal
+    )
+    print("planted fatals", planted)
+
+    cut = int(len(events) * 0.7)
+    train = events.select(slice(0, cut))
+    test = events.select(slice(cut, len(events)))
+
+    rb = RuleBasedPredictor(
+        rule_window=15 * MINUTE, prediction_window=30 * MINUTE
+    ).fit(train)
+    print("no-precursor", round(rb.no_precursor_fraction, 3),
+          "rules:", len(rb.ruleset))
+    for rule in rb.ruleset:
+        print("  ", rule.format(rb.ruleset.item_names),
+              f"supp={rule.support:.3f}")
+    warnings = rb.predict(test)
+    matched = match_warnings(warnings, test)
+    print("rule: warnings", len(warnings),
+          "P", round(matched.metrics.precision, 3),
+          "R", round(matched.metrics.recall, 3))
+
+    # Per-rule firing precision.
+    fired = collections.Counter()
+    hits = collections.Counter()
+    for warning, hit in zip(warnings, matched.warning_hit):
+        key = warning.detail.split(" ==>")[0]
+        fired[key] += 1
+        hits[key] += int(hit)
+    for key in fired:
+        ratio = hits[key] / fired[key]
+        print(f"   fire {fired[key]:4d} hit {hits[key]:4d} ({ratio:.2f})  {key}")
+
+    sp = StatisticalPredictor(
+        window=HOUR,
+        lead=5 * MINUTE,
+        categories=[MainCategory.NETWORK, MainCategory.IOSTREAM],
+    ).fit(train)
+    stat_warnings = sp.predict(test)
+    stat_matched = match_warnings(stat_warnings, test)
+    print("stat: warnings", len(stat_warnings),
+          "P", round(stat_matched.metrics.precision, 3),
+          "R", round(stat_matched.metrics.recall, 3))
+
+    # Ground-truth burst structure check on the full fatal stream.
+    fatal_times = events.fatal_events().times.astype(float)
+    follow = count_in_windows(fatal_times, fatal_times, 300, 3601) > 0
+    print("P(any fatal follows a fatal in [5,60]min):", round(follow.mean(), 3))
+
+
+if __name__ == "__main__":
+    main()

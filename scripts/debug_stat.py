@@ -1,42 +1,73 @@
+"""Diagnostic dump for the statistical predictor's follow-up probabilities.
+
+Reports, per main category, the probability that any fatal event follows a
+fatal event of that category within the paper's [5 min, 60 min) horizon —
+on the compressed stream, on the held-out test region and on the planted
+ground truth.  Deterministic given ``SEED`` (repro-lint contract for
+``scripts/``).
+
+Usage: PYTHONPATH=src python scripts/debug_stat.py
+"""
+
 import numpy as np
-from repro import LogGenerator, anl_profile, ThreePhasePredictor
-from repro.taxonomy.classifier import TaxonomyClassifier
+
+from repro import LogGenerator, ThreePhasePredictor, anl_profile
 from repro.taxonomy.categories import MainCategory
+from repro.taxonomy.classifier import TaxonomyClassifier
+from repro.taxonomy.subcategories import by_name
 from repro.util.windows import count_in_windows
 
-log = LogGenerator(anl_profile(), scale=0.1, seed=42).generate()
-p = ThreePhasePredictor()
-events = p.preprocess(log.raw).events
-fat = events.fatal_events()
-clf = TaxonomyClassifier()
-cats = list(MainCategory)
-cid = clf.main_category_ids(fat)
-ft = fat.times.astype(float)
-n = len(fat)
-print("fatals", n)
-for i, c in enumerate(cats):
-    anchors = ft[cid == i]
-    if anchors.size == 0: continue
-    follow = count_in_windows(ft, anchors, 300, 3601) > 0
-    print(f"{c.value:12s} n={anchors.size:4d} P(follow)={follow.mean():.3f}")
-# test region only (last 30%)
-cut = int(n*0.7)
-test_ft = ft[cut:]
-test_cid = cid[cut:]
-netio = np.isin(test_cid, [cats.index(MainCategory.NETWORK), cats.index(MainCategory.IOSTREAM)])
-anchors = test_ft[netio]
-follow = count_in_windows(test_ft, anchors, 300, 3601) > 0
-print("test netio:", anchors.size, "P(follow within test):", follow.mean().round(3))
-# ground truth check: planted burst netio spawn rate
-from repro.taxonomy.subcategories import by_name
-gt_f = [(e.time, by_name(e.subcategory).category) for e in log.ground_truth if by_name(e.subcategory).is_fatal]
-gt_f.sort()
-gt_t = np.array([t for t,_ in gt_f], float)
-gt_netio = np.array([c in (MainCategory.NETWORK, MainCategory.IOSTREAM) for _,c in gt_f])
-fol = count_in_windows(gt_t, gt_t[gt_netio], 300, 3601) > 0
-print("GT netio:", gt_netio.sum(), "P(follow):", fol.mean().round(3))
-fol_all = count_in_windows(gt_t, gt_t, 300, 3601) > 0
-print("GT all fatals:", len(gt_t), "P(follow):", fol_all.mean().round(3))
-# how many fatals are covered (recall potential)
-cov = count_in_windows(gt_t[gt_netio], gt_t, -3600, -299) > 0  # a netio fatal 5-60min BEFORE
-print("GT fatals w/ netio trigger before:", cov.mean().round(3))
+SEED = 42
+SCALE = 0.1
+
+
+def main() -> None:
+    log = LogGenerator(anl_profile(), scale=SCALE, seed=SEED).generate()
+    events = ThreePhasePredictor().preprocess(log.raw).events
+    fatal = events.fatal_events()
+    clf = TaxonomyClassifier()
+    cats = list(MainCategory)
+    cat_ids = clf.main_category_ids(fatal)
+    fatal_times = fatal.times.astype(float)
+    n = len(fatal)
+    print("fatals", n)
+    for i, cat in enumerate(cats):
+        anchors = fatal_times[cat_ids == i]
+        if anchors.size == 0:
+            continue
+        follow = count_in_windows(fatal_times, anchors, 300, 3601) > 0
+        print(f"{cat.value:12s} n={anchors.size:4d} P(follow)={follow.mean():.3f}")
+
+    # Test region only (last 30%).
+    cut = int(n * 0.7)
+    test_times = fatal_times[cut:]
+    test_ids = cat_ids[cut:]
+    netio_idx = [cats.index(MainCategory.NETWORK), cats.index(MainCategory.IOSTREAM)]
+    netio = np.isin(test_ids, netio_idx)
+    anchors = test_times[netio]
+    follow = count_in_windows(test_times, anchors, 300, 3601) > 0
+    print("test netio:", anchors.size,
+          "P(follow within test):", follow.mean().round(3))
+
+    # Ground-truth check: planted burst network/IO spawn rate.
+    gt = sorted(
+        (e.time, by_name(e.subcategory).category)
+        for e in log.ground_truth
+        if by_name(e.subcategory).is_fatal
+    )
+    gt_times = np.array([t for t, _ in gt], float)
+    gt_netio = np.array(
+        [c in (MainCategory.NETWORK, MainCategory.IOSTREAM) for _, c in gt]
+    )
+    follow = count_in_windows(gt_times, gt_times[gt_netio], 300, 3601) > 0
+    print("GT netio:", int(gt_netio.sum()), "P(follow):", follow.mean().round(3))
+    follow_all = count_in_windows(gt_times, gt_times, 300, 3601) > 0
+    print("GT all fatals:", len(gt_times), "P(follow):", follow_all.mean().round(3))
+
+    # Recall potential: fatals with a network/IO trigger 5-60 min before.
+    covered = count_in_windows(gt_times[gt_netio], gt_times, -3600, -299) > 0
+    print("GT fatals w/ netio trigger before:", covered.mean().round(3))
+
+
+if __name__ == "__main__":
+    main()

@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
-from repro.bgl.jobs import IDLE, JobTrace
+from repro.bgl.jobs import JobTrace
 from repro.bgl.locations import LocationKind, SYSTEM_LOCATION
 from repro.bgl.topology import Machine
 from repro.ras.events import NO_JOB

@@ -24,7 +24,6 @@ from typing import Optional
 
 import numpy as np
 
-from repro.util.rng import SeedLike, as_generator
 from repro.util.validation import check_fraction, check_positive
 
 

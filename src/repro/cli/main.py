@@ -159,7 +159,7 @@ def _make_factory(method: str, args: argparse.Namespace, window_min: float):
 
 def cmd_generate(args: argparse.Namespace) -> int:
     profile = profile_by_name(args.profile)
-    t0 = time.time()
+    t0 = time.monotonic()
     log = LogGenerator(
         profile, scale=args.scale, noise_multiplier=args.noise, seed=args.seed
     ).generate()
@@ -168,7 +168,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
     print(
         f"{profile.name} scale={args.scale}: {log.n_unique} unique events, "
         f"{n} raw records written to {args.output} "
-        f"({time.time() - t0:.1f}s)"
+        f"({time.monotonic() - t0:.1f}s)"
     )
     return 0
 
@@ -293,7 +293,6 @@ def cmd_report(args: argparse.Namespace) -> int:
 
     from repro.evaluation.report import cdf_chart, comparison_table, sweep_chart
     from repro.predictors.statistical import failure_gap_cdf
-    from repro.util.timeutil import HOUR
 
     _, result = _load_events(args.log)
     events = result.events

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.util.timeutil import HOUR, MINUTE
 from repro.util.validation import check_fraction, check_positive

@@ -16,8 +16,8 @@ evaluation harness does, to avoid recompressing per fold).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Union
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.config import PredictorConfig
 from repro.meta.stacked import MetaLearner

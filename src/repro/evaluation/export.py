@@ -19,7 +19,7 @@ from repro.taxonomy.categories import CATEGORY_ORDER, MainCategory
 PathOrFile = Union[str, Path, TextIO]
 
 
-def _open(target: PathOrFile):
+def _open(target: PathOrFile) -> tuple[TextIO, bool]:
     if isinstance(target, (str, Path)):
         return open(target, "w", newline="", encoding="utf-8"), True
     return target, False

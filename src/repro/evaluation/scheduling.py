@@ -25,7 +25,7 @@ number the paper's motivation appeals to.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

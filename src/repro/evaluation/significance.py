@@ -16,7 +16,7 @@ need error bars.  Two standard tools:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable
 
 import numpy as np
 

@@ -20,7 +20,7 @@ predictor extends coverage to failure modes neither paper method sees.
 from __future__ import annotations
 
 import heapq
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.predictors.base import FailureWarning, Predictor
 from repro.ras.store import EventStore

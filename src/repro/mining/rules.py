@@ -84,6 +84,7 @@ def generate_rules(
     """
     if miner not in MINERS:
         raise ValueError(f"unknown miner {miner!r}; choose from {sorted(MINERS)}")
+    check_fraction(min_support, "min_support")
     check_fraction(min_confidence, "min_confidence")
     transactions = db.transactions()
     n = len(transactions)

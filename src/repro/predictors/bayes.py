@@ -22,7 +22,6 @@ support-worthy rule), which is exactly the behaviour worth ablating against
 
 from __future__ import annotations
 
-import math
 from collections import deque
 from typing import Optional
 

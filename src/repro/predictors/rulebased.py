@@ -18,14 +18,12 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional
 
-import numpy as np
-
 from repro.mining.rules import Rule, RuleMatcher, RuleSet, generate_rules
 from repro.mining.transactions import build_event_sets
 from repro.predictors.base import FailureWarning, Predictor
 from repro.ras.store import EventStore
 from repro.util.timeutil import MINUTE
-from repro.util.validation import check_positive
+from repro.util.validation import check_fraction, check_positive
 
 
 class RuleBasedPredictor(Predictor):
@@ -61,8 +59,8 @@ class RuleBasedPredictor(Predictor):
         check_positive(prediction_window, "prediction_window")
         self.rule_window = float(rule_window)
         self.prediction_window = float(prediction_window)
-        self.min_support = min_support
-        self.min_confidence = min_confidence
+        self.min_support = check_fraction(min_support, "min_support")
+        self.min_confidence = check_fraction(min_confidence, "min_confidence")
         self.max_len = max_len
         self.miner = miner
         self.ruleset: Optional[RuleSet] = None

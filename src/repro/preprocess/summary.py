@@ -10,7 +10,6 @@ from typing import Optional
 
 import numpy as np
 
-from repro.ras.fields import Severity
 from repro.ras.store import EventStore
 from repro.taxonomy.categories import CATEGORY_ORDER, MainCategory
 from repro.taxonomy.classifier import TaxonomyClassifier

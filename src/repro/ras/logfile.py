@@ -21,7 +21,6 @@ do contain occasional truncated lines.
 from __future__ import annotations
 
 import enum
-import io
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, TextIO, Union

@@ -22,7 +22,7 @@ from typing import Iterable, Iterator, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.ras.events import NO_JOB, RasEvent
+from repro.ras.events import RasEvent
 from repro.ras.fields import Facility, Severity
 
 #: Sentinel subcategory id for unclassified events.

@@ -30,7 +30,7 @@ thresholds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from repro.taxonomy.subcategories import by_name

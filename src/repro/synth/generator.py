@@ -22,7 +22,6 @@ mid-chain) is returned to the orphan pool, so category totals stay exact.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 from typing import Optional
 

@@ -37,8 +37,14 @@ def spawn_child(rng: np.random.Generator, *, streams: int = 1) -> list[np.random
     """
     if streams < 1:
         raise ValueError(f"streams must be >= 1, got {streams}")
-    seq = rng.bit_generator.seed_seq.spawn(streams)  # type: ignore[union-attr]
-    return [np.random.default_rng(s) for s in seq]
+    seed_seq = getattr(rng.bit_generator, "seed_seq", None)
+    if not isinstance(seed_seq, np.random.SeedSequence):
+        raise TypeError(
+            "spawn_child requires a generator whose bit generator exposes a "
+            "SeedSequence (e.g. one built by as_generator); "
+            f"{type(rng.bit_generator).__name__} does not"
+        )
+    return [np.random.default_rng(s) for s in seed_seq.spawn(streams)]
 
 
 class RngMixin:

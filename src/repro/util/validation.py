@@ -17,17 +17,29 @@ def check_fraction(value: float, name: str) -> float:
 
 
 def check_positive(value: float, name: str) -> float:
-    """Require ``value > 0``; return the value for chaining."""
+    """Require ``value > 0``; return ``float(value)`` for chaining."""
     if not value > 0:
         raise ValueError(f"{name} must be > 0, got {value!r}")
-    return value
+    return float(value)
 
 
 def check_nonnegative(value: float, name: str) -> float:
-    """Require ``value >= 0``; return the value for chaining."""
+    """Require ``value >= 0``; return ``float(value)`` for chaining."""
     if not value >= 0:
         raise ValueError(f"{name} must be >= 0, got {value!r}")
-    return value
+    return float(value)
+
+
+def check_in_range(value: float, lo: float, hi: float, name: str) -> float:
+    """Require ``lo <= value <= hi``; return ``float(value)`` for chaining.
+
+    The general form of :func:`check_fraction` for quantities with other
+    closed bounds (e.g. a correlation in [-1, 1]); repro-lint's RL005 rule
+    accepts either as a valid fraction guard.
+    """
+    if not lo <= value <= hi:
+        raise ValueError(f"{name} must be in [{lo:g}, {hi:g}], got {value!r}")
+    return float(value)
 
 
 def check_sorted(arr: np.ndarray, name: str) -> np.ndarray:

@@ -10,6 +10,7 @@ from repro.bgl.topology import ANL_SPEC, Machine
 from repro.ras.events import NO_JOB
 from repro.ras.fields import Severity
 from repro.taxonomy.subcategories import by_name
+from repro.util.rng import as_generator
 
 
 @pytest.fixture
@@ -34,7 +35,7 @@ def test_duplication_model_validation():
 def test_sample_bounds():
     dup = DuplicationModel(mean_reporting_chips=8, max_reporting_chips=16,
                            mean_repeats=2, max_repeats=4)
-    rng = np.random.default_rng(0)
+    rng = as_generator(0)
     for _ in range(200):
         assert 1 <= dup.sample_chip_count(rng, 512) <= 16
         assert 1 <= dup.sample_repeats(rng) <= 4
@@ -42,7 +43,7 @@ def test_sample_bounds():
 
 def test_sample_chip_count_respects_availability():
     dup = DuplicationModel(mean_reporting_chips=100, max_reporting_chips=512)
-    rng = np.random.default_rng(0)
+    rng = as_generator(0)
     assert dup.sample_chip_count(rng, 3) <= 3
 
 

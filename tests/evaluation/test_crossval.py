@@ -7,7 +7,7 @@ from repro.evaluation.crossval import (
     fold_index_ranges,
     holdout_validate,
 )
-from repro.predictors.base import FailureWarning, Predictor
+from repro.predictors.base import Predictor
 from repro.predictors.statistical import StatisticalPredictor
 from repro.util.timeutil import HOUR, MINUTE
 

@@ -1,11 +1,8 @@
 """Integration tests: full pipeline, both profiles, cross-module contracts."""
 
-import numpy as np
-import pytest
 
 from repro.core.pipeline import ThreePhasePredictor
 from repro.evaluation.crossval import cross_validate
-from repro.evaluation.matching import match_warnings
 from repro.meta.stacked import MetaLearner
 from repro.predictors.rulebased import RuleBasedPredictor
 from repro.predictors.statistical import StatisticalPredictor

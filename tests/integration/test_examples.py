@@ -6,7 +6,6 @@ examples run here end to end.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

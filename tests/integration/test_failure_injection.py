@@ -3,7 +3,6 @@
 import io
 
 import numpy as np
-import pytest
 
 from repro.core.pipeline import ThreePhasePredictor
 from repro.meta.stacked import MetaLearner

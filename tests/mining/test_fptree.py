@@ -1,10 +1,10 @@
 """Tests for repro.mining.fptree (FP-growth) — including Apriori equivalence."""
 
-import numpy as np
 import pytest
 
 from repro.mining.apriori import apriori
 from repro.mining.fptree import fpgrowth
+from repro.util.rng import as_generator
 
 
 def fs(*items):
@@ -30,7 +30,7 @@ def test_known_database_matches_apriori():
 
 @pytest.mark.parametrize("min_support", [0.1, 0.25, 0.5, 0.9])
 def test_equivalence_random_databases(min_support):
-    rng = np.random.default_rng(int(min_support * 100))
+    rng = as_generator(int(min_support * 100))
     for _ in range(5):
         n_items = int(rng.integers(3, 12))
         db = [

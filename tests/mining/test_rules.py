@@ -194,7 +194,9 @@ def test_matcher_remove_reactivates(ruleset):
 
 def test_matcher_multiplicity(ruleset):
     m = RuleMatcher(ruleset)
-    m.add(A); m.add(A); m.add(B)
+    m.add(A)
+    m.add(A)
+    m.add(B)
     m.remove(A)  # one copy left: rule stays satisfied
     assert fs(A, B) in {r.body for r in m.satisfied_rules()}
 

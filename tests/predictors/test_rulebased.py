@@ -3,7 +3,7 @@
 import pytest
 
 from repro.predictors.rulebased import RuleBasedPredictor
-from repro.ras.fields import Facility, Severity
+from repro.ras.fields import Severity
 from repro.ras.store import EventStore
 from repro.taxonomy.classifier import TaxonomyClassifier
 from repro.util.timeutil import MINUTE

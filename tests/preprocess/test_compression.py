@@ -1,6 +1,5 @@
 """Tests for repro.preprocess.compression (Phase-1 steps 2-3)."""
 
-import numpy as np
 import pytest
 
 from repro.preprocess.compression import (
@@ -8,7 +7,6 @@ from repro.preprocess.compression import (
     spatial_compress,
     temporal_compress,
 )
-from repro.ras.events import RasEvent
 from repro.ras.fields import Facility, Severity
 from repro.ras.store import EventStore
 from tests.conftest import make_event

@@ -1,7 +1,6 @@
 """Tests for repro.preprocess.pipeline."""
 
 import numpy as np
-import pytest
 
 from repro.preprocess.pipeline import (
     PreprocessPipeline,

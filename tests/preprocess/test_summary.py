@@ -1,6 +1,5 @@
 """Tests for repro.preprocess.summary."""
 
-import pytest
 
 from repro.preprocess.summary import (
     category_fatal_counts,

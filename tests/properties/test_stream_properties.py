@@ -118,7 +118,6 @@ def test_online_detector_matches_batch_on_random_streams(stream):
     from repro.meta.stacked import MetaLearner
     from repro.online.detector import OnlineDetector
     from repro.predictors.rulebased import RuleBasedPredictor
-    from repro.ras.fields import Facility, Severity
     from repro.ras.events import RasEvent
     from repro.taxonomy.subcategories import CATALOG
 

@@ -1,9 +1,7 @@
 """Tests for repro.taxonomy.classifier."""
 
-import numpy as np
 import pytest
 
-from repro.bgl.locations import SYSTEM_LOCATION
 from repro.ras.fields import Facility
 from repro.ras.store import EventStore
 from repro.taxonomy.categories import MainCategory

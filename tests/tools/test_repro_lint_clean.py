@@ -1,0 +1,20 @@
+"""The invariant gate: the repository's own tree must lint clean.
+
+This is the pytest integration the tentpole asks for — any PR that
+introduces ambient randomness, wall-clock reads, unguarded binary searches,
+minute-valued window literals or unvalidated fractions fails this test with
+the full diagnostic listing in the assertion message.
+"""
+
+from pathlib import Path
+
+from tools.repro_lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+LINTED_TREES = ["src", "tests", "benchmarks", "scripts"]
+
+
+def test_repository_tree_is_lint_clean():
+    findings = lint_paths([REPO_ROOT / tree for tree in LINTED_TREES])
+    listing = "\n".join(d.format() for d in findings)
+    assert not findings, f"repro-lint found violations:\n{listing}"

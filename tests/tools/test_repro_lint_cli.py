@@ -1,0 +1,136 @@
+"""Integration tests: the repro-lint CLI on a temp tree with seeded bugs."""
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from tools.repro_lint.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def seed_violation_tree(root: Path) -> None:
+    """A miniature src/ tree with one violation per rule, at known lines."""
+    pkg = root / "src" / "repro" / "demo"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(
+        textwrap.dedent(
+            """\
+            import time
+
+            import numpy as np
+
+
+            def jitter(xs):
+                return xs + np.random.random(xs.size)
+
+
+            def stamp():
+                return time.time()
+
+
+            def lookup(times, t):
+                return np.searchsorted(times, t)
+
+
+            def sweep(fit):
+                return fit(rule_window=15)
+
+
+            def mine(min_support=0.04):
+                return min_support
+            """
+        ),
+        encoding="utf-8",
+    )
+    (pkg / "good.py").write_text(
+        textwrap.dedent(
+            """\
+            import numpy as np
+
+            from repro.util.validation import check_fraction, check_sorted
+
+
+            def lookup(times, t):
+                times = check_sorted(times, "times")
+                return np.searchsorted(times, t)
+
+
+            def mine(min_support=0.04):
+                return check_fraction(min_support, "min_support")
+            """
+        ),
+        encoding="utf-8",
+    )
+
+
+EXPECTED = [
+    ("RL001", 7),
+    ("RL002", 11),
+    ("RL003", 15),
+    ("RL004", 19),
+    ("RL005", 22),
+]
+
+
+def test_cli_reports_exact_codes_and_lines(tmp_path, capsys):
+    seed_violation_tree(tmp_path)
+    exit_code = main([str(tmp_path / "src"), "--no-hints"])
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    reported = []
+    for line in out.splitlines():
+        if "bad.py" in line:
+            path_part, line_no, _col, rest = line.split(":", 3)
+            reported.append((rest.strip().split()[0], int(line_no)))
+        assert "good.py" not in line
+    assert reported == EXPECTED
+    assert "repro-lint: 5 findings" in out
+
+
+def test_cli_select_restricts_rules(tmp_path, capsys):
+    seed_violation_tree(tmp_path)
+    exit_code = main([str(tmp_path / "src"), "--select", "RL004,RL005"])
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "RL004" in out and "RL005" in out
+    assert "RL001" not in out and "RL002" not in out and "RL003" not in out
+
+
+def test_cli_clean_tree_exits_zero(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+    assert main([str(tmp_path)]) == 0
+    assert "repro-lint: clean" in capsys.readouterr().out
+
+
+def test_cli_missing_path_exits_two(tmp_path, capsys):
+    assert main([str(tmp_path / "nope")]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+        assert code in out
+
+
+def test_module_entry_point_runs_as_subprocess(tmp_path):
+    """``python -m tools.repro_lint`` works from the repository root."""
+    seed_violation_tree(tmp_path)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT)
+    proc = subprocess.run(
+        [sys.executable, "-m", "tools.repro_lint", str(tmp_path / "src"),
+         "--format", "json"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 1, proc.stderr
+    codes = [line.split('"code": "')[1][:5] for line in proc.stdout.splitlines()]
+    assert codes == [c for c, _ in EXPECTED]

@@ -1,0 +1,330 @@
+"""Per-rule unit tests for tools.repro_lint.
+
+Each rule gets at least one true-positive fixture (the violation is caught,
+with the expected code and line) and negative fixtures showing the idiomatic
+compliant spelling is accepted.
+"""
+
+import textwrap
+
+from tools.repro_lint import lint_source
+
+LIB_PATH = "src/repro/somepkg/mod.py"  # a path inside the library scope
+
+
+def lint(source, path=LIB_PATH, select=None):
+    from tools.repro_lint.registry import all_rules
+
+    rules = all_rules()
+    if select:
+        rules = [r for r in rules if r.code in select]
+    return lint_source(textwrap.dedent(source), path=path, rules=rules)
+
+
+def codes_and_lines(diags):
+    return [(d.code, d.line) for d in diags]
+
+
+# ---------------------------------------------------------------- RL001
+
+
+def test_rl001_flags_np_random_calls():
+    diags = lint(
+        """\
+        import numpy as np
+
+        def jitter(xs):
+            np.random.seed(0)
+            return xs + np.random.random(xs.size)
+        """
+    )
+    assert codes_and_lines(diags) == [("RL001", 4), ("RL001", 5)]
+
+
+def test_rl001_flags_default_rng_and_stdlib_random():
+    diags = lint(
+        """\
+        import random
+        from numpy.random import default_rng
+
+        def sample():
+            rng = default_rng()
+            return rng.random() + random.random()
+        """
+    )
+    assert [d.code for d in diags] == ["RL001", "RL001"]
+    assert "numpy.random.default_rng" in diags[0].message
+    assert "random.random" in diags[1].message
+
+
+def test_rl001_resolves_import_aliases():
+    diags = lint(
+        """\
+        import numpy as xp
+
+        def noise(n):
+            return xp.random.normal(size=n)
+        """
+    )
+    assert codes_and_lines(diags) == [("RL001", 4)]
+
+
+def test_rl001_allows_threaded_generator_and_constructors():
+    diags = lint(
+        """\
+        import numpy as np
+
+        def noise(rng: np.random.Generator, n):
+            assert isinstance(rng, np.random.Generator)
+            seq = np.random.SeedSequence(42)
+            return rng.normal(size=n), seq
+        """
+    )
+    assert diags == []
+
+
+def test_rl001_exempts_rng_module():
+    source = """\
+        import numpy as np
+
+        def as_generator(seed=None):
+            return np.random.default_rng(seed)
+        """
+    assert lint(source, path="src/repro/util/rng.py") == []
+    assert [d.code for d in lint(source)] == ["RL001"]
+
+
+def test_rl001_waivable_per_line():
+    diags = lint(
+        """\
+        import numpy as np
+
+        def reference_draw():
+            return np.random.default_rng(0).random()  # repro-lint: disable=RL001
+        """
+    )
+    assert diags == []
+
+
+# ---------------------------------------------------------------- RL002
+
+
+def test_rl002_flags_wall_clock_in_library():
+    diags = lint(
+        """\
+        import time
+        from datetime import datetime
+
+        def stamp():
+            return time.time(), datetime.now()
+        """
+    )
+    assert codes_and_lines(diags) == [("RL002", 5), ("RL002", 5)]
+
+
+def test_rl002_allows_monotonic_and_non_library_code():
+    clocky = """\
+        import time
+
+        def elapsed():
+            return time.time()
+        """
+    assert lint(clocky, path="scripts/bench.py") == []
+    assert lint(clocky, path="benchmarks/bench_x.py") == []
+    monotonic = """\
+        import time
+
+        def elapsed(t0):
+            return time.monotonic() - t0
+        """
+    assert lint(monotonic) == []
+
+
+# ---------------------------------------------------------------- RL003
+
+
+def test_rl003_flags_unguarded_searchsorted_on_parameter():
+    diags = lint(
+        """\
+        import numpy as np
+
+        def lookup(times, t):
+            return np.searchsorted(times, t)
+        """
+    )
+    assert codes_and_lines(diags) == [("RL003", 4)]
+    assert "lookup" in diags[0].message
+
+
+def test_rl003_flags_method_form_and_window_slice():
+    diags = lint(
+        """\
+        from repro.util.windows import window_slice
+
+        def a(times, t):
+            return times.searchsorted(t)
+
+        def b(times, t0, t1):
+            return window_slice(times, t0, t1)
+        """
+    )
+    assert codes_and_lines(diags) == [("RL003", 4), ("RL003", 7)]
+
+
+def test_rl003_guard_must_precede_sink():
+    guarded = """\
+        import numpy as np
+        from repro.util.validation import check_sorted
+
+        def lookup(times, t):
+            times = check_sorted(np.asarray(times), "times")
+            return np.searchsorted(times, t)
+        """
+    assert lint(guarded) == []
+    guard_too_late = """\
+        import numpy as np
+        from repro.util.validation import check_sorted
+
+        def lookup(times, t):
+            i = np.searchsorted(times, t)
+            check_sorted(times, "times")
+            return i
+        """
+    assert [d.code for d in lint(guard_too_late)] == ["RL003"]
+
+
+def test_rl003_ignores_derived_locals():
+    diags = lint(
+        """\
+        import numpy as np
+
+        def lookup(store, t):
+            fatal_times = store.fatal_events().times
+            return np.searchsorted(fatal_times, t)
+        """
+    )
+    assert diags == []
+
+
+def test_rl003_sorted_waiver_on_def_or_sink_line():
+    on_def = """\
+        import numpy as np
+
+        def lookup(times, t):  # repro-lint: sorted
+            return np.searchsorted(times, t)
+        """
+    assert lint(on_def) == []
+    on_sink = """\
+        import numpy as np
+
+        def lookup(times, t):
+            return np.searchsorted(times, t)  # repro-lint: sorted
+        """
+    assert lint(on_sink) == []
+
+
+# ---------------------------------------------------------------- RL004
+
+
+def test_rl004_flags_paper_minute_values_in_window_kwargs():
+    diags = lint(
+        """\
+        def run(fit, count):
+            fit(rule_window=15, prediction_window=25)
+            fit(window=60)
+            count(offset_lo=5, gap=60)
+        """
+    )
+    assert [d.code for d in diags] == ["RL004"] * 5
+    assert "seconds" in diags[0].message
+
+
+def test_rl004_allows_second_counts_and_minute_arithmetic():
+    diags = lint(
+        """\
+        MINUTE = 60
+
+        def run(fit):
+            fit(rule_window=15 * MINUTE, prediction_window=900)
+            fit(window=1800.0, min_lead=60)
+            fit(25, 5)  # positional values are out of scope
+        """
+    )
+    assert diags == []
+
+
+# ---------------------------------------------------------------- RL005
+
+
+def test_rl005_flags_unvalidated_fraction_params():
+    diags = lint(
+        """\
+        def mine(transactions, min_support=0.04, keep_prob=0.5):
+            return [t for t in transactions]
+        """
+    )
+    assert [d.code for d in diags] == ["RL005", "RL005"]
+    assert {"min_support", "keep_prob"} == {
+        d.message.split("'")[1] for d in diags
+    }
+
+
+def test_rl005_accepts_check_fraction_and_check_in_range():
+    diags = lint(
+        """\
+        from repro.util.validation import check_fraction, check_in_range
+
+        def mine(min_support=0.04, confidence=0.2):
+            min_support = check_fraction(min_support, "min_support")
+            check_in_range(confidence, 0, 1, "confidence")
+            return min_support, confidence
+        """
+    )
+    assert diags == []
+
+
+def test_rl005_covers_public_constructors_only():
+    diags = lint(
+        """\
+        from repro.util.validation import check_fraction
+
+        class Predictor:
+            def __init__(self, min_support=0.04):
+                self.min_support = min_support
+
+        class _Helper:
+            def __init__(self, min_support=0.04):
+                self.min_support = min_support
+
+        def _private(min_support):
+            return min_support
+        """
+    )
+    assert codes_and_lines(diags) == [("RL005", 4)]
+
+
+def test_rl005_scoped_to_library_code():
+    source = """\
+        def mine(min_support=0.04):
+            return min_support
+        """
+    assert lint(source, path="benchmarks/bench_minsup.py") == []
+    assert [d.code for d in lint(source)] == ["RL005"]
+
+
+# ------------------------------------------------------- engine/waivers
+
+
+def test_unknown_directive_reported_as_rl000():
+    diags = lint(
+        """\
+        x = 1  # repro-lint: sortd
+        """
+    )
+    assert [d.code for d in diags] == ["RL000"]
+    assert "sortd" in diags[0].message
+
+
+def test_syntax_error_reported_as_rl999():
+    diags = lint("def broken(:\n")
+    assert [d.code for d in diags] == ["RL999"]

@@ -13,7 +13,7 @@ def test_as_generator_from_int_deterministic():
 
 
 def test_as_generator_passthrough():
-    g = np.random.default_rng(0)
+    g = np.random.default_rng(0)  # repro-lint: disable=RL001
     assert as_generator(g) is g
 
 
@@ -36,6 +36,16 @@ def test_spawn_child_deterministic_from_seed():
 def test_spawn_child_rejects_zero_streams():
     with pytest.raises(ValueError):
         spawn_child(as_generator(0), streams=0)
+
+
+def test_spawn_child_rejects_missing_seed_sequence():
+    # Legacy seeding clears the bit generator's SeedSequence; spawning from
+    # such a generator must fail loudly instead of raising AttributeError.
+    mt = np.random.MT19937()
+    mt._legacy_seeding(42)
+    legacy = np.random.Generator(mt)
+    with pytest.raises(TypeError, match="SeedSequence"):
+        spawn_child(legacy, streams=2)
 
 
 def test_rng_mixin_lazy_and_reseed():

@@ -5,6 +5,7 @@ import pytest
 
 from repro.util.validation import (
     check_fraction,
+    check_in_range,
     check_nonnegative,
     check_positive,
     check_sorted,
@@ -32,6 +33,28 @@ def test_check_nonnegative():
     assert check_nonnegative(0, "n") == 0
     with pytest.raises(ValueError):
         check_nonnegative(-1, "n")
+
+
+@pytest.mark.parametrize("func, value", [
+    (check_positive, 3),
+    (check_nonnegative, 0),
+    (lambda v, n: check_in_range(v, 0, 10, n), 7),
+])
+def test_checks_return_float_for_chaining(func, value):
+    result = func(value, "n")
+    assert isinstance(result, float)
+    assert result == value
+
+
+def test_check_in_range_accepts_bounds():
+    assert check_in_range(-1.0, -1, 1, "rho") == -1.0
+    assert check_in_range(1.0, -1, 1, "rho") == 1.0
+
+
+@pytest.mark.parametrize("value", [-1.01, 1.01])
+def test_check_in_range_rejects(value):
+    with pytest.raises(ValueError, match=r"rho must be in \[-1, 1\]"):
+        check_in_range(value, -1, 1, "rho")
 
 
 def test_check_sorted_accepts_sorted_and_empty():

@@ -16,17 +16,17 @@ def times():
     return np.array([0.0, 10.0, 20.0, 30.0, 100.0])
 
 
-def test_window_slice_half_open(times):
+def test_window_slice_half_open(times):  # repro-lint: sorted
     sl = window_slice(times, 10, 30)
     assert (sl.start, sl.stop) == (1, 3)  # 10 included, 30 excluded
 
 
-def test_window_slice_empty(times):
+def test_window_slice_empty(times):  # repro-lint: sorted
     sl = window_slice(times, 40, 90)
     assert sl.start == sl.stop
 
 
-def test_events_in_window(times):
+def test_events_in_window(times):  # repro-lint: sorted
     assert list(events_in_window(times, 0, 25)) == [0, 1, 2]
 
 

@@ -1,0 +1,40 @@
+"""repro-lint: AST-based invariant checks for the BG/L predictor stack.
+
+The reproduction's correctness depends on conventions a type checker cannot
+see: explicit RNG threading, replayable (log-derived) time, sorted arrays
+under every ``searchsorted``, seconds-only window arithmetic and validated
+fraction parameters.  This package machine-checks them.  See
+``docs/static_analysis.md`` for the rule catalogue and waiver syntax.
+
+Programmatic use::
+
+    from tools.repro_lint import lint_paths, lint_source
+    findings = lint_paths(["src", "tests"])
+"""
+
+from tools.repro_lint.diagnostics import Diagnostic, sort_diagnostics
+from tools.repro_lint.engine import (
+    LintContext,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from tools.repro_lint.registry import Rule, all_rules, get_rule, register
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Diagnostic",
+    "LintContext",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "sort_diagnostics",
+    "__version__",
+]

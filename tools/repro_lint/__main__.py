@@ -1,0 +1,8 @@
+"""Entry point for ``python -m tools.repro_lint``."""
+
+import sys
+
+from tools.repro_lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Shared AST helpers for repro-lint rules.
+
+The central facility is the *import resolver*: rules never pattern-match on
+surface spellings like ``np.random.seed`` directly, because the same call can
+be written ``numpy.random.seed``, ``from numpy import random; random.seed``
+or ``from numpy.random import seed; seed``.  :class:`ImportTable` records a
+module's import bindings and :func:`resolve_call` flattens a call's function
+expression to its fully-qualified dotted name whenever that name is rooted in
+an imported module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+class ImportTable:
+    """Maps local names to the fully-qualified dotted names they import."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.bindings: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # ``import a.b`` binds ``a`` -> ``a``; ``import a.b as c``
+                    # binds ``c`` -> ``a.b``.
+                    target = alias.name if alias.asname else local
+                    self.bindings[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.bindings[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """Fully-qualified dotted name of ``node`` if rooted in an import."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.bindings.get(node.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+def resolve_call(call: ast.Call, imports: ImportTable) -> Optional[str]:
+    """Dotted name of the function being called, when import-rooted."""
+    return imports.resolve(call.func)
+
+
+def iter_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def iter_functions(tree: ast.AST) -> Iterator[FunctionNode]:
+    for node in ast.walk(tree):
+        if isinstance(node, FUNCTION_NODES):
+            yield node
+
+
+def function_param_names(func: FunctionNode) -> list[str]:
+    """All positional, keyword-only and variadic parameter names."""
+    args = func.args
+    params = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg:
+        params.append(args.vararg.arg)
+    if args.kwarg:
+        params.append(args.kwarg.arg)
+    return params
+
+
+def name_appears_in(node: ast.AST, name: str) -> bool:
+    """True if a ``Name(name)`` load occurs anywhere inside ``node``."""
+    return any(
+        isinstance(sub, ast.Name) and sub.id == name for sub in ast.walk(node)
+    )
+
+
+def call_name(call: ast.Call) -> Optional[str]:
+    """Trailing identifier of the call target (``a.b.c()`` -> ``c``)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None

@@ -1,0 +1,100 @@
+"""Command-line front end: ``python -m tools.repro_lint [paths...]``.
+
+Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from typing import Optional, Sequence
+
+from tools.repro_lint.engine import lint_paths
+from tools.repro_lint.registry import all_rules
+
+DEFAULT_PATHS = ["src", "tests", "benchmarks", "scripts"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.repro_lint",
+        description=(
+            "AST-based invariant checker for the BG/L failure-predictor "
+            "reproduction (explicit RNG threading, replayable time, sorted "
+            "window queries, seconds-only windows, validated fractions)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=DEFAULT_PATHS,
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--no-hints", action="store_true",
+        help="omit fix hints from text output",
+    )
+    parser.add_argument(
+        "--statistics", action="store_true",
+        help="print a per-rule finding count after the diagnostics",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def _split_codes(raw: Optional[str]) -> Optional[list[str]]:
+    if raw is None:
+        return None
+    return [c.strip() for c in raw.split(",") if c.strip()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name}: {rule.description}")
+        return 0
+
+    try:
+        diags = lint_paths(
+            args.paths,
+            select=_split_codes(args.select),
+            ignore=_split_codes(args.ignore),
+        )
+    except FileNotFoundError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        for diag in diags:
+            print(diag.to_json())
+    else:
+        for diag in diags:
+            print(diag.format(show_hint=not args.no_hints))
+
+    if args.statistics and diags:
+        counts = Counter(d.code for d in diags)
+        print()
+        for code in sorted(counts):
+            print(f"{code}: {counts[code]}")
+
+    if args.format == "text":
+        n = len(diags)
+        print(f"repro-lint: {n} finding{'s' if n != 1 else ''}"
+              if n else "repro-lint: clean")
+    return 1 if diags else 0

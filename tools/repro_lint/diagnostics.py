@@ -1,0 +1,39 @@
+"""Diagnostic records emitted by repro-lint rules.
+
+A :class:`Diagnostic` pins a rule violation to a ``file:line:col`` location
+and carries both the human-readable message and a *fix hint* — the invariant
+checkers exist to teach the conventions, so every rule explains how to comply
+rather than just complaining.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    hint: str = field(default="", compare=False)
+
+    def format(self, *, show_hint: bool = True) -> str:
+        """Render ``path:line:col: CODE message`` (plus the hint if any)."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+        if show_hint and self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+
+def sort_diagnostics(diags: list[Diagnostic]) -> list[Diagnostic]:
+    """Stable order for reporting: by path, then line, column and code."""
+    return sorted(diags)

@@ -1,0 +1,161 @@
+"""Lint engine: file discovery, parsing, rule dispatch, waiver filtering.
+
+The engine owns everything that is not rule-specific: walking the target
+paths, building one :class:`LintContext` per file (AST + import table +
+waivers), running each enabled rule, and dropping diagnostics whose line
+carries a matching waiver.  Rules therefore never need to think about
+waivers, file systems or syntax errors.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from tools.repro_lint.astutil import ImportTable
+from tools.repro_lint.diagnostics import Diagnostic, sort_diagnostics
+from tools.repro_lint.registry import Rule, all_rules
+from tools.repro_lint.waivers import Waivers, parse_waivers
+
+#: Directory names never descended into.
+SKIP_DIRS = {"__pycache__", ".git", ".venv", "venv", "node_modules", ".mypy_cache",
+             ".ruff_cache", ".pytest_cache", "build", "dist"}
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: str  # as reported in diagnostics (relative when possible)
+    tree: ast.Module
+    source: str
+    imports: ImportTable
+    waivers: Waivers
+
+    #: Posix-style path used for scope decisions (e.g. "is this library
+    #: code under src/repro/?").  Always relative to the lint root when the
+    #: file lies beneath it.
+    posix_path: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.posix_path = Path(self.path).as_posix()
+
+    def in_package(self, *parts: str) -> bool:
+        """True if the file lies under the given path fragment.
+
+        ``ctx.in_package("src", "repro")`` matches ``src/repro/...`` whether
+        the lint root was the repository root or ``src`` itself.
+        """
+        fragment = "/".join(parts)
+        return (
+            f"/{fragment}/" in f"/{self.posix_path}"
+            or self.posix_path.startswith(fragment + "/")
+        )
+
+    def is_module(self, *parts: str) -> bool:
+        """True if the file *is* the given module path suffix."""
+        return self.posix_path.endswith("/".join(parts))
+
+    def diagnostic(
+        self, rule: Rule, node: ast.AST, message: Optional[str] = None
+    ) -> Diagnostic:
+        """Build a Diagnostic for ``node`` carrying the rule's fix hint."""
+        return Diagnostic(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=rule.code,
+            message=message or rule.description,
+            hint=rule.hint,
+        )
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    found: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_file():
+            if p.suffix == ".py":
+                found.add(p)
+        elif p.is_dir():
+            for dirpath, dirnames, filenames in os.walk(p):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d not in SKIP_DIRS and not d.startswith(".")
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        found.add(Path(dirpath) / name)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    return sorted(found)
+
+
+def _display_path(path: Path) -> str:
+    """Prefer a path relative to the current directory for readability."""
+    try:
+        return str(path.resolve().relative_to(Path.cwd().resolve()))
+    except ValueError:
+        return str(path)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Iterable[Rule]] = None,
+) -> list[Diagnostic]:
+    """Lint a source string (the unit-test entry point)."""
+    rules = list(rules) if rules is not None else all_rules()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code="RL999",
+                message=f"syntax error: {exc.msg}",
+                hint="repro-lint only checks files that parse",
+            )
+        ]
+    waivers = parse_waivers(path, source)
+    ctx = LintContext(
+        path=path, tree=tree, source=source,
+        imports=ImportTable(tree), waivers=waivers,
+    )
+    diags: list[Diagnostic] = list(waivers.errors)
+    for rule in rules:
+        for diag in rule.check(ctx):
+            if not waivers.is_waived(diag.code, diag.line):
+                diags.append(diag)
+    return sort_diagnostics(diags)
+
+
+def lint_file(path: Path, rules: Optional[Iterable[Rule]] = None) -> list[Diagnostic]:
+    """Lint one file from disk."""
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, path=_display_path(path), rules=rules)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> list[Diagnostic]:
+    """Lint files/directories; optionally filter the rule set by code."""
+    rules = all_rules()
+    if select is not None:
+        wanted = set(select)
+        rules = [r for r in rules if r.code in wanted]
+    if ignore is not None:
+        unwanted = set(ignore)
+        rules = [r for r in rules if r.code not in unwanted]
+    diags: list[Diagnostic] = []
+    for path in iter_python_files(paths):
+        diags.extend(lint_file(path, rules=rules))
+    return sort_diagnostics(diags)

@@ -1,0 +1,58 @@
+"""Plugin-style rule registry.
+
+A rule is a class with ``code``/``name``/``description``/``hint`` attributes
+and a ``check(ctx)`` generator; decorating it with :func:`register` makes it
+discoverable by the engine and the CLI.  Rules live one-per-module under
+``tools/repro_lint/rules`` and registration happens on import, so adding a
+checker is: drop a module in ``rules/``, import it from ``rules/__init__``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Protocol, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from tools.repro_lint.diagnostics import Diagnostic
+    from tools.repro_lint.engine import LintContext
+
+
+class Rule(Protocol):
+    """Interface every registered checker implements."""
+
+    code: str
+    name: str
+    description: str
+    hint: str
+
+    def check(self, ctx: "LintContext") -> Iterator["Diagnostic"]: ...
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule by its code."""
+    rule = cls()
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code!r}")
+    _REGISTRY[rule.code] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules in code order (imports the bundled rule modules)."""
+    # Importing the package triggers @register for every bundled rule.
+    import tools.repro_lint.rules  # noqa: F401
+
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    import tools.repro_lint.rules  # noqa: F401
+
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {code!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None

@@ -1,0 +1,13 @@
+"""Bundled repro-lint rules.
+
+Importing this package registers every bundled rule with the registry; a new
+checker only needs a module here plus an import line below.
+"""
+
+from tools.repro_lint.rules import (  # noqa: F401
+    rl001_ambient_rng,
+    rl002_wall_clock,
+    rl003_sorted_precondition,
+    rl004_minute_literals,
+    rl005_fraction_validation,
+)

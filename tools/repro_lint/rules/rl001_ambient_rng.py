@@ -1,0 +1,60 @@
+"""RL001 — no ambient randomness.
+
+Every stochastic component must thread an explicit
+:class:`numpy.random.Generator` (see ``src/repro/util/rng.py``): a hidden
+``np.random.*`` or ``random.*`` call consumes from process-global state, so
+results silently depend on import order and on how many draws *other* code
+made first — the classic source of irreproducible precision/recall numbers.
+
+Flags calls whose resolved target is
+
+* ``numpy.random.<fn>`` for any lowercase ``<fn>`` (``seed``, ``random``,
+  ``default_rng``, distribution samplers, ...).  Capitalised names
+  (``Generator``, ``SeedSequence``, ``PCG64``) are constructors taking
+  explicit seed material and are allowed.
+* anything in the stdlib ``random`` module (``random.random``,
+  ``random.seed``, a bare ``choice`` from ``from random import choice``...).
+
+``src/repro/util/rng.py`` is the one sanctioned home for ``default_rng`` and
+is exempt.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from tools.repro_lint.astutil import iter_calls, resolve_call
+from tools.repro_lint.diagnostics import Diagnostic
+from tools.repro_lint.registry import register
+
+if TYPE_CHECKING:
+    from tools.repro_lint.engine import LintContext
+
+
+@register
+class AmbientRandomnessRule:
+    code = "RL001"
+    name = "no-ambient-randomness"
+    description = "ambient RNG call"
+    hint = (
+        "accept a Generator/SeedLike parameter and go through "
+        "repro.util.rng.as_generator / spawn_child instead"
+    )
+
+    def check(self, ctx: "LintContext") -> Iterator[Diagnostic]:
+        if ctx.is_module("repro", "util", "rng.py"):
+            return
+        for call in iter_calls(ctx.tree):
+            dotted = resolve_call(call, ctx.imports)
+            if dotted is None:
+                continue
+            if dotted.startswith("numpy.random."):
+                fn = dotted.rsplit(".", 1)[1]
+                if fn[:1].islower():
+                    yield ctx.diagnostic(
+                        self, call, f"ambient numpy randomness: {dotted}()"
+                    )
+            elif dotted == "random" or dotted.startswith("random."):
+                yield ctx.diagnostic(
+                    self, call, f"ambient stdlib randomness: {dotted}()"
+                )

@@ -1,0 +1,58 @@
+"""RL002 — no wall-clock reads in library code.
+
+Evaluation in this reproduction is *replayable*: every timestamp flows from
+the RAS log (or the synthetic generator), so re-running an experiment on the
+same inputs yields byte-identical warnings and metrics.  A ``time.time()``
+or ``datetime.now()`` inside ``src/repro/`` would tie results to the clock
+of the machine that ran them and break replay.
+
+Scope: only files under ``src/repro/`` — scripts, benchmarks and tests may
+measure their own runtime freely.  For *display-only* elapsed-time
+measurement inside the library, use ``time.monotonic()`` /
+``time.perf_counter()``, which never masquerade as event timestamps and are
+not flagged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from tools.repro_lint.astutil import iter_calls, resolve_call
+from tools.repro_lint.diagnostics import Diagnostic
+from tools.repro_lint.registry import register
+
+if TYPE_CHECKING:
+    from tools.repro_lint.engine import LintContext
+
+#: Fully-qualified callables that read the wall clock.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class WallClockRule:
+    code = "RL002"
+    name = "no-wall-clock"
+    description = "wall-clock read in library code"
+    hint = (
+        "library code must derive times from the event stream; use "
+        "time.monotonic()/perf_counter() for display-only timing"
+    )
+
+    def check(self, ctx: "LintContext") -> Iterator[Diagnostic]:
+        if not ctx.in_package("src", "repro"):
+            return
+        for call in iter_calls(ctx.tree):
+            dotted = resolve_call(call, ctx.imports)
+            if dotted in WALL_CLOCK_CALLS:
+                yield ctx.diagnostic(
+                    self, call, f"wall-clock read in library code: {dotted}()"
+                )

@@ -1,0 +1,101 @@
+"""RL003 — guard the sorted-array precondition.
+
+``numpy.searchsorted`` (and the window helpers built on it) silently return
+garbage on unsorted input — no exception, just wrong window bounds and
+therefore plausible-but-wrong precision/recall.  Any function that runs a
+binary-search sink directly on one of *its own parameters* must first route
+that parameter through :func:`repro.util.validation.check_sorted`, or carry
+an explicit ``# repro-lint: sorted`` waiver (on the ``def`` line or the call
+line) asserting the caller guarantees order.
+
+Only bare parameter names are tracked: locals derived inside the function
+(``fatal_times = store.fatal_events().times``) inherit whatever invariant
+the deriving code establishes and stay out of scope, which keeps the rule
+precise enough to run with zero false positives on this tree.
+
+The guard must appear on an earlier line than the sink — a lexical
+approximation of reachability that matches the validate-at-entry style used
+throughout the package.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from tools.repro_lint.astutil import (
+    call_name,
+    function_param_names,
+    iter_calls,
+    iter_functions,
+    name_appears_in,
+    resolve_call,
+)
+from tools.repro_lint.diagnostics import Diagnostic
+from tools.repro_lint.registry import register
+
+if TYPE_CHECKING:
+    from tools.repro_lint.engine import LintContext
+
+#: Call names that binary-search a sorted array given as first argument.
+SINK_FUNCTIONS = frozenset({"window_slice", "events_in_window"})
+GUARD_NAME = "check_sorted"
+
+
+def _sink_array_operand(call: ast.Call, ctx: "LintContext") -> Optional[ast.expr]:
+    """The array expression a sink call binary-searches, if this is a sink."""
+    dotted = resolve_call(call, ctx.imports)
+    if dotted == "numpy.searchsorted":
+        return call.args[0] if call.args else None
+    name = call_name(call)
+    if name == "searchsorted" and isinstance(call.func, ast.Attribute):
+        # Method form ``times.searchsorted(x)`` — the receiver is the array.
+        return call.func.value
+    if name in SINK_FUNCTIONS:
+        return call.args[0] if call.args else None
+    return None
+
+
+@register
+class SortedPreconditionRule:
+    code = "RL003"
+    name = "sorted-precondition"
+    description = "binary search on an unguarded parameter"
+    hint = (
+        "call validation.check_sorted(param, ...) before searching, or waive "
+        "with '# repro-lint: sorted' if the caller guarantees order"
+    )
+
+    def check(self, ctx: "LintContext") -> Iterator[Diagnostic]:
+        for func in iter_functions(ctx.tree):
+            params = set(function_param_names(func))
+            if not params:
+                continue
+            # Lines on which each parameter is routed through check_sorted.
+            guard_lines: dict[str, int] = {}
+            sinks: list[tuple[ast.Call, str]] = []
+            for call in iter_calls(func):
+                if call_name(call) == GUARD_NAME:
+                    for param in params:
+                        if any(name_appears_in(arg, param) for arg in call.args):
+                            line = guard_lines.get(param, call.lineno)
+                            guard_lines[param] = min(line, call.lineno)
+                    continue
+                operand = _sink_array_operand(call, ctx)
+                if (
+                    isinstance(operand, ast.Name)
+                    and operand.id in params
+                ):
+                    sinks.append((call, operand.id))
+            for call, param in sinks:
+                guarded_at = guard_lines.get(param)
+                if guarded_at is not None and guarded_at <= call.lineno:
+                    continue
+                if ctx.waivers.is_waived(self.code, func.lineno, call.lineno):
+                    continue
+                yield ctx.diagnostic(
+                    self,
+                    call,
+                    f"parameter {param!r} is binary-searched in "
+                    f"{func.name}() without a check_sorted guard",
+                )

@@ -1,0 +1,67 @@
+"""RL004 — window parameters are seconds, not minutes.
+
+All window/offset/gap parameters in this codebase are **seconds** (the paper
+works in seconds too: 300 s compression window, 15/25-minute rule-generation
+windows written as ``15 * MINUTE``).  The characteristic mistake is passing
+one of the paper's headline *minute* values — 5, 15, 25 or 60 — as a bare
+literal: ``rule_window=15`` builds 15-*second* windows, mines almost no
+rules, and quietly reports terrible recall instead of crashing.
+
+Flags a bare numeric literal from the suspicious set bound to a
+window-flavoured keyword argument (``window``, ``*_window``, ``offset_*``,
+``gap``, ``*_gap``).  Expressions like ``15 * MINUTE`` or honest second
+counts (``window=900``) are untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from tools.repro_lint.astutil import iter_calls
+from tools.repro_lint.diagnostics import Diagnostic
+from tools.repro_lint.registry import register
+
+if TYPE_CHECKING:
+    from tools.repro_lint.engine import LintContext
+
+#: Paper-headline minute values that are implausible as second counts here.
+SUSPICIOUS_MINUTES = frozenset({5, 15, 25, 60})
+
+
+def _is_window_kwarg(name: str) -> bool:
+    return (
+        name == "window"
+        or name.endswith("_window")
+        or name.startswith("offset_")
+        or name == "gap"
+        or name.endswith("_gap")
+    )
+
+
+@register
+class MinuteLiteralRule:
+    code = "RL004"
+    name = "seconds-only-windows"
+    description = "minute-valued literal passed where seconds are expected"
+    hint = "window arguments are in seconds; write N * MINUTE (repro.util.timeutil)"
+
+    def check(self, ctx: "LintContext") -> Iterator[Diagnostic]:
+        for call in iter_calls(ctx.tree):
+            for kw in call.keywords:
+                if kw.arg is None or not _is_window_kwarg(kw.arg):
+                    continue
+                value = kw.value
+                if (
+                    isinstance(value, ast.Constant)
+                    and isinstance(value.value, (int, float))
+                    and not isinstance(value.value, bool)
+                    and value.value in SUSPICIOUS_MINUTES
+                ):
+                    minutes = value.value
+                    yield ctx.diagnostic(
+                        self,
+                        value,
+                        f"{kw.arg}={minutes!r} looks like minutes; "
+                        f"window arguments are seconds",
+                    )

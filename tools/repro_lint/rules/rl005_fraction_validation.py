@@ -1,0 +1,103 @@
+"""RL005 — validate fraction-like parameters at public API boundaries.
+
+Support, confidence and probability parameters are fractions in ``[0, 1]``.
+A caller passing a percentage (``min_support=4`` instead of ``0.04``) gets
+an empty ruleset and a zero-recall predictor — no crash, just wrong numbers.
+Public functions in ``src/repro/`` must therefore route every fraction-like
+parameter through :func:`repro.util.validation.check_fraction` (or
+:func:`check_in_range`) before use.
+
+A parameter is fraction-like when named ``support``, ``confidence``,
+``min_support``, ``min_confidence`` or ``*_prob``.  A function is public
+when neither its own name nor its enclosing class's name is underscored
+(``__init__``/``__post_init__`` count as the public constructor surface).
+Parameters that may legitimately be ``None`` (default ``None``) are only
+required to be checked when a check call is absent entirely — the idiomatic
+``if x is not None: check_fraction(x, ...)`` satisfies the rule because the
+check call is present in the body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from tools.repro_lint.astutil import (
+    FUNCTION_NODES,
+    call_name,
+    function_param_names,
+    iter_calls,
+    name_appears_in,
+)
+from tools.repro_lint.diagnostics import Diagnostic
+from tools.repro_lint.registry import register
+
+if TYPE_CHECKING:
+    from tools.repro_lint.engine import LintContext
+
+FRACTION_NAMES = frozenset({"support", "confidence", "min_support", "min_confidence"})
+CHECK_CALLS = frozenset({"check_fraction", "check_in_range"})
+CONSTRUCTORS = frozenset({"__init__", "__post_init__"})
+
+
+def _is_fraction_param(name: str) -> bool:
+    return name in FRACTION_NAMES or name.endswith("_prob")
+
+
+@register
+class FractionValidationRule:
+    code = "RL005"
+    name = "public-api-validation"
+    description = "fraction-like parameter not validated"
+    hint = (
+        "route the parameter through validation.check_fraction "
+        "(or check_in_range) before using it"
+    )
+
+    def check(self, ctx: "LintContext") -> Iterator[Diagnostic]:
+        if not ctx.in_package("src", "repro"):
+            return
+        yield from self._walk(ctx, ctx.tree, public_scope=True)
+
+    def _walk(
+        self, ctx: "LintContext", node: ast.AST, public_scope: bool
+    ) -> Iterator[Diagnostic]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from self._walk(
+                    ctx, child, public_scope and not child.name.startswith("_")
+                )
+            elif isinstance(child, FUNCTION_NODES):
+                is_public = not child.name.startswith("_") or (
+                    child.name in CONSTRUCTORS
+                )
+                if public_scope and is_public:
+                    yield from self._check_function(ctx, child)
+                # Nested defs are never public API; don't descend.
+
+    def _check_function(
+        self, ctx: "LintContext", func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Diagnostic]:
+        fraction_params = [
+            p for p in function_param_names(func)
+            if p != "self" and _is_fraction_param(p)
+        ]
+        if not fraction_params:
+            return
+        checked: set[str] = set()
+        for call in iter_calls(func):
+            if call_name(call) in CHECK_CALLS:
+                for param in fraction_params:
+                    if any(name_appears_in(arg, param) for arg in call.args):
+                        checked.add(param)
+        for param in fraction_params:
+            if param in checked:
+                continue
+            if ctx.waivers.is_waived(self.code, func.lineno):
+                continue
+            yield ctx.diagnostic(
+                self,
+                func,
+                f"public function {func.name}() takes fraction-like "
+                f"parameter {param!r} without check_fraction",
+            )

@@ -1,0 +1,95 @@
+"""Waiver comments: opting a line out of a repro-lint rule.
+
+Two forms are recognised, both anchored to the physical line they appear on:
+
+``# repro-lint: disable=RL001[,RL002,...]``
+    Suppress the listed rule codes on this line.  Rules that reason about a
+    whole function (RL003, RL005) also honour a waiver on the function's
+    ``def`` line.
+
+``# repro-lint: sorted``
+    Domain-specific alias for ``disable=RL003`` — asserts that the array
+    operand is sorted by construction and the O(n) :func:`check_sorted`
+    guard is deliberately omitted (hot-path functions document the
+    precondition instead).
+
+Unknown or malformed directives are themselves reported (``RL000``) so a
+typo'd waiver cannot silently disable nothing.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from tools.repro_lint.diagnostics import Diagnostic
+
+DIRECTIVE_RE = re.compile(r"#\s*repro-lint\s*:\s*(?P<body>.*)$")
+CODE_RE = re.compile(r"^RL\d{3}$")
+
+#: Domain aliases: tag -> waived rule code.
+ALIASES: dict[str, str] = {"sorted": "RL003"}
+
+
+@dataclass
+class Waivers:
+    """Per-file map of line number -> waived rule codes."""
+
+    path: str
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    #: Malformed/unknown directives found while parsing.
+    errors: list[Diagnostic] = field(default_factory=list)
+
+    def is_waived(self, code: str, *lines: int) -> bool:
+        """True if ``code`` is waived on any of the given lines."""
+        return any(code in self.by_line.get(line, ()) for line in lines)
+
+
+def parse_waivers(path: str, source: str) -> Waivers:
+    """Extract all waiver directives from ``source`` comment tokens."""
+    waivers = Waivers(path=path)
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (tok.start[0], tok.start[1], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return waivers  # parse errors are reported by the engine, not here
+    for line, col, text in comments:
+        match = DIRECTIVE_RE.search(text)
+        if match is None:
+            continue
+        body = match.group("body").strip()
+        codes = _parse_directive_body(body)
+        if codes is None:
+            waivers.errors.append(
+                Diagnostic(
+                    path=path,
+                    line=line,
+                    col=col,
+                    code="RL000",
+                    message=f"unrecognised repro-lint directive {body!r}",
+                    hint=(
+                        "use '# repro-lint: disable=RLnnn[,RLnnn...]' or a "
+                        f"known alias ({', '.join(sorted(ALIASES))})"
+                    ),
+                )
+            )
+            continue
+        waivers.by_line.setdefault(line, set()).update(codes)
+    return waivers
+
+
+def _parse_directive_body(body: str) -> set[str] | None:
+    """Return waived codes, or None if the directive is malformed."""
+    if body in ALIASES:
+        return {ALIASES[body]}
+    if body.startswith("disable="):
+        codes = {c.strip() for c in body[len("disable=") :].split(",")}
+        if codes and all(CODE_RE.match(c) for c in codes):
+            return codes
+    return None
