@@ -5,14 +5,23 @@ particular table needs full-scale fatal structure; generation and Phase 1 are
 session-scoped so the suite generates each log once.
 
 Every bench prints a paper-vs-measured block; ``EXPERIMENTS.md`` records the
-same numbers.
+same numbers.  Every bench also runs under a fresh
+:class:`repro.obs.MetricsRegistry` (the ``bench_metrics`` autouse fixture),
+so instrumented phases emit a per-test phase-time breakdown, and — when
+``REPRO_BENCH_METRICS_DIR`` is set — a ``BENCH_<test>.json`` trajectory file
+per bench (format documented in ``docs/benchmarks.md``).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import re
+
 import pytest
 
 from repro.core.pipeline import ThreePhasePredictor
+from repro.obs import MetricsRegistry, snapshot, span_totals, use
 from repro.ras.store import EventStore
 from repro.synth.generator import GeneratedLog, LogGenerator
 from repro.synth.profiles import anl_profile, sdsc_profile
@@ -50,3 +59,59 @@ def report(title: str, rows: list[tuple]) -> None:
     for row in rows:
         label, *values = row
         print(f"  {str(label):<{width}}  " + "  ".join(str(v) for v in values))
+
+
+def _flatten_trajectory(registry: MetricsRegistry) -> list[dict]:
+    """Depth-annotated, completion-ordered span list (the trajectory)."""
+    out: list[dict] = []
+
+    def walk(span, depth: int) -> None:
+        entry = {"name": span.name, "duration_s": span.duration, "depth": depth}
+        if span.labels:
+            entry["labels"] = dict(span.labels)
+        out.append(entry)
+        for child in span.children:
+            walk(child, depth + 1)
+
+    for root in registry.spans:
+        walk(root, 0)
+    return out
+
+
+@pytest.fixture(autouse=True)
+def bench_metrics(request):
+    """Attach a fresh metrics registry to every bench.
+
+    Instrumented library phases (Phase 1 compression, mining, CV folds)
+    record into it; afterwards the fixture prints a phase-time breakdown
+    (visible with ``-s``) and, when ``REPRO_BENCH_METRICS_DIR`` names a
+    directory, writes ``BENCH_<test>.json`` with the full snapshot plus the
+    flattened span trajectory.
+    """
+    registry = MetricsRegistry()
+    with use(registry):
+        yield registry
+    totals = span_totals(registry)
+    if totals:
+        report(
+            f"phase times — {request.node.name}",
+            [
+                (name, f"{count}x", f"{seconds:.4f}s")
+                for name, (count, seconds) in sorted(
+                    totals.items(), key=lambda kv: -kv[1][1]
+                )
+            ],
+        )
+    outdir = os.environ.get("REPRO_BENCH_METRICS_DIR")
+    if outdir:
+        os.makedirs(outdir, exist_ok=True)
+        safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+        payload = {
+            "bench": request.node.nodeid,
+            "trajectory": _flatten_trajectory(registry),
+            "metrics": snapshot(registry),
+        }
+        path = os.path.join(outdir, f"BENCH_{safe}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")

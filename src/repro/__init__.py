@@ -30,6 +30,7 @@ from repro.evaluation.matching import match_warnings
 from repro.evaluation.metrics import Metrics
 from repro.meta.multi import MultiMeta
 from repro.meta.stacked import MetaLearner
+from repro.obs import MetricsRegistry
 from repro.predictors.base import FailureWarning
 from repro.predictors.rulebased import RuleBasedPredictor
 from repro.predictors.statistical import StatisticalPredictor
@@ -73,5 +74,6 @@ __all__ = [
     "cross_validate",
     "match_warnings",
     "Metrics",
+    "MetricsRegistry",
     "__version__",
 ]

@@ -11,6 +11,7 @@ from repro.core.config import PredictorConfig
 from repro.core.pipeline import ThreePhasePredictor
 from repro.core.serialize import load_model, save_model
 from repro.evaluation.crossval import cross_validate
+from repro.obs import MetricsRegistry, get_registry, to_json, use
 from repro.evaluation.sweep import (
     DEFAULT_WINDOWS,
     format_sweep,
@@ -29,6 +30,14 @@ from repro.ras.logfile import LogDialect, read_log, write_log
 from repro.synth.generator import LogGenerator
 from repro.synth.profiles import profile_by_name
 from repro.util.timeutil import MINUTE
+
+
+def _add_emit_metrics_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--emit-metrics", metavar="PATH", default=None,
+        help="write the run's metrics/span JSON snapshot to PATH "
+             "(see docs/observability.md)",
+    )
 
 
 def _add_common_predictor_args(p: argparse.ArgumentParser) -> None:
@@ -130,6 +139,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     x.add_argument("--windows", default="5,10,15,20,30,40,50,60")
     _add_common_predictor_args(x)
+
+    # Every subcommand can export its observability snapshot.
+    for subparser in sub.choices.values():
+        _add_emit_metrics_arg(subparser)
     return parser
 
 
@@ -216,6 +229,36 @@ def cmd_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_metrics_section() -> None:
+    """Compact observability summary appended to evaluation reports."""
+    from repro.obs import summarize_histogram
+
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    lines: list[str] = []
+    samples = registry.histograms.get("crossval.fold_seconds")
+    if samples:
+        s = summarize_histogram(samples)
+        lines.append(
+            f"  per-fold wall time: mean={s['mean']:.3f}s "
+            f"p90={s['p90']:.3f}s max={s['max']:.3f}s"
+        )
+    rule = registry.counters.get("meta.dispatch{method=rule}", 0)
+    stat = registry.counters.get("meta.dispatch{method=statistical}", 0)
+    if rule or stat:
+        lines.append(f"  meta dispatch: rule={rule} statistical={stat}")
+    compression = registry.gauges.get("preprocess.compression_ratio")
+    if compression is not None:
+        lines.append(f"  phase-1 compression: {compression:.2%}")
+    kept = registry.counters.get("mining.rules_kept")
+    if kept is not None:
+        lines.append(f"  rules kept (across fits): {kept:g}")
+    if lines:
+        print("metrics:")
+        print("\n".join(lines))
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
     _, result = _load_events(args.log)
     factory = _make_factory(args.method, args, args.prediction_window)
@@ -226,6 +269,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         f"precision={s['precision']:.4f} recall={s['recall']:.4f} "
         f"({s['warnings']} warnings / {s['fatals']} failures)"
     )
+    _print_metrics_section()
     return 0
 
 
@@ -330,6 +374,8 @@ def cmd_report(args: argparse.Namespace) -> int:
         events, windows=windows, k=args.folds,
     )
     print(sweep_chart(points, title="Meta-learner sweep (paper Figure 5)"))
+    print()
+    _print_metrics_section()
     return 0
 
 
@@ -390,9 +436,22 @@ _COMMANDS = {
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Every command runs under a live :class:`MetricsRegistry`, so commands
+    can print a ``metrics`` section; ``--emit-metrics PATH`` additionally
+    writes the full JSON snapshot when the command finishes.
+    """
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    registry = MetricsRegistry()
+    with use(registry):
+        rc = _COMMANDS[args.command](args)
+    emit_path = getattr(args, "emit_metrics", None)
+    if emit_path:
+        with open(emit_path, "w", encoding="utf-8") as fh:
+            fh.write(to_json(registry))
+        print(f"metrics written to {emit_path}")
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -21,6 +21,7 @@ from typing import Optional
 
 from repro.core.config import PredictorConfig
 from repro.meta.stacked import MetaLearner
+from repro.obs import get_registry
 from repro.predictors.base import FailureWarning, Predictor
 from repro.predictors.rulebased import RuleBasedPredictor
 from repro.predictors.statistical import StatisticalPredictor
@@ -80,7 +81,8 @@ class ThreePhasePredictor(Predictor):
 
     def fit(self, events: EventStore) -> "ThreePhasePredictor":
         """Train phases 2-3 on an already preprocessed event store."""
-        self.meta.fit(events)
+        with get_registry().span("phase2"):
+            self.meta.fit(events)
         self.report.rules_mined = (
             len(self.rulebased.ruleset) if self.rulebased.ruleset else 0
         )
@@ -93,13 +95,15 @@ class ThreePhasePredictor(Predictor):
     def predict(self, events: EventStore) -> list[FailureWarning]:
         """Meta-learner warnings for an already preprocessed test store."""
         self._check_fitted()
-        return self.meta.predict(events)
+        with get_registry().span("phase3"):
+            return self.meta.predict(events)
 
     # -- raw-record interface -------------------------------------------- #
 
     def preprocess(self, raw: EventStore) -> PreprocessResult:
         """Run Phase 1 alone (exposed for inspection and the CLI)."""
-        return self.preprocessor.run(raw)
+        with get_registry().span("phase1"):
+            return self.preprocessor.run(raw)
 
     def fit_raw(self, raw: EventStore) -> "ThreePhasePredictor":
         """Phase 1 on the raw store, then train phases 2-3."""

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.evaluation.matching import MatchResult, match_warnings
 from repro.evaluation.metrics import Metrics, mean_metrics
+from repro.obs import get_registry
 from repro.predictors.base import Predictor
 from repro.ras.store import EventStore
 
@@ -93,16 +94,20 @@ def cross_validate(
     all_idx = np.arange(n)
     fold_metrics: list[Metrics] = []
     fold_matches: list[MatchResult] = []
-    for start, end in ranges:
-        test = events.select(slice(start, end))
-        train_idx = np.concatenate([all_idx[:start], all_idx[end:]])
-        train = events.select(train_idx)
-        predictor = factory()
-        predictor.fit(train)
-        warnings = predictor.predict(test)
-        match = match_warnings(warnings, test)
-        fold_metrics.append(match.metrics)
-        fold_matches.append(match)
+    obs = get_registry()
+    for fold, (start, end) in enumerate(ranges):
+        with obs.span("crossval.fold", fold=str(fold)) as sp:
+            test = events.select(slice(start, end))
+            train_idx = np.concatenate([all_idx[:start], all_idx[end:]])
+            train = events.select(train_idx)
+            predictor = factory()
+            predictor.fit(train)
+            warnings = predictor.predict(test)
+            match = match_warnings(warnings, test)
+            fold_metrics.append(match.metrics)
+            fold_matches.append(match)
+        obs.observe("crossval.fold_seconds", sp.duration)
+    obs.counter("crossval.folds", k)
     return CVResult(fold_metrics=fold_metrics, fold_matches=fold_matches)
 
 

@@ -27,6 +27,7 @@ from collections import deque
 from typing import Optional
 
 from repro.mining.rules import Rule, RuleMatcher, RuleSet
+from repro.obs import get_registry
 from repro.predictors.base import FailureWarning, Predictor
 from repro.predictors.rulebased import RuleBasedPredictor
 from repro.predictors.statistical import StatisticalPredictor
@@ -280,22 +281,35 @@ class MetaLearner(Predictor):
 
     def predict(self, events: EventStore) -> list[FailureWarning]:
         """Drive the dispatch stream over a whole store."""
+        obs = get_registry()
         stream = self.stream()
         warnings: list[FailureWarning] = []
         if len(events) == 0:
             self.dispatch_counts = dict(stream.dispatch_counts)
             return warnings
-        clf = self.statistical.classifier
-        cat_table = [clf.category_of_label(n) for n in events.subcat_table]
-        times = events.times
-        subcats = events.subcat_ids
-        fatal_mask = events.fatal_mask()
-        for i in range(len(events)):
-            sc = int(subcats[i])
-            warnings.extend(
-                stream.step(
-                    int(times[i]), sc, bool(fatal_mask[i]), cat_table[sc]
+        with obs.span("phase3.dispatch"):
+            clf = self.statistical.classifier
+            cat_table = [clf.category_of_label(n) for n in events.subcat_table]
+            times = events.times
+            subcats = events.subcat_ids
+            fatal_mask = events.fatal_mask()
+            for i in range(len(events)):
+                sc = int(subcats[i])
+                warnings.extend(
+                    stream.step(
+                        int(times[i]), sc, bool(fatal_mask[i]), cat_table[sc]
+                    )
                 )
-            )
         self.dispatch_counts = dict(stream.dispatch_counts)
+        # Which base method each emitted warning came from — the paper's
+        # case-1/2/3 coverage dispatch made visible per run.
+        obs.counter(
+            "meta.dispatch", self.dispatch_counts["rule"], method="rule"
+        )
+        obs.counter(
+            "meta.dispatch",
+            self.dispatch_counts["statistical"],
+            method="statistical",
+        )
+        obs.counter("predictor.warnings", len(warnings), source=self.name)
         return warnings

@@ -18,10 +18,12 @@ implementation therefore:
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from itertools import combinations
 from typing import Iterable, Mapping, Sequence
 
+from repro.obs import get_registry
 from repro.util.validation import check_fraction
 
 
@@ -121,10 +123,20 @@ def apriori(
     for fs in frequent:
         result[fs] = item_counts[next(iter(fs))]
 
+    # Per-pass instrumentation happens at level granularity (at most
+    # ``max_len`` passes), so the disabled path costs two no-op calls and
+    # one monotonic read per level — nothing against the counting loops.
+    obs = get_registry()
+    obs.counter("mining.apriori.frequent", len(frequent), k="1")
+
     k = 1
     while frequent and k < max_len:
+        pass_start = time.perf_counter()
         candidates = _join_step(frequent, k)
+        n_generated = len(candidates)
         candidates = _prune_step(candidates, set(frequent), k)
+        obs.counter("mining.apriori.candidates", n_generated)
+        obs.counter("mining.apriori.pruned", n_generated - len(candidates))
         if not candidates:
             break
         counts = _count_candidates(transactions, candidates, k + 1)
@@ -132,6 +144,10 @@ def apriori(
         for fs in frequent:
             result[fs] = counts[fs]
         k += 1
+        obs.counter("mining.apriori.frequent", len(frequent), k=str(k))
+        obs.observe(
+            "mining.apriori.pass_seconds", time.perf_counter() - pass_start
+        )
     return result
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Optional, Sequence
 
+from repro.obs import get_registry
 from repro.util.validation import check_fraction
 
 
@@ -146,9 +147,12 @@ def fpgrowth(
     if n == 0:
         return {}
     min_count = max(1, int(-(-min_support * n // 1)))
-    weighted = [(sorted(t), 1) for t in transactions]
-    tree, frequent = _build_tree(weighted, min_count)
-    out: dict[frozenset[int], int] = {}
-    if frequent:
-        _mine(tree, frequent, frozenset(), min_count, max_len, out)
+    obs = get_registry()
+    with obs.timer("mining.fpgrowth.mine_seconds"):
+        weighted = [(sorted(t), 1) for t in transactions]
+        tree, frequent = _build_tree(weighted, min_count)
+        out: dict[frozenset[int], int] = {}
+        if frequent:
+            _mine(tree, frequent, frozenset(), min_count, max_len, out)
+    obs.counter("mining.fpgrowth.itemsets", len(out))
     return out

@@ -27,6 +27,7 @@ from typing import Callable, Iterable, Optional, Sequence
 from repro.mining.apriori import apriori
 from repro.mining.fptree import fpgrowth
 from repro.mining.transactions import EventSetDB
+from repro.obs import get_registry
 from repro.util.validation import check_fraction
 
 #: Miner registry: both produce identical itemset->count tables.
@@ -86,11 +87,14 @@ def generate_rules(
         raise ValueError(f"unknown miner {miner!r}; choose from {sorted(MINERS)}")
     check_fraction(min_support, "min_support")
     check_fraction(min_confidence, "min_confidence")
+    obs = get_registry()
     transactions = db.transactions()
     n = len(transactions)
     if n == 0:
         return RuleSet([], db.item_names, db.fatal_items)
-    freq = MINERS[miner](transactions, min_support, max_len=max_len)
+    with obs.span("phase2.mine", miner=miner):
+        freq = MINERS[miner](transactions, min_support, max_len=max_len)
+    obs.counter("mining.itemsets_frequent", len(freq))
 
     # Step 2: single-head rules body(non-fatal) -> head(fatal).
     singles: list[Rule] = []
@@ -117,8 +121,11 @@ def generate_rules(
             )
         )
     if prune_generalizations:
+        n_before = len(singles)
         singles = _prune_generalizations(singles)
+        obs.counter("mining.rules_pruned", n_before - len(singles))
     if not combine:
+        obs.counter("mining.rules_kept", len(singles))
         return RuleSet(
             sorted(singles, key=lambda r: (-r.confidence, -r.support_count)),
             db.item_names,
@@ -151,6 +158,7 @@ def generate_rules(
         )
     # Step 4: descending confidence.
     combined.sort(key=lambda r: (-r.confidence, -r.support_count))
+    obs.counter("mining.rules_kept", len(combined))
     return RuleSet(combined, db.item_names, db.fatal_items)
 
 

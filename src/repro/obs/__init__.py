@@ -1,0 +1,42 @@
+"""repro.obs — zero-dependency metrics, spans and exporters.
+
+The pipeline's observability layer: library code records counters, gauges,
+histogram samples and nested phase spans against the *active* registry
+(:func:`get_registry`), which defaults to a no-op so uninstrumented runs
+cost nothing.  See ``docs/observability.md`` for the metric catalogue,
+span hierarchy and overhead budget.
+"""
+
+from repro.obs.export import (
+    snapshot,
+    span_totals,
+    summarize_histogram,
+    to_json,
+    to_text,
+)
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    SpanRecord,
+    get_registry,
+    metric_key,
+    set_registry,
+    use,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "SpanRecord",
+    "get_registry",
+    "set_registry",
+    "use",
+    "metric_key",
+    "snapshot",
+    "span_totals",
+    "summarize_histogram",
+    "to_json",
+    "to_text",
+]

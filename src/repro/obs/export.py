@@ -1,0 +1,116 @@
+"""Exporters for :class:`repro.obs.MetricsRegistry` snapshots.
+
+Two formats, both dependency-free:
+
+- :func:`snapshot` / :func:`to_json` — a JSON-ready dict with counters,
+  gauges, histogram *summaries* (count/sum/min/max/mean/p50/p90/p99, raw
+  samples are not exported), and the nested span tree.  This is what
+  ``bgl-predict --emit-metrics`` writes and what ``BENCH_*.json`` embeds.
+- :func:`to_text` — a compact fixed-width block for terminal reports (the
+  CLI's ``metrics`` section).
+
+The JSON form round-trips: ``json.loads(to_json(reg)) == snapshot(reg)``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry, SpanRecord
+
+#: Percentiles summarized for every histogram.
+HISTOGRAM_PERCENTILES = (50, 90, 99)
+
+
+def percentile(sorted_samples: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile ``q`` in [0, 100] of a sorted sample."""
+    if not sorted_samples:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    if len(sorted_samples) == 1:
+        return float(sorted_samples[0])
+    pos = q / 100.0 * (len(sorted_samples) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_samples) - 1)
+    frac = pos - lo
+    return float(sorted_samples[lo] * (1.0 - frac) + sorted_samples[hi] * frac)
+
+
+def summarize_histogram(samples: Sequence[float]) -> dict[str, float]:
+    """count/sum/min/max/mean plus :data:`HISTOGRAM_PERCENTILES`."""
+    ordered = sorted(samples)
+    total = float(sum(ordered))
+    out: dict[str, float] = {
+        "count": float(len(ordered)),
+        "sum": total,
+        "min": float(ordered[0]),
+        "max": float(ordered[-1]),
+        "mean": total / len(ordered),
+    }
+    for q in HISTOGRAM_PERCENTILES:
+        out[f"p{q}"] = percentile(ordered, q)
+    return out
+
+
+def snapshot(registry: "MetricsRegistry") -> dict[str, Any]:
+    """JSON-ready dict of everything the registry holds."""
+    return {
+        "counters": dict(registry.counters),
+        "gauges": dict(registry.gauges),
+        "histograms": {
+            key: summarize_histogram(samples)
+            for key, samples in registry.histograms.items()
+            if samples
+        },
+        "spans": [s.to_dict() for s in registry.spans],
+    }
+
+
+def to_json(registry: "MetricsRegistry", indent: Optional[int] = 2) -> str:
+    """The :func:`snapshot` dict as a JSON document (trailing newline)."""
+    return json.dumps(snapshot(registry), indent=indent, sort_keys=True) + "\n"
+
+
+def span_totals(registry: "MetricsRegistry") -> dict[str, tuple[int, float]]:
+    """Aggregate ``span name -> (count, total seconds)`` over the whole trace."""
+    totals: dict[str, tuple[int, float]] = {}
+    for span in registry.iter_spans():
+        count, secs = totals.get(span.name, (0, 0.0))
+        totals[span.name] = (count + 1, secs + span.duration)
+    return totals
+
+
+def _format_span(span: "SpanRecord", depth: int, lines: list[str]) -> None:
+    label = "".join(f" {k}={v}" for k, v in sorted(span.labels.items()))
+    lines.append(f"  {'  ' * depth}{span.name}{label}: {span.duration:.4f}s")
+    for child in span.children:
+        _format_span(child, depth + 1, lines)
+
+
+def to_text(registry: "MetricsRegistry") -> str:
+    """Fixed-width terminal rendering of the snapshot (CLI metrics section)."""
+    lines: list[str] = []
+    if registry.counters:
+        lines.append("counters:")
+        for key in sorted(registry.counters):
+            lines.append(f"  {key} = {registry.counters[key]:g}")
+    if registry.gauges:
+        lines.append("gauges:")
+        for key in sorted(registry.gauges):
+            lines.append(f"  {key} = {registry.gauges[key]:.4g}")
+    if registry.histograms:
+        lines.append("histograms:")
+        for key in sorted(registry.histograms):
+            s = summarize_histogram(registry.histograms[key])
+            lines.append(
+                f"  {key}: n={s['count']:g} mean={s['mean']:.4g} "
+                f"p50={s['p50']:.4g} p90={s['p90']:.4g} max={s['max']:.4g}"
+            )
+    if registry.spans:
+        lines.append("spans:")
+        for root in registry.spans:
+            _format_span(root, 0, lines)
+    return "\n".join(lines)

@@ -1,0 +1,235 @@
+"""Metrics registry and span tracing primitives.
+
+Zero-dependency observability for the three-phase pipeline: counters,
+gauges, histogram samples, and a :meth:`MetricsRegistry.span` context
+manager that records a *nested* trace of phase timings.  All timing uses
+``time.perf_counter()`` — a monotonic clock, never the wall clock — so the
+layer is RL002-clean by construction and instrumented results stay
+replayable.
+
+The library never instantiates a registry by itself: the process-wide
+active registry defaults to :data:`NULL_REGISTRY`, whose every method is a
+no-op, so uninstrumented runs pay only a module-global read per call site
+(the hot paths are instrumented at *phase* granularity, never per event —
+see ``docs/observability.md`` for the overhead budget).  Callers that want
+measurements install a real registry::
+
+    from repro.obs import MetricsRegistry, use
+
+    registry = MetricsRegistry()
+    with use(registry):
+        predictor.fit_raw(raw)
+    print(registry.to_text())
+
+Labels are keyword arguments with string values; a labelled metric is
+keyed ``name{k=v,...}`` with keys sorted, so the same label set always
+lands on the same series.  The registry is not thread-safe; share one per
+worker, not across workers.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional, Union
+
+Number = Union[int, float]
+
+
+def metric_key(name: str, labels: dict[str, str]) -> str:
+    """Canonical series key: ``name`` or ``name{k=v,...}`` with sorted keys."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or in-flight) trace span."""
+
+    name: str
+    labels: dict[str, str] = field(default_factory=dict)
+    duration: float = 0.0  # seconds, monotonic-clock delta
+    children: list["SpanRecord"] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"name": self.name, "duration_s": self.duration}
+        if self.labels:
+            out["labels"] = dict(self.labels)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def walk(self) -> Iterator["SpanRecord"]:
+        """This span, then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class _NullContext:
+    """Reusable no-op context manager yielding the shared null span."""
+
+    __slots__ = ("_span",)
+
+    def __init__(self, span: SpanRecord) -> None:
+        self._span = span
+
+    def __enter__(self) -> SpanRecord:
+        return self._span
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+class MetricsRegistry:
+    """Counters, gauges, histogram samples, and nested trace spans.
+
+    ``enabled`` lets instrumented code skip work that only feeds the
+    registry (e.g. an extra ``perf_counter`` read) when the active registry
+    is the null one.
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Number] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, list[float]] = {}
+        #: Completed root spans, in completion order.
+        self.spans: list[SpanRecord] = []
+        self._stack: list[SpanRecord] = []
+
+    # -- scalar instruments --------------------------------------------- #
+
+    def counter(self, name: str, value: Number = 1, **labels: str) -> None:
+        """Add ``value`` (default 1) to a monotonically growing counter."""
+        key = metric_key(name, labels)
+        self.counters[key] = self.counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, **labels: str) -> None:
+        """Set a point-in-time value (last write wins)."""
+        self.gauges[metric_key(name, labels)] = float(value)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        """Record one histogram sample (summarized at export time)."""
+        self.histograms.setdefault(metric_key(name, labels), []).append(
+            float(value)
+        )
+
+    # -- timing --------------------------------------------------------- #
+
+    @contextmanager
+    def timer(self, name: str, **labels: str) -> Iterator[None]:
+        """Observe the monotonic elapsed time of the ``with`` body."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - start, **labels)
+
+    @contextmanager
+    def span(self, name: str, **labels: str) -> Iterator[SpanRecord]:
+        """Open a trace span; spans opened inside it become its children."""
+        record = SpanRecord(name=name, labels=dict(labels))
+        if self._stack:
+            self._stack[-1].children.append(record)
+        else:
+            self.spans.append(record)
+        self._stack.append(record)
+        start = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.duration = time.perf_counter() - start
+            self._stack.pop()
+
+    # -- lifecycle / export --------------------------------------------- #
+
+    def clear(self) -> None:
+        """Drop all recorded metrics and spans (open spans stay open)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+        self.spans.clear()
+
+    def iter_spans(self) -> Iterator[SpanRecord]:
+        """Every recorded span (roots and descendants), depth-first."""
+        for root in self.spans:
+            yield from root.walk()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready snapshot (see :mod:`repro.obs.export`)."""
+        from repro.obs.export import snapshot
+
+        return snapshot(self)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        from repro.obs.export import to_json
+
+        return to_json(self, indent=indent)
+
+    def to_text(self) -> str:
+        from repro.obs.export import to_text
+
+        return to_text(self)
+
+
+class NullRegistry(MetricsRegistry):
+    """The default registry: every operation is a no-op.
+
+    ``span``/``timer`` return a pre-built context manager, so the disabled
+    path allocates nothing.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_context = _NullContext(SpanRecord(name=""))
+
+    def counter(self, name: str, value: Number = 1, **labels: str) -> None:
+        return None
+
+    def gauge(self, name: str, value: float, **labels: str) -> None:
+        return None
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        return None
+
+    def timer(self, name: str, **labels: str) -> Any:
+        return self._null_context
+
+    def span(self, name: str, **labels: str) -> Any:
+        return self._null_context
+
+
+#: Shared no-op registry; the active registry until :func:`use` installs one.
+NULL_REGISTRY = NullRegistry()
+
+_active: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently active registry (:data:`NULL_REGISTRY` by default)."""
+    return _active
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install ``registry`` (``None`` -> the null registry); returns the old."""
+    global _active
+    previous = _active
+    _active = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+@contextmanager
+def use(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Make ``registry`` active for the ``with`` body, then restore."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

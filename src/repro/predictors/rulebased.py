@@ -20,6 +20,7 @@ from typing import Optional
 
 from repro.mining.rules import Rule, RuleMatcher, RuleSet, generate_rules
 from repro.mining.transactions import build_event_sets
+from repro.obs import get_registry
 from repro.predictors.base import FailureWarning, Predictor
 from repro.ras.store import EventStore
 from repro.util.timeutil import MINUTE
@@ -69,14 +70,20 @@ class RuleBasedPredictor(Predictor):
 
     def fit(self, events: EventStore) -> "RuleBasedPredictor":
         """Mine rules from the training store (Steps 1-4)."""
-        db = build_event_sets(events, self.rule_window)
-        self.no_precursor_fraction = db.no_precursor_fraction()
-        self.ruleset = generate_rules(
-            db,
-            min_support=self.min_support,
-            min_confidence=self.min_confidence,
-            max_len=self.max_len,
-            miner=self.miner,
+        obs = get_registry()
+        with obs.span("phase2.fit.rule"):
+            db = build_event_sets(events, self.rule_window)
+            self.no_precursor_fraction = db.no_precursor_fraction()
+            self.ruleset = generate_rules(
+                db,
+                min_support=self.min_support,
+                min_confidence=self.min_confidence,
+                max_len=self.max_len,
+                miner=self.miner,
+            )
+        obs.counter("predictor.rules_mined", len(self.ruleset))
+        obs.gauge(
+            "predictor.no_precursor_fraction", self.no_precursor_fraction
         )
         self._fitted = True
         return self
@@ -87,9 +94,13 @@ class RuleBasedPredictor(Predictor):
         assert self.ruleset is not None
         if len(self.ruleset) == 0 or len(events) == 0:
             return []
-        return _match_stream(
-            events, self.ruleset, self.prediction_window, source=self.name
-        )
+        obs = get_registry()
+        with obs.span("phase2.predict.rule"):
+            warnings = _match_stream(
+                events, self.ruleset, self.prediction_window, source=self.name
+            )
+        obs.counter("predictor.warnings", len(warnings), source=self.name)
+        return warnings
 
 
 def _match_stream(

@@ -24,6 +24,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.obs import get_registry
 from repro.predictors.base import FailureWarning, Predictor, dedup_warnings
 from repro.ras.store import EventStore
 from repro.taxonomy.categories import MainCategory
@@ -118,34 +119,39 @@ class StatisticalPredictor(Predictor):
 
     def fit(self, events: EventStore) -> "StatisticalPredictor":
         """Estimate per-category follow-up probabilities on the training set."""
-        fatal = events.fatal_events()
-        self.follow_probability = {}
-        if len(fatal) == 0:
-            self.trigger_categories = ()
-            self._fitted = True
-            return self
-        cat_ids = self.classifier.main_category_ids(fatal)
-        fatal_times = fatal.times.astype(np.float64)
-        lo, hi = self._band()
-        cats = list(MainCategory)
-        for i, cat in enumerate(cats):
-            anchors = fatal_times[cat_ids == i]
-            if anchors.size == 0:
-                continue
-            # +1 on the upper offset: the horizon is a closed interval at
-            # second granularity, count_in_windows is half-open.
-            follow = count_in_windows(fatal_times, anchors, lo, hi + 1) > 0
-            self.follow_probability[cat] = float(follow.mean())
-        if self.forced_categories is not None:
-            self.trigger_categories = tuple(self.forced_categories)
-        else:
-            self.trigger_categories = tuple(
-                cat
-                for cat, p in sorted(
-                    self.follow_probability.items(), key=lambda kv: -kv[1]
+        obs = get_registry()
+        with obs.span("phase2.fit.statistical"):
+            fatal = events.fatal_events()
+            self.follow_probability = {}
+            if len(fatal) == 0:
+                self.trigger_categories = ()
+                self._fitted = True
+                return self
+            cat_ids = self.classifier.main_category_ids(fatal)
+            fatal_times = fatal.times.astype(np.float64)
+            lo, hi = self._band()
+            cats = list(MainCategory)
+            for i, cat in enumerate(cats):
+                anchors = fatal_times[cat_ids == i]
+                if anchors.size == 0:
+                    continue
+                # +1 on the upper offset: the horizon is a closed interval at
+                # second granularity, count_in_windows is half-open.
+                follow = count_in_windows(fatal_times, anchors, lo, hi + 1) > 0
+                self.follow_probability[cat] = float(follow.mean())
+            if self.forced_categories is not None:
+                self.trigger_categories = tuple(self.forced_categories)
+            else:
+                self.trigger_categories = tuple(
+                    cat
+                    for cat, p in sorted(
+                        self.follow_probability.items(), key=lambda kv: -kv[1]
+                    )
+                    if p >= self.trigger_threshold
                 )
-                if p >= self.trigger_threshold
-            )
+        obs.gauge(
+            "predictor.trigger_categories", len(self.trigger_categories)
+        )
         self._fitted = True
         return self
 
@@ -180,6 +186,9 @@ class StatisticalPredictor(Predictor):
             )
         if self.deduplicate:
             warnings = dedup_warnings(warnings)
+        get_registry().counter(
+            "predictor.warnings", len(warnings), source=self.name
+        )
         return warnings
 
     def candidate_confidence(self, category: MainCategory) -> Optional[float]:

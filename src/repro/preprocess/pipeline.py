@@ -17,6 +17,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.obs import get_registry
 from repro.preprocess.compression import (
     DEFAULT_THRESHOLD,
     CompressionStats,
@@ -81,21 +82,43 @@ class PreprocessPipeline:
 
     def run(self, raw: EventStore) -> PreprocessResult:
         """Run all Phase-1 steps on a raw record store."""
-        labeled = self.classifier.classify_store(raw)
-        after_temporal, t_stats = temporal_compress(
-            labeled, self.threshold, key_mode=self.temporal_key_mode
-        )
-        after_spatial, s_stats = spatial_compress(after_temporal, self.threshold)
+        obs = get_registry()
+        with obs.span("phase1.classify"):
+            labeled = self.classifier.classify_store(raw)
+        with obs.span("phase1.temporal"):
+            after_temporal, t_stats = temporal_compress(
+                labeled, self.threshold, key_mode=self.temporal_key_mode
+            )
+        with obs.span("phase1.spatial"):
+            after_spatial, s_stats = spatial_compress(
+                after_temporal, self.threshold
+            )
         filtered_out = 0
         events = after_spatial
         if self.event_filter is not None:
-            keep = self.event_filter(events)
-            filtered_out = int(len(events) - np.count_nonzero(keep))
-            events = events.select(keep)
-        return PreprocessResult(
+            with obs.span("phase1.filter"):
+                keep = self.event_filter(events)
+                filtered_out = int(len(events) - np.count_nonzero(keep))
+                events = events.select(keep)
+        result = PreprocessResult(
             events=events,
             raw_records=len(raw),
             temporal_stats=t_stats,
             spatial_stats=s_stats,
             filtered_out=filtered_out,
         )
+        obs.counter("preprocess.records_in", len(raw))
+        obs.counter("preprocess.events_out", len(events))
+        obs.counter(
+            "preprocess.dropped",
+            t_stats.input_records - t_stats.output_records,
+            stage="temporal",
+        )
+        obs.counter(
+            "preprocess.dropped",
+            s_stats.input_records - s_stats.output_records,
+            stage="spatial",
+        )
+        obs.counter("preprocess.filtered_out", filtered_out)
+        obs.gauge("preprocess.compression_ratio", result.overall_compression)
+        return result

@@ -1,0 +1,68 @@
+"""CLI ``--emit-metrics`` and the evaluation report's metrics section."""
+
+import json
+
+import pytest
+
+from repro.cli.main import main
+
+
+@pytest.fixture(scope="module")
+def log_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli-metrics") / "anl.log"
+    rc = main([
+        "generate", "--profile", "ANL", "--scale", "0.02",
+        "--seed", "7", "-o", str(path),
+    ])
+    assert rc == 0
+    return path
+
+
+def test_evaluate_emits_full_metrics_snapshot(log_path, tmp_path, capsys):
+    out_path = tmp_path / "metrics.json"
+    rc = main([
+        "evaluate", str(log_path), "--method", "meta", "--folds", "3",
+        "--emit-metrics", str(out_path),
+    ])
+    assert rc == 0
+    snap = json.loads(out_path.read_text())
+
+    # The acceptance criterion: compression, mining, dispatch and per-fold
+    # timing metrics are all present in one export.
+    assert 0.0 < snap["gauges"]["preprocess.compression_ratio"] < 1.0
+    assert any(k.startswith("mining.") for k in snap["counters"])
+    assert "meta.dispatch{method=rule}" in snap["counters"]
+    assert "meta.dispatch{method=statistical}" in snap["counters"]
+    fold = snap["histograms"]["crossval.fold_seconds"]
+    assert fold["count"] == 3
+    assert fold["max"] > 0.0
+    assert {"p50", "p90", "p99", "mean", "sum", "min"} <= set(fold)
+
+    # Span tree: phase 1 once (shared preprocessing), one fold span per fold.
+    root_names = [s["name"] for s in snap["spans"]]
+    assert root_names.count("phase1") == 1
+    assert root_names.count("crossval.fold") == 3
+
+    out = capsys.readouterr().out
+    assert "metrics:" in out
+    assert "per-fold wall time" in out
+    assert f"metrics written to {out_path}" in out
+
+
+def test_preprocess_emit_metrics_writes_json(log_path, tmp_path, capsys):
+    out_path = tmp_path / "pre.json"
+    rc = main([
+        "preprocess", str(log_path), "--emit-metrics", str(out_path),
+    ])
+    assert rc == 0
+    snap = json.loads(out_path.read_text())
+    assert snap["counters"]["preprocess.records_in"] > 0
+    assert snap["counters"]["preprocess.events_out"] > 0
+    assert [s["name"] for s in snap["spans"]] == ["phase1"]
+
+
+def test_no_emit_flag_writes_nothing(log_path, tmp_path, capsys):
+    rc = main(["preprocess", str(log_path)])
+    assert rc == 0
+    assert "metrics written" not in capsys.readouterr().out
+    assert list(tmp_path.iterdir()) == []

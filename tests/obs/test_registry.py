@@ -1,0 +1,229 @@
+"""Unit tests for the metrics registry and its exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    metric_key,
+    set_registry,
+    snapshot,
+    span_totals,
+    summarize_histogram,
+    use,
+)
+from repro.obs.export import percentile
+
+
+# ---------------------------------------------------------------- keys
+
+
+def test_metric_key_plain_and_labelled():
+    assert metric_key("a.b", {}) == "a.b"
+    assert metric_key("a.b", {"x": "1"}) == "a.b{x=1}"
+    # Label keys are sorted, so insertion order never splits a series.
+    assert (
+        metric_key("a", {"z": "2", "m": "1"})
+        == metric_key("a", {"m": "1", "z": "2"})
+        == "a{m=1,z=2}"
+    )
+
+
+# ---------------------------------------------------------------- scalars
+
+
+def test_counter_accumulates_and_separates_label_sets():
+    reg = MetricsRegistry()
+    reg.counter("hits")
+    reg.counter("hits", 4)
+    reg.counter("hits", 2, source="rule")
+    assert reg.counters == {"hits": 5, "hits{source=rule}": 2}
+
+
+def test_gauge_last_write_wins():
+    reg = MetricsRegistry()
+    reg.gauge("ratio", 0.25)
+    reg.gauge("ratio", 0.75)
+    assert reg.gauges == {"ratio": 0.75}
+
+
+def test_observe_collects_samples_and_timer_feeds_histogram():
+    reg = MetricsRegistry()
+    reg.observe("lat", 1.0)
+    reg.observe("lat", 3.0)
+    assert reg.histograms["lat"] == [1.0, 3.0]
+    with reg.timer("t"):
+        pass
+    (sample,) = reg.histograms["t"]
+    assert sample >= 0.0
+
+
+# ---------------------------------------------------------------- histograms
+
+
+def test_percentile_linear_interpolation():
+    samples = sorted(float(v) for v in range(1, 101))
+    assert percentile(samples, 0) == 1.0
+    assert percentile(samples, 100) == 100.0
+    assert percentile(samples, 50) == pytest.approx(50.5)
+    assert percentile(samples, 90) == pytest.approx(90.1)
+    assert percentile(samples, 99) == pytest.approx(99.01)
+
+
+def test_percentile_edge_cases():
+    assert percentile([7.0], 99) == 7.0
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_summarize_histogram_fields():
+    s = summarize_histogram([3.0, 1.0, 2.0])
+    assert s["count"] == 3
+    assert s["sum"] == 6.0
+    assert s["min"] == 1.0
+    assert s["max"] == 3.0
+    assert s["mean"] == pytest.approx(2.0)
+    assert s["p50"] == pytest.approx(2.0)
+
+
+# ---------------------------------------------------------------- spans
+
+
+def test_spans_nest_into_a_tree():
+    reg = MetricsRegistry()
+    with reg.span("outer"):
+        with reg.span("inner", k="v"):
+            pass
+        with reg.span("inner2"):
+            pass
+    (root,) = reg.spans
+    assert root.name == "outer"
+    assert [c.name for c in root.children] == ["inner", "inner2"]
+    assert root.children[0].labels == {"k": "v"}
+    # Depth-first walk: the root first, then each child.
+    assert [s.name for s in root.walk()] == ["outer", "inner", "inner2"]
+    assert all(s.duration > 0.0 for s in reg.iter_spans())
+    # The parent encloses its children.
+    assert root.duration >= root.children[0].duration
+
+
+def test_span_closes_on_exception():
+    reg = MetricsRegistry()
+    with pytest.raises(RuntimeError):
+        with reg.span("boom"):
+            raise RuntimeError("x")
+    (root,) = reg.spans
+    assert root.duration > 0.0
+    assert reg._stack == []
+
+
+def test_span_totals_aggregates_by_name():
+    reg = MetricsRegistry()
+    for _ in range(3):
+        with reg.span("fold"):
+            pass
+    totals = span_totals(reg)
+    assert totals["fold"][0] == 3
+    assert totals["fold"][1] > 0.0
+
+
+# ---------------------------------------------------------------- export
+
+
+def test_json_round_trips_to_snapshot():
+    reg = MetricsRegistry()
+    reg.counter("c", 2, k="v")
+    reg.gauge("g", 1.5)
+    reg.observe("h", 0.25)
+    with reg.span("root", phase="1"):
+        with reg.span("child"):
+            pass
+    assert json.loads(reg.to_json()) == snapshot(reg)
+    snap = snapshot(reg)
+    assert snap["counters"] == {"c{k=v}": 2}
+    assert snap["histograms"]["h"]["count"] == 1
+    assert snap["spans"][0]["labels"] == {"phase": "1"}
+    assert snap["spans"][0]["children"][0]["name"] == "child"
+
+
+def test_to_text_renders_every_section():
+    reg = MetricsRegistry()
+    reg.counter("c")
+    reg.gauge("g", 2.0)
+    reg.observe("h", 1.0)
+    with reg.span("root"):
+        pass
+    text = reg.to_text()
+    for section in ("counters:", "gauges:", "histograms:", "spans:"):
+        assert section in text
+    assert "root:" in text
+
+
+def test_clear_resets_recorded_state():
+    reg = MetricsRegistry()
+    reg.counter("c")
+    reg.gauge("g", 1.0)
+    reg.observe("h", 1.0)
+    with reg.span("s"):
+        pass
+    reg.clear()
+    assert snapshot(reg) == {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+        "spans": [],
+    }
+
+
+# ---------------------------------------------------------------- active registry
+
+
+def test_default_registry_is_the_shared_null_one():
+    assert get_registry() is NULL_REGISTRY
+    assert isinstance(NULL_REGISTRY, NullRegistry)
+    assert not NULL_REGISTRY.enabled
+
+
+def test_null_registry_records_nothing():
+    reg = NullRegistry()
+    reg.counter("c", 5)
+    reg.gauge("g", 1.0)
+    reg.observe("h", 1.0)
+    with reg.span("s") as span:
+        with reg.timer("t"):
+            pass
+    assert span.name == ""  # the shared placeholder span
+    assert snapshot(reg) == {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+        "spans": [],
+    }
+
+
+def test_use_installs_and_restores():
+    reg = MetricsRegistry()
+    assert get_registry() is NULL_REGISTRY
+    with use(reg) as active:
+        assert active is reg
+        assert get_registry() is reg
+        reg.counter("seen")
+    assert get_registry() is NULL_REGISTRY
+    assert reg.counters == {"seen": 1}
+
+
+def test_set_registry_returns_previous_and_none_means_null():
+    reg = MetricsRegistry()
+    previous = set_registry(reg)
+    try:
+        assert previous is NULL_REGISTRY
+        assert get_registry() is reg
+    finally:
+        assert set_registry(None) is reg
+    assert get_registry() is NULL_REGISTRY

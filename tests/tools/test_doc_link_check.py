@@ -1,0 +1,131 @@
+"""Tests for tools.doc_link_check, plus the repo-wide clean gate."""
+
+from pathlib import Path
+
+from tools.doc_link_check import (
+    check_paths,
+    default_files,
+    github_slug,
+    heading_anchors,
+    iter_links,
+    main,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+# ---------------------------------------------------------------- slugs
+
+
+def test_github_slug_rules():
+    assert github_slug("Quickstart") == "quickstart"
+    assert github_slug("Phase 1 — event preprocessing") == (
+        "phase-1--event-preprocessing"
+    )
+    assert github_slug("RL006 — no-direct-output") == "rl006--no-direct-output"
+    assert github_slug("`code` and *emphasis*") == "code-and-emphasis"
+    assert github_slug("[text](target.md)") == "text"
+
+
+def test_heading_anchors_dedup_and_fence_skipping():
+    doc = "\n".join(
+        [
+            "# Title",
+            "## Same",
+            "## Same",
+            "```",
+            "# not a heading",
+            "```",
+            "## Same",
+        ]
+    )
+    assert heading_anchors(doc) == {"title", "same", "same-1", "same-2"}
+
+
+def test_iter_links_finds_inline_and_reference_links_outside_fences():
+    doc = "\n".join(
+        [
+            "see [a](x.md) and ![img](pic.png \"t\")",
+            "[ref]: y.md",
+            "```",
+            "[not](a-link.md)",
+            "```",
+        ]
+    )
+    assert list(iter_links(doc)) == [(1, "x.md"), (1, "pic.png"), (2, "y.md")]
+
+
+# ---------------------------------------------------------------- checking
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def test_check_detects_missing_target(tmp_path):
+    doc = write(tmp_path, "a.md", "see [b](missing.md)\n")
+    (err,) = check_paths([doc], tmp_path)
+    assert err.target == "missing.md"
+    assert "does not exist" in err.reason
+    assert err.line == 1
+
+
+def test_check_detects_bad_anchor_and_accepts_good_one(tmp_path):
+    write(tmp_path, "b.md", "# Real Heading\n")
+    doc = write(
+        tmp_path,
+        "a.md",
+        "[ok](b.md#real-heading)\n[bad](b.md#no-such)\n[self](#intro)\n\n# Intro\n",
+    )
+    errors = check_paths([doc], tmp_path)
+    assert [(e.line, e.target) for e in errors] == [(2, "b.md#no-such")]
+    assert "no heading" in errors[0].reason
+
+
+def test_check_detects_repository_escape(tmp_path):
+    root = tmp_path / "repo"
+    doc = write(root, "a.md", "[out](../outside.md)\n")
+    (err,) = check_paths([doc], root)
+    assert "escapes" in err.reason
+
+
+def test_check_skips_external_links(tmp_path):
+    doc = write(
+        tmp_path,
+        "a.md",
+        "[w](https://example.com/x) [m](mailto:a@b.c)\n",
+    )
+    assert check_paths([doc], tmp_path) == []
+
+
+def test_relative_links_resolve_from_the_containing_file(tmp_path):
+    write(tmp_path, "TOP.md", "# Top\n")
+    doc = write(tmp_path, "docs/a.md", "[up](../TOP.md#top)\n")
+    assert check_paths([doc], tmp_path) == []
+
+
+# ---------------------------------------------------------------- CLI
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    good = write(tmp_path, "good.md", "# H\n[self](#h)\n")
+    bad = write(tmp_path, "bad.md", "[x](gone.md)\n")
+    assert main([str(good), "--root", str(tmp_path)]) == 0
+    assert main([str(bad), "--root", str(tmp_path)]) == 1
+    assert main([str(tmp_path / "absent.md")]) == 2
+    out = capsys.readouterr()
+    assert "1 broken link(s)" in out.out
+    assert "no such file" in out.err
+
+
+# ---------------------------------------------------------------- repo gate
+
+
+def test_repo_documentation_has_no_broken_links():
+    files = default_files(REPO_ROOT)
+    assert files, "expected docs/*.md plus top-level Markdown"
+    errors = check_paths(files, REPO_ROOT)
+    assert errors == [], "\n".join(e.format() for e in errors)

@@ -312,6 +312,66 @@ def test_rl005_scoped_to_library_code():
     assert [d.code for d in lint(source)] == ["RL005"]
 
 
+# ---------------------------------------------------------------- RL006
+
+
+def test_rl006_flags_print_and_stream_writes():
+    diags = lint(
+        """\
+        import sys
+
+        def report(msg):
+            print(msg)
+            sys.stderr.write(msg)
+            sys.stdout.writelines([msg])
+        """
+    )
+    assert codes_and_lines(diags) == [
+        ("RL006", 4),
+        ("RL006", 5),
+        ("RL006", 6),
+    ]
+    assert "print()" in diags[0].message
+    assert "sys.stderr.write" in diags[1].message
+
+
+def test_rl006_resolves_stream_import_aliases():
+    diags = lint(
+        """\
+        from sys import stderr
+
+        def report(msg):
+            stderr.write(msg)
+        """
+    )
+    assert codes_and_lines(diags) == [("RL006", 4)]
+
+
+def test_rl006_exempts_cli_and_non_library_code():
+    source = """\
+        def report(msg):
+            print(msg)
+        """
+    assert lint(source, path="src/repro/cli/main.py") == []
+    assert lint(source, path="scripts/demo.py") == []
+    assert lint(source, path="benchmarks/bench_x.py") == []
+    assert [d.code for d in lint(source)] == ["RL006"]
+
+
+def test_rl006_allows_obs_instrumentation_and_is_waivable():
+    diags = lint(
+        """\
+        from repro.obs import get_registry
+
+        def fit(events):
+            get_registry().counter("predictor.fits")
+            print("debug")  # repro-lint: disable=RL006
+            return events
+        """
+    )
+    assert diags == []
+
+
 # ------------------------------------------------------- engine/waivers
 
 

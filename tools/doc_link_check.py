@@ -1,0 +1,204 @@
+"""Validate relative links and intra-repo anchors in the Markdown docs.
+
+Checks every inline Markdown link (``[text](target)``, images included) in
+the repo's operational manual — ``docs/*.md`` plus the top-level
+``README.md``, ``EXPERIMENTS.md`` and ``DESIGN.md`` — for three failure
+modes that silently rot:
+
+1. a relative link whose target file does not exist (GitHub resolves
+   relative to the containing file, so this tool does too);
+2. an anchor link (``file.md#section`` or ``#section``) whose slug matches
+   no heading in the target file (GitHub's slugification rules);
+3. a link that escapes the repository root.
+
+External links (``http://``, ``https://``, ``mailto:``) are skipped — this
+build is offline and their liveness is not this tool's concern.
+Reference-style definitions (``[id]: target``) are checked too; bare paths
+in prose or code spans are not links and are ignored.
+
+Usage::
+
+    python -m tools.doc_link_check            # default file set, exit 0/1
+    python -m tools.doc_link_check README.md docs/observability.md
+
+Also enforced by ``tests/tools/test_doc_link_check.py`` (so plain pytest
+fails on a broken link) and by CI next to repro-lint.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+#: Inline links/images: [text](target) / ![alt](target "title").
+INLINE_LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+#: Reference definitions: [id]: target
+REF_DEF_RE = re.compile(r"^\s{0,3}\[[^\]]+\]:\s+<?(\S+?)>?(?:\s+\"[^\"]*\")?\s*$")
+#: ATX headings, for anchor slugs.
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+#: Fenced code block delimiters.
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+#: Schemes that are out of scope.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+#: Characters GitHub keeps when slugifying a heading (besides word chars).
+_SLUG_STRIP_RE = re.compile(r"[^\w\- ]", re.UNICODE)
+#: Markdown inline markup stripped before slugification.
+_MARKUP_RE = re.compile(r"[`*_]|\[([^\]]*)\]\([^)]*\)")
+
+
+@dataclass
+class LinkError:
+    """One broken link: file, line, target, and what is wrong with it."""
+
+    path: Path
+    line: int
+    target: str
+    reason: str
+
+    def format(self) -> str:
+        return f"{self.path.as_posix()}:{self.line}: {self.target} — {self.reason}"
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading text (lowercase, hyphenated)."""
+    text = _MARKUP_RE.sub(lambda m: m.group(1) or "", heading)
+    text = _SLUG_STRIP_RE.sub("", text.strip().lower())
+    return text.replace(" ", "-")
+
+
+def heading_anchors(markdown: str) -> set[str]:
+    """All anchor slugs a Markdown document exposes (with -N dedup suffixes)."""
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    in_fence = False
+    for line in markdown.splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def iter_links(markdown: str) -> Iterable[tuple[int, str]]:
+    """(line_number, target) for every inline link and reference definition."""
+    in_fence = False
+    for lineno, line in enumerate(markdown.splitlines(), start=1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        ref = REF_DEF_RE.match(line)
+        if ref:
+            yield lineno, ref.group(1)
+            continue
+        for m in INLINE_LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def check_file(
+    path: Path, repo_root: Path, anchor_cache: dict[Path, set[str]]
+) -> list[LinkError]:
+    """All broken relative links/anchors in one Markdown file."""
+    errors: list[LinkError] = []
+    text = path.read_text(encoding="utf-8")
+    for lineno, raw_target in iter_links(text):
+        target = raw_target.strip()
+        if target.startswith(EXTERNAL_PREFIXES) or target.startswith("data:"):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            try:
+                resolved.relative_to(repo_root.resolve())
+            except ValueError:
+                errors.append(
+                    LinkError(path, lineno, target, "escapes the repository")
+                )
+                continue
+            if not resolved.exists():
+                errors.append(
+                    LinkError(path, lineno, target, "target does not exist")
+                )
+                continue
+        else:
+            resolved = path.resolve()
+        if anchor and resolved.suffix.lower() in (".md", ".markdown"):
+            anchors = anchor_cache.get(resolved)
+            if anchors is None:
+                anchors = heading_anchors(resolved.read_text(encoding="utf-8"))
+                anchor_cache[resolved] = anchors
+            if anchor.lower() not in anchors:
+                errors.append(
+                    LinkError(path, lineno, target, f"no heading #{anchor}")
+                )
+    return errors
+
+
+def default_files(repo_root: Path) -> list[Path]:
+    """The documentation surface this tool guards by default."""
+    files = sorted((repo_root / "docs").glob("*.md"))
+    for name in ("README.md", "EXPERIMENTS.md", "DESIGN.md"):
+        candidate = repo_root / name
+        if candidate.exists():
+            files.append(candidate)
+    return files
+
+
+def check_paths(
+    paths: Sequence[Path], repo_root: Path
+) -> list[LinkError]:
+    """Check many files, sharing the per-target anchor cache."""
+    anchor_cache: dict[Path, set[str]] = {}
+    errors: list[LinkError] = []
+    for path in paths:
+        errors.extend(check_file(path, repo_root, anchor_cache))
+    return errors
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="doc-link-check",
+        description="validate relative links and anchors in repo Markdown",
+    )
+    parser.add_argument(
+        "files", nargs="*",
+        help="Markdown files to check (default: docs/*.md README.md "
+             "EXPERIMENTS.md DESIGN.md)",
+    )
+    parser.add_argument(
+        "--root", default=".", help="repository root (default: cwd)"
+    )
+    args = parser.parse_args(argv)
+    repo_root = Path(args.root)
+    files = [Path(f) for f in args.files] or default_files(repo_root)
+    missing = [f for f in files if not f.exists()]
+    if missing:
+        for f in missing:
+            print(f"doc-link-check: no such file: {f}", file=sys.stderr)
+        return 2
+    errors = check_paths(files, repo_root)
+    for err in errors:
+        print(err.format())
+    if errors:
+        print(f"doc-link-check: {len(errors)} broken link(s) in {len(files)} file(s)")
+        return 1
+    print(f"doc-link-check: {len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

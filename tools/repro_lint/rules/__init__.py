@@ -10,4 +10,5 @@ from tools.repro_lint.rules import (  # noqa: F401
     rl003_sorted_precondition,
     rl004_minute_literals,
     rl005_fraction_validation,
+    rl006_no_direct_output,
 )

@@ -1,0 +1,67 @@
+"""RL006 — no direct stdout/stderr writes in library code.
+
+Library code under ``src/repro/`` must communicate through return values or
+the observability layer (``repro.obs``): a ``print()`` buried in a predictor
+or the preprocessor pollutes every caller's output stream, breaks the CLI's
+machine-readable modes, and hides what should be a metric.  Operational
+visibility belongs in counters/spans (exported via ``--emit-metrics``), not
+in ad-hoc prints.
+
+Scope: ``src/repro/`` *except* ``src/repro/cli/`` — the CLI is the
+user-facing surface and printing is its job (the package-level blanket
+waiver the rule catalogue documents).  Scripts, benchmarks, tests and
+``tools/`` are out of scope entirely.  Flagged: ``print(...)`` (including
+``print(..., file=sys.stderr)``), ``sys.stdout.write``/``writelines`` and
+the ``sys.stderr`` equivalents.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from tools.repro_lint.astutil import iter_calls, resolve_call
+from tools.repro_lint.diagnostics import Diagnostic
+from tools.repro_lint.registry import register
+
+if TYPE_CHECKING:
+    from tools.repro_lint.engine import LintContext
+
+#: Import-rooted stream-write callables (aliases resolved by ImportTable).
+STREAM_WRITE_CALLS = frozenset(
+    {
+        "sys.stdout.write",
+        "sys.stdout.writelines",
+        "sys.stderr.write",
+        "sys.stderr.writelines",
+    }
+)
+
+
+@register
+class NoDirectOutputRule:
+    code = "RL006"
+    name = "no-direct-output"
+    description = "direct stdout/stderr write in library code"
+    hint = (
+        "library code returns values or records repro.obs metrics/spans; "
+        "only the CLI layer prints"
+    )
+
+    def check(self, ctx: "LintContext") -> Iterator[Diagnostic]:
+        if not ctx.in_package("src", "repro"):
+            return
+        if ctx.in_package("src", "repro", "cli"):
+            return  # the CLI is the sanctioned printing surface
+        for call in iter_calls(ctx.tree):
+            func = call.func
+            if isinstance(func, ast.Name) and func.id == "print":
+                yield ctx.diagnostic(
+                    self, call, "print() in library code"
+                )
+                continue
+            dotted = resolve_call(call, ctx.imports)
+            if dotted in STREAM_WRITE_CALLS:
+                yield ctx.diagnostic(
+                    self, call, f"direct stream write in library code: {dotted}()"
+                )
