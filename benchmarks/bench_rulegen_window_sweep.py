@@ -16,11 +16,17 @@ import pytest
 
 from benchmarks.conftest import report
 from repro.evaluation.paper import RULE_GENERATION_WINDOW_MIN
-from repro.evaluation.sweep import rule_window_sweep, select_rule_window
-from repro.predictors.rulebased import RuleBasedPredictor
+from repro.evaluation.spec import PredictorSpec
+from repro.evaluation.sweep import select_rule_window, sweep
 from repro.util.timeutil import MINUTE
 
 GRID = tuple(m * MINUTE for m in (5, 10, 15, 20, 25, 30, 40, 60))
+
+#: Swept spec: the grid varies the rule-generation window, holding the
+#: paper's 30-minute prediction window fixed.  The engine honors
+#: ``REPRO_JOBS`` / ``REPRO_CACHE_DIR``, so re-runs with a warm artifact
+#: cache skip all 2 x 8 x 10 mining fits.
+RULE_SPEC = PredictorSpec.rule(prediction_window=30 * MINUTE)
 
 
 def _knee(points):
@@ -39,14 +45,7 @@ def test_rulegen_window_selection(
     events = anl_bench_events if system == "ANL" else sdsc_bench_events
 
     points = benchmark.pedantic(
-        lambda: rule_window_sweep(
-            lambda g: RuleBasedPredictor(
-                rule_window=g, prediction_window=30 * MINUTE
-            ),
-            events,
-            windows=GRID,
-            k=10,
-        ),
+        lambda: sweep(RULE_SPEC.grid("rule_window", GRID), events, k=10),
         rounds=1,
         iterations=1,
     )
@@ -71,13 +70,8 @@ def test_rulegen_window_selection(
     assert abs(best.window_minutes - paper_min) <= 25
     if system == "SDSC":
         # SDSC's wider chains need at least as wide a window as ANL's.
-        anl_points = rule_window_sweep(
-            lambda g: RuleBasedPredictor(
-                rule_window=g, prediction_window=30 * MINUTE
-            ),
-            anl_bench_events,
-            windows=GRID,
-            k=10,
+        anl_points = sweep(
+            RULE_SPEC.grid("rule_window", GRID), anl_bench_events, k=10
         )
         assert knee.window_minutes >= _knee(anl_points).window_minutes
 

@@ -1,0 +1,61 @@
+"""Content-addressed artifact caching for evaluation runs.
+
+Public surface:
+
+- :class:`ArtifactCache` — on-disk JSON store keyed by content hash,
+  with atomic writes, corruption-as-miss semantics, and byte-budget
+  pruning.
+- :func:`store_fingerprint` — stable digest of an event store's content.
+- :func:`combine_tokens` — canonical composition of named tokens.
+- :func:`fold_fit_key` — the evaluation engine's cache key: one fitted
+  artifact per (event-store content, training range, fit-relevant spec).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.cache.artifacts import ArtifactCache
+from repro.cache.fingerprint import Token, combine_tokens, store_fingerprint
+
+#: Bumped when the cached learned-state payload layout changes, so stale
+#: caches miss instead of deserializing garbage.
+CACHE_VERSION = 1
+
+
+class _FitHashable(Protocol):
+    """Anything exposing a stable fit-relevant content hash.
+
+    Structural, not nominal, so this package never imports the evaluation
+    layer (:class:`repro.evaluation.spec.PredictorSpec` satisfies it).
+    """
+
+    def fit_token(self) -> str: ...
+
+
+def fold_fit_key(fingerprint: str, start: int, end: int, spec: _FitHashable) -> str:
+    """Cache key for a predictor fitted with fold ``[start, end)`` held out.
+
+    Combines the event-store fingerprint, the held-out index range (the
+    complement is the training set, so the range pins it exactly), the
+    fit-relevant slice of the spec, and the payload version.  Parameters
+    that only shape ``predict`` are excluded via ``spec.fit_token()``, so
+    e.g. a rule set mined once serves every prediction-window sweep point.
+    """
+    return combine_tokens(
+        store=fingerprint,
+        holdout_start=start,
+        holdout_end=end,
+        spec=spec.fit_token(),
+        version=CACHE_VERSION,
+    )
+
+
+__all__ = [
+    "ArtifactCache",
+    "CACHE_VERSION",
+    "Token",
+    "combine_tokens",
+    "fold_fit_key",
+    "store_fingerprint",
+]

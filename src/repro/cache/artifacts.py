@@ -1,0 +1,178 @@
+"""Content-addressed on-disk artifact cache.
+
+Memoizes expensive fit artifacts (mined rule sets, learned probabilities)
+across evaluation runs: an artifact is a JSON document stored under its
+content key — ``<dir>/<key[:2]>/<key>.json`` — where the key is a stable
+hash of everything that influenced the artifact (event-store fingerprint,
+fold range, the fit-relevant slice of the predictor spec; see
+:func:`repro.cache.fold_fit_key`).
+
+Robustness rules:
+
+- **Corruption is a miss, never a crash.**  A truncated or non-JSON file
+  (killed worker, full disk) is treated as absent and deleted; the caller
+  re-fits and overwrites it.
+- **Writes are atomic.**  Artifacts are written to a same-directory temp
+  file and ``os.replace``-d into place, so concurrent workers (the process
+  pool) never observe half-written documents and last-writer-wins is safe —
+  both writers hold identical content for a given key by construction.
+- **Eviction is explicit.**  :meth:`ArtifactCache.prune` drops
+  oldest-modified artifacts until the cache fits a byte budget.
+
+Hit/miss/corrupt counts are recorded against the active
+:mod:`repro.obs` registry (``cache.hits`` / ``cache.misses`` /
+``cache.corrupt``) and mirrored on the instance for callers without a
+registry installed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.obs import get_registry
+
+
+class ArtifactCache:
+    """A directory of content-addressed JSON artifacts.
+
+    Safe to open from multiple processes at once; every operation is
+    independent and atomic at the file level.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+
+    # ------------------------------------------------------------------ #
+    # Keyed access
+    # ------------------------------------------------------------------ #
+
+    def path_for(self, key: str) -> Path:
+        """On-disk location of ``key`` (two-level fan-out by key prefix)."""
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"cache keys are lowercase hex digests, got {key!r}")
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """The document stored under ``key``, or ``None`` on miss.
+
+        A file that exists but does not parse as a JSON object counts as a
+        miss (and is removed so the slot heals on the next ``put``).
+        """
+        path = self.path_for(key)
+        obs = get_registry()
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            if not isinstance(doc, dict):
+                raise ValueError("artifact root is not an object")
+        except FileNotFoundError:
+            self.misses += 1
+            obs.counter("cache.misses")
+            return None
+        except (json.JSONDecodeError, ValueError, OSError):
+            self.corrupt += 1
+            self.misses += 1
+            obs.counter("cache.corrupt")
+            obs.counter("cache.misses")
+            self._discard(path)
+            return None
+        self.hits += 1
+        obs.counter("cache.hits")
+        return doc
+
+    def put(self, key: str, doc: dict) -> Path:
+        """Atomically store ``doc`` under ``key``; returns the final path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".tmp-{os.getpid()}-{path.name}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        finally:
+            self._discard(tmp)
+        get_registry().counter("cache.writes")
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+
+    def _artifact_paths(self) -> list[Path]:
+        return sorted(self.directory.glob("[0-9a-f][0-9a-f]/*.json"))
+
+    def __len__(self) -> int:
+        return len(self._artifact_paths())
+
+    def size_bytes(self) -> int:
+        """Total bytes currently held (corrupt/missing files count 0)."""
+        total = 0
+        for path in self._artifact_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def prune(self, max_bytes: int) -> int:
+        """Evict oldest-modified artifacts until under ``max_bytes``.
+
+        Returns the number of artifacts removed.  Modification time is the
+        eviction clock: re-``put`` refreshes it, so actively reused
+        artifacts survive.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        entries: list[tuple[float, int, Path]] = []
+        for path in self._artifact_paths():
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime, st.st_size, path))
+        total = sum(size for _, size, _ in entries)
+        entries.sort(key=lambda e: e[0])
+        removed = 0
+        for _, size, path in entries:
+            if total <= max_bytes:
+                break
+            self._discard(path)
+            total -= size
+            removed += 1
+        if removed:
+            get_registry().counter("cache.evicted", removed)
+        return removed
+
+    def clear(self) -> int:
+        """Remove every artifact; returns the number removed."""
+        paths = self._artifact_paths()
+        for path in paths:
+            self._discard(path)
+        return len(paths)
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            return None
+
+    def stats(self) -> dict[str, Any]:
+        """Session counters plus current on-disk footprint."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "entries": len(self),
+            "bytes": self.size_bytes(),
+        }

@@ -11,15 +11,10 @@ from repro.core.config import PredictorConfig
 from repro.core.pipeline import ThreePhasePredictor
 from repro.core.serialize import load_model, save_model
 from repro.evaluation.crossval import cross_validate
+from repro.evaluation.spec import PredictorSpec
 from repro.obs import MetricsRegistry, get_registry, to_json, use
-from repro.evaluation.sweep import (
-    DEFAULT_WINDOWS,
-    format_sweep,
-    prediction_window_sweep,
-)
-from repro.meta.stacked import MetaLearner
+from repro.evaluation.sweep import format_sweep, sweep
 from repro.predictors.rulebased import RuleBasedPredictor
-from repro.predictors.statistical import StatisticalPredictor
 from repro.preprocess.summary import (
     category_fatal_counts,
     format_table4,
@@ -52,6 +47,20 @@ def _add_common_predictor_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--min-support", type=float, default=0.04)
     p.add_argument("--min-confidence", type=float, default=0.2)
     p.add_argument("--folds", type=int, default=10, help="CV folds (default 10)")
+
+
+def _add_engine_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for fold evaluation "
+             "(default: $REPRO_JOBS, else serial)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="content-addressed cache for fitted artifacts; repeat runs "
+             "over the same log reuse mined rules "
+             "(default: $REPRO_CACHE_DIR, else off)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -91,6 +100,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--method", choices=["statistical", "rule", "meta"], default="meta"
     )
     _add_common_predictor_args(e)
+    _add_engine_args(e)
 
     s = sub.add_parser("sweep", help="prediction-window sweep")
     s.add_argument("log", help="raw log file")
@@ -101,7 +111,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--windows", default="5,10,15,20,30,40,50,60",
         help="comma-separated minutes",
     )
+    s.add_argument(
+        "--sweep-param", choices=["prediction_window", "rule_window"],
+        default="prediction_window",
+        help="which window the grid varies (default prediction_window)",
+    )
     _add_common_predictor_args(s)
+    _add_engine_args(s)
 
     t = sub.add_parser(
         "train", help="train the three-phase predictor and save the model"
@@ -128,6 +144,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--windows", default="5,15,30,60", help="sweep minutes"
     )
     _add_common_predictor_args(r)
+    _add_engine_args(r)
 
     x = sub.add_parser(
         "export", help="write experiment series (sweep/CDF/categories) as CSV"
@@ -139,6 +156,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     x.add_argument("--windows", default="5,10,15,20,30,40,50,60")
     _add_common_predictor_args(x)
+    _add_engine_args(x)
 
     # Every subcommand can export its observability snapshot.
     for subparser in sub.choices.values():
@@ -155,19 +173,27 @@ def _load_events(path: str, threshold: float = 300.0):
     return raw, result
 
 
-def _make_factory(method: str, args: argparse.Namespace, window_min: float):
+def _make_spec(
+    method: str, args: argparse.Namespace, window_min: float
+) -> PredictorSpec:
+    """The declarative predictor spec the CLI flags describe."""
     rw = args.rule_window * MINUTE
     w = window_min * MINUTE
     if method == "statistical":
-        return lambda: StatisticalPredictor(window=w, lead=0.0)
+        return PredictorSpec.statistical(window=w, lead=0.0)
     if method == "rule":
-        return lambda: RuleBasedPredictor(
+        return PredictorSpec.rule(
             rule_window=rw,
             prediction_window=w,
             min_support=args.min_support,
             min_confidence=args.min_confidence,
         )
-    return lambda: MetaLearner(prediction_window=w, rule_window=rw)
+    return PredictorSpec.meta(
+        prediction_window=w,
+        rule_window=rw,
+        min_support=args.min_support,
+        min_confidence=args.min_confidence,
+    )
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -254,6 +280,14 @@ def _print_metrics_section() -> None:
     kept = registry.counters.get("mining.rules_kept")
     if kept is not None:
         lines.append(f"  rules kept (across fits): {kept:g}")
+    tasks = registry.counters.get("engine.tasks")
+    if tasks:
+        jobs = registry.gauges.get("engine.jobs", 1)
+        lines.append(f"  engine: {tasks:g} fold tasks, jobs={jobs:g}")
+    hits = registry.counters.get("engine.cache_hits", 0)
+    cache_misses = registry.counters.get("engine.cache_misses", 0)
+    if hits or cache_misses:
+        lines.append(f"  artifact cache: {hits:g} hits / {cache_misses:g} misses")
     if lines:
         print("metrics:")
         print("\n".join(lines))
@@ -261,8 +295,11 @@ def _print_metrics_section() -> None:
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
     _, result = _load_events(args.log)
-    factory = _make_factory(args.method, args, args.prediction_window)
-    cv = cross_validate(factory, result.events, k=args.folds)
+    spec = _make_spec(args.method, args, args.prediction_window)
+    cv = cross_validate(
+        spec, result.events, k=args.folds,
+        jobs=args.jobs, cache_dir=args.cache_dir,
+    )
     s = cv.summary()
     print(
         f"{args.method} ({args.folds}-fold CV, W={args.prediction_window:g} min): "
@@ -273,16 +310,36 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_grid(
+    args: argparse.Namespace, windows: list[float]
+) -> list[tuple[float, PredictorSpec]]:
+    """(window, spec) grid for the CLI's sweep-style commands.
+
+    The statistical predictor's only window *is* its prediction horizon, so
+    for it the grid always varies ``window``; the other methods vary
+    ``--sweep-param`` (prediction_window by default).
+    """
+    spec = _make_spec(args.method, args, args.prediction_window)
+    if args.method == "statistical":
+        param = "window"
+    else:
+        param = getattr(args, "sweep_param", "prediction_window")
+    return spec.grid(param, windows)
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     _, result = _load_events(args.log)
     windows = [float(x) * MINUTE for x in args.windows.split(",")]
-    points = prediction_window_sweep(
-        lambda w: _make_factory(args.method, args, w / MINUTE)(),
+    points = sweep(
+        _sweep_grid(args, windows),
         result.events,
-        windows=windows,
         k=args.folds,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
-    print(format_sweep(points, title=f"{args.method} prediction-window sweep"))
+    param = "window" if args.method == "statistical" else args.sweep_param
+    print(format_sweep(points, title=f"{args.method} {param} sweep"))
+    _print_metrics_section()
     return 0
 
 
@@ -342,7 +399,6 @@ def cmd_report(args: argparse.Namespace) -> int:
     events = result.events
     windows = [float(x) * MINUTE for x in args.windows.split(",")]
     rw = args.rule_window * MINUTE
-    W = args.prediction_window * MINUTE
 
     print(f"events: {len(events)}  failures: {len(events.fatal_events())}\n")
 
@@ -360,8 +416,9 @@ def cmd_report(args: argparse.Namespace) -> int:
     rows = {}
     for method in ("statistical", "rule", "meta"):
         cv = cross_validate(
-            _make_factory(method, args, args.prediction_window),
+            _make_spec(method, args, args.prediction_window),
             events, k=args.folds,
+            jobs=args.jobs, cache_dir=args.cache_dir,
         )
         rows[method] = (cv.precision, cv.recall)
     print(comparison_table(
@@ -369,9 +426,11 @@ def cmd_report(args: argparse.Namespace) -> int:
                     f"({args.folds}-fold CV)"))
     print()
 
-    points = prediction_window_sweep(
-        lambda w: MetaLearner(prediction_window=w, rule_window=rw),
-        events, windows=windows, k=args.folds,
+    meta_spec = PredictorSpec.meta(rule_window=rw)
+    points = sweep(
+        meta_spec.grid("prediction_window", windows),
+        events, k=args.folds,
+        jobs=args.jobs, cache_dir=args.cache_dir,
     )
     print(sweep_chart(points, title="Meta-learner sweep (paper Figure 5)"))
     print()
@@ -408,11 +467,12 @@ def cmd_export(args: argparse.Namespace) -> int:
     )
 
     windows = [float(x) * MINUTE for x in args.windows.split(",")]
-    points = prediction_window_sweep(
-        lambda w: _make_factory(args.method, args, w / MINUTE)(),
+    points = sweep(
+        _sweep_grid(args, windows),
         events,
-        windows=windows,
         k=args.folds,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
     write_sweep_csv(points, outdir / f"sweep_{args.method}.csv")
     print(

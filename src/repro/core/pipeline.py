@@ -77,6 +77,32 @@ class ThreePhasePredictor(Predictor):
         )
         self.report = PipelineReport()
 
+    @classmethod
+    def from_state(
+        cls, config: PredictorConfig, meta: MetaLearner
+    ) -> "ThreePhasePredictor":
+        """Rebuild a *fitted* pipeline around a restored meta-learner.
+
+        The public restore path used by model deserialization: the fitted
+        ``meta`` (and its base predictors) replaces the freshly constructed
+        ones, the report is rebuilt from the learned state, and the
+        predictor is marked fitted.
+        """
+        if not meta.is_fitted:
+            raise ValueError(
+                "ThreePhasePredictor.from_state requires a fitted meta-learner"
+            )
+        predictor = cls(config)
+        predictor.meta = meta
+        predictor.statistical = meta.statistical
+        predictor.rulebased = meta.rulebased
+        predictor.report.rules_mined = len(meta.rulebased.ruleset or [])
+        predictor.report.trigger_categories = tuple(
+            c.value for c in meta.statistical.trigger_categories
+        )
+        predictor.mark_fitted()
+        return predictor
+
     # -- preprocessed-event interface (Predictor protocol) -------------- #
 
     def fit(self, events: EventStore) -> "ThreePhasePredictor":

@@ -16,7 +16,19 @@ prints next to its measurements.
 """
 
 from repro.evaluation.costmodel import CheckpointPolicy, evaluate_policy
-from repro.evaluation.crossval import CVResult, cross_validate, fold_index_ranges
+from repro.evaluation.crossval import (
+    CVResult,
+    cross_validate,
+    fold_index_ranges,
+    holdout_validate,
+)
+from repro.evaluation.engine import (
+    FoldOutcome,
+    FoldTask,
+    resolve_cache_dir,
+    resolve_jobs,
+    run_fold_tasks,
+)
 from repro.evaluation.export import (
     write_category_csv,
     write_cdf_csv,
@@ -41,11 +53,13 @@ from repro.evaluation.spatial import (
     hotspots,
     spatial_concentration,
 )
+from repro.evaluation.spec import PredictorSpec, SpecError, registered_spec_kinds
 from repro.evaluation.sweep import (
     SweepPoint,
     prediction_window_sweep,
     rule_window_sweep,
     select_rule_window,
+    sweep,
 )
 
 __all__ = [
@@ -56,7 +70,17 @@ __all__ = [
     "CVResult",
     "cross_validate",
     "fold_index_ranges",
+    "holdout_validate",
+    "PredictorSpec",
+    "SpecError",
+    "registered_spec_kinds",
+    "FoldTask",
+    "FoldOutcome",
+    "run_fold_tasks",
+    "resolve_jobs",
+    "resolve_cache_dir",
     "SweepPoint",
+    "sweep",
     "prediction_window_sweep",
     "rule_window_sweep",
     "select_rule_window",

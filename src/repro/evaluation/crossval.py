@@ -7,23 +7,38 @@ and testing ... there are n such results, which are then averaged."
 Folds are *contiguous in time* (the log is a time series; shuffling records
 would leak future context into training), matching the paper's equal-size
 division of the log.
+
+Predictors are described either by a :class:`~repro.evaluation.spec.PredictorSpec`
+(preferred — picklable, so folds can run on a process pool, and hashable, so
+fitted artifacts can be cached; see :mod:`repro.evaluation.engine`) or by the
+legacy zero-argument factory callable.  Factories cannot cross a process
+boundary and have no stable cache identity, so they always run serially and
+uncached.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from pathlib import Path
+from typing import Callable, Optional, Union
 
 import numpy as np
 
+from repro.evaluation.engine import FoldTask, run_fold_tasks, spawn_task_seeds
 from repro.evaluation.matching import MatchResult, match_warnings
-from repro.evaluation.metrics import Metrics, mean_metrics
+from repro.evaluation.metrics import Metrics, mean_metrics, micro_metrics
+from repro.evaluation.spec import PredictorSpec
 from repro.obs import get_registry
 from repro.predictors.base import Predictor
 from repro.ras.store import EventStore
 
 #: A zero-argument factory producing a fresh (unfitted) predictor per fold.
+#: Legacy convention — prefer :class:`PredictorSpec`, which is picklable
+#: (parallel-safe) and stably hashable (cacheable).
 PredictorFactory = Callable[[], Predictor]
+
+#: Either way of describing the predictor under evaluation.
+PredictorLike = Union[PredictorSpec, PredictorFactory]
 
 
 def fold_index_ranges(n: int, k: int) -> list[tuple[int, int]]:
@@ -64,33 +79,94 @@ class CVResult:
         return mean_metrics(self.fold_metrics)[1]
 
     @property
+    def precision_micro(self) -> float:
+        """Pooled precision: all folds' warnings counted as one set."""
+        return micro_metrics(self.fold_metrics).precision
+
+    @property
+    def recall_micro(self) -> float:
+        """Pooled recall: all folds' fatals counted as one set."""
+        return micro_metrics(self.fold_metrics).recall
+
+    @property
     def k(self) -> int:
         return len(self.fold_metrics)
 
     def summary(self) -> dict:
-        """Plain-dict rendering for reports."""
+        """Plain-dict rendering for reports.
+
+        ``precision``/``recall`` are the macro (per-fold, then averaged)
+        figures — the paper's §3.2 averaging, quoted in Figures 4-6.  The
+        ``*_micro`` fields pool counts across folds first, which matches the
+        summed ``warnings``/``fatals`` totals also reported here; macro and
+        micro differ whenever folds are unevenly hard.
+        """
         return {
             "k": self.k,
             "precision": self.precision,
             "recall": self.recall,
+            "precision_micro": self.precision_micro,
+            "recall_micro": self.recall_micro,
             "warnings": sum(m.n_warnings for m in self.fold_metrics),
             "fatals": sum(m.n_fatals for m in self.fold_metrics),
         }
 
 
 def cross_validate(
-    factory: PredictorFactory,
+    predictor: PredictorLike,
     events: EventStore,
     k: int = 10,
+    *,
+    jobs: Optional[int] = None,
+    cache_dir: Union[str, Path, None] = None,
+    seed: Optional[int] = None,
 ) -> CVResult:
     """k-fold CV of a predictor over a preprocessed event store.
 
-    For each fold, a fresh predictor from ``factory`` is fitted on the
-    complement (the remaining k-1 folds, concatenated in time order) and
+    For each fold, a fresh predictor realized from ``predictor`` (a
+    :class:`PredictorSpec`, or a legacy zero-argument factory) is fitted on
+    the complement (the remaining k-1 folds, concatenated in time order) and
     scored on the fold.
+
+    With a spec, folds execute on the evaluation engine: ``jobs`` selects
+    the worker count (``None`` → ``REPRO_JOBS`` → serial), ``cache_dir``
+    enables the content-addressed fit-artifact cache (``None`` →
+    ``REPRO_CACHE_DIR`` → off), and ``seed`` spawns one child
+    ``SeedSequence`` per fold for seeded predictor kinds.  Results are
+    identical across worker counts and cache states.
+
+    Legacy factories run serially in-process (closures cannot be pickled to
+    workers nor hashed into cache keys); ``jobs``/``cache_dir``/``seed`` are
+    ignored for them.
     """
     n = len(events)
     ranges = fold_index_ranges(n, k)
+    obs = get_registry()
+    if isinstance(predictor, PredictorSpec):
+        seeds = spawn_task_seeds(seed, len(ranges))
+        tasks = [
+            FoldTask(spec=predictor, start=start, end=end, fold=fold,
+                     seed=seeds[fold])
+            for fold, (start, end) in enumerate(ranges)
+        ]
+        outcomes = run_fold_tasks(tasks, events, jobs=jobs, cache_dir=cache_dir)
+        for outcome in outcomes:
+            obs.observe("crossval.fold_seconds", outcome.seconds)
+        obs.counter("crossval.folds", k)
+        return CVResult(
+            fold_metrics=[o.match.metrics for o in outcomes],
+            fold_matches=[o.match for o in outcomes],
+        )
+    return _cross_validate_factory(predictor, events, ranges)
+
+
+def _cross_validate_factory(
+    factory: PredictorFactory,
+    events: EventStore,
+    ranges: list[tuple[int, int]],
+) -> CVResult:
+    """Serial in-process fold loop for legacy factory callables."""
+    n = len(events)
     all_idx = np.arange(n)
     fold_metrics: list[Metrics] = []
     fold_matches: list[MatchResult] = []
@@ -107,12 +183,12 @@ def cross_validate(
             fold_metrics.append(match.metrics)
             fold_matches.append(match)
         obs.observe("crossval.fold_seconds", sp.duration)
-    obs.counter("crossval.folds", k)
+    obs.counter("crossval.folds", len(ranges))
     return CVResult(fold_metrics=fold_metrics, fold_matches=fold_matches)
 
 
 def holdout_validate(
-    factory: PredictorFactory,
+    predictor: PredictorLike,
     events: EventStore,
     train_fraction: float = 0.7,
 ) -> tuple[Metrics, MatchResult]:
@@ -125,7 +201,9 @@ def holdout_validate(
         raise ValueError("split leaves an empty partition")
     train = events.select(slice(0, cut))
     test = events.select(slice(cut, n))
-    predictor = factory()
-    predictor.fit(train)
-    match = match_warnings(predictor.predict(test), test)
+    instance = (
+        predictor.build() if isinstance(predictor, PredictorSpec) else predictor()
+    )
+    instance.fit(train)
+    match = match_warnings(instance.predict(test), test)
     return match.metrics, match

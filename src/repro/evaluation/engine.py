@@ -1,0 +1,257 @@
+"""Parallel fold-task execution with artifact-cache memoization.
+
+The engine is the single execution substrate under ``cross_validate`` and
+``sweep``: callers describe work as :class:`FoldTask` values (spec + held-out
+index range), and :func:`run_fold_tasks` executes them
+
+- **serially** (default — deterministic, zero-dependency), or
+- **on a process pool** (``jobs > 1`` or ``REPRO_JOBS``) via
+  :class:`concurrent.futures.ProcessPoolExecutor`, with the event store
+  shipped once per worker through the pool initializer rather than once per
+  task.
+
+Both backends run the identical per-task code path and results are returned
+in task order, so serial and parallel runs are bit-for-bit identical.
+
+When a cache directory is configured (``cache_dir`` or ``REPRO_CACHE_DIR``),
+each task first consults the content-addressed :class:`~repro.cache.ArtifactCache`
+under :func:`~repro.cache.fold_fit_key`; a hit restores the fitted predictor
+via :func:`~repro.core.serialize.apply_learned_state` and skips training
+entirely.  Because the key uses the spec's *fit token*, sweep points that
+differ only in predict-time parameters (e.g. ``prediction_window``) share
+one cached artifact.
+
+Observability: the parent process records an ``engine.run`` span,
+``engine.tasks`` / ``engine.cache_hits`` / ``engine.cache_misses`` counters,
+an ``engine.jobs`` gauge and an ``engine.task_seconds`` histogram.  Worker
+processes cannot reach the parent's registry, so cache activity is carried
+back on each :class:`FoldOutcome` and aggregated parent-side.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.cache import ArtifactCache, fold_fit_key, store_fingerprint
+from repro.core.serialize import (
+    SerializationError,
+    apply_learned_state,
+    learned_state_to_dict,
+)
+from repro.evaluation.matching import MatchResult, match_warnings
+from repro.evaluation.spec import PredictorSpec
+from repro.obs import get_registry
+from repro.predictors.base import Predictor
+from repro.ras.store import EventStore
+
+
+@dataclass(frozen=True)
+class FoldTask:
+    """One unit of evaluation work: fit on the complement, score the fold.
+
+    ``group`` is a caller-chosen partition key (sweep-point index; 0 for a
+    plain cross-validation) used to reassemble outcomes.  ``seed`` carries a
+    per-task child :class:`numpy.random.SeedSequence` for seeded predictor
+    kinds; deterministic kinds leave it ``None``.
+    """
+
+    spec: PredictorSpec
+    start: int
+    end: int
+    fold: int
+    group: int = 0
+    seed: Optional[np.random.SeedSequence] = None
+
+
+@dataclass(frozen=True)
+class FoldOutcome:
+    """Result of one :class:`FoldTask`, in task order."""
+
+    group: int
+    fold: int
+    match: MatchResult
+    cache_hit: bool
+    seconds: float
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Effective worker count: explicit ``jobs``, else ``REPRO_JOBS``, else 1."""
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(f"REPRO_JOBS must be an integer, got {raw!r}") from None
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def resolve_cache_dir(cache_dir: Union[str, Path, None]) -> Optional[str]:
+    """Effective cache directory: explicit value, else ``REPRO_CACHE_DIR``."""
+    if cache_dir is not None:
+        return str(cache_dir)
+    raw = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    return raw or None
+
+
+def spawn_task_seeds(
+    seed: Optional[int], count: int
+) -> list[Optional[np.random.SeedSequence]]:
+    """Per-task child seed sequences from one root seed.
+
+    Spawning (rather than ``seed + i`` arithmetic) keeps the streams
+    statistically independent, and makes each task's stream a pure function
+    of (root seed, task position) — independent of how many workers run or
+    in what order tasks finish.
+    """
+    if seed is None:
+        return [None] * count
+    return list(np.random.SeedSequence(seed).spawn(count))
+
+
+# --------------------------------------------------------------------- #
+# Task execution (shared by both backends)
+# --------------------------------------------------------------------- #
+
+
+def _fit_task_predictor(
+    task: FoldTask,
+    train: EventStore,
+    cache: Optional[ArtifactCache],
+    fingerprint: str,
+) -> tuple[Predictor, bool]:
+    """A fitted predictor for ``task`` — from cache when possible."""
+    predictor = task.spec.build(seed=task.seed)
+    if cache is None:
+        return predictor.fit(train), False
+    key = fold_fit_key(fingerprint, task.start, task.end, task.spec)
+    doc = cache.get(key)
+    if doc is not None:
+        try:
+            return apply_learned_state(predictor, doc), True
+        except SerializationError:
+            # Stale or foreign payload under our key: treat as a miss.
+            pass
+    predictor.fit(train)
+    try:
+        cache.put(key, learned_state_to_dict(predictor))
+    except (OSError, SerializationError):
+        pass  # caching is an optimization; never fail the evaluation
+    return predictor, False
+
+
+def _execute_task(
+    task: FoldTask,
+    events: EventStore,
+    cache: Optional[ArtifactCache],
+    fingerprint: str,
+) -> FoldOutcome:
+    t0 = perf_counter()
+    n = len(events)
+    all_idx = np.arange(n)
+    test = events.select(slice(task.start, task.end))
+    train = events.select(
+        np.concatenate([all_idx[: task.start], all_idx[task.end :]])
+    )
+    predictor, hit = _fit_task_predictor(task, train, cache, fingerprint)
+    warnings = predictor.predict(test)
+    match = match_warnings(warnings, test)
+    return FoldOutcome(
+        group=task.group,
+        fold=task.fold,
+        match=match,
+        cache_hit=hit,
+        seconds=perf_counter() - t0,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Process-pool backend
+# --------------------------------------------------------------------- #
+
+# Per-worker globals, installed once by the pool initializer so the event
+# store and cache handle are not re-pickled for every task.
+_WORKER_EVENTS: Optional[EventStore] = None
+_WORKER_CACHE: Optional[ArtifactCache] = None
+_WORKER_FINGERPRINT: str = ""
+
+
+def _init_worker(
+    events: EventStore, cache_dir: Optional[str], fingerprint: str
+) -> None:
+    global _WORKER_EVENTS, _WORKER_CACHE, _WORKER_FINGERPRINT
+    _WORKER_EVENTS = events
+    _WORKER_CACHE = ArtifactCache(cache_dir) if cache_dir else None
+    _WORKER_FINGERPRINT = fingerprint
+
+
+def _run_in_worker(task: FoldTask) -> FoldOutcome:
+    assert _WORKER_EVENTS is not None, "worker initializer did not run"
+    return _execute_task(task, _WORKER_EVENTS, _WORKER_CACHE, _WORKER_FINGERPRINT)
+
+
+# --------------------------------------------------------------------- #
+# Entry point
+# --------------------------------------------------------------------- #
+
+
+def run_fold_tasks(
+    tasks: Sequence[FoldTask],
+    events: EventStore,
+    *,
+    jobs: Optional[int] = None,
+    cache_dir: Union[str, Path, None] = None,
+) -> list[FoldOutcome]:
+    """Execute fold tasks and return their outcomes in task order.
+
+    ``jobs=None`` consults ``REPRO_JOBS`` (default 1 — serial in-process);
+    ``cache_dir=None`` consults ``REPRO_CACHE_DIR`` (default: no cache).
+    Outcome order, fold metrics and cache keys are identical across
+    backends and worker counts.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    effective_dir = resolve_cache_dir(cache_dir)
+    fingerprint = store_fingerprint(events) if effective_dir else ""
+    obs = get_registry()
+    backend = "process" if (jobs > 1 and len(tasks) > 1) else "serial"
+    with obs.span("engine.run", backend=backend, jobs=str(jobs)):
+        if backend == "serial":
+            cache = ArtifactCache(effective_dir) if effective_dir else None
+            outcomes = []
+            for task in tasks:
+                # Same span name the pre-engine fold loop used, so trace
+                # consumers see one "crossval.fold" per fold either way.
+                with obs.span(
+                    "crossval.fold", fold=str(task.fold), group=str(task.group)
+                ):
+                    outcomes.append(
+                        _execute_task(task, events, cache, fingerprint)
+                    )
+        else:
+            workers = min(jobs, len(tasks))
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(events, effective_dir, fingerprint),
+            ) as pool:
+                outcomes = list(pool.map(_run_in_worker, tasks))
+    obs.counter("engine.tasks", len(tasks))
+    obs.gauge("engine.jobs", jobs)
+    for outcome in outcomes:
+        obs.observe("engine.task_seconds", outcome.seconds)
+    if effective_dir is not None:
+        hits = sum(1 for o in outcomes if o.cache_hit)
+        obs.counter("engine.cache_hits", hits)
+        obs.counter("engine.cache_misses", len(outcomes) - hits)
+    return outcomes

@@ -2,27 +2,49 @@
 windows (§3.2.2 Step 5).
 
 Each sweep point runs a full cross-validation, so a sweep over 8 windows with
-k=10 trains 80 predictors — still seconds on the scaled logs thanks to the
-vectorized substrate.
+k=10 trains 80 predictors.  The modern entry point is :func:`sweep`, which
+takes a grid of ``(window, PredictorSpec)`` pairs — build one with
+:meth:`PredictorSpec.grid <repro.evaluation.spec.PredictorSpec.grid>` — and
+flattens *all* sweep points' folds into a single evaluation-engine run: the
+process pool interleaves folds from different windows, and the artifact
+cache deduplicates training work across points that share fit parameters
+(a rule set mined once serves every prediction window).
+
+:func:`prediction_window_sweep` remains for legacy window-factory callables
+(serial, uncached); :func:`rule_window_sweep` is deprecated — it was always
+a pure alias, kept only so old call sites keep working.
 """
 
 from __future__ import annotations
 
+import warnings as _warnings
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
 
-from repro.evaluation.crossval import CVResult, cross_validate
+from repro.evaluation.crossval import (
+    CVResult,
+    cross_validate,
+    fold_index_ranges,
+)
+from repro.evaluation.engine import FoldTask, run_fold_tasks, spawn_task_seeds
+from repro.evaluation.spec import PredictorSpec
+from repro.obs import get_registry
 from repro.predictors.base import Predictor
 from repro.ras.store import EventStore
 from repro.util.timeutil import MINUTE
 
-#: Factory parameterized by a window length in seconds.
+#: Factory parameterized by a window length in seconds (legacy convention;
+#: prefer spec grids, which are picklable and cacheable).
 WindowFactory = Callable[[float], Predictor]
 
 #: The paper's sweep grid: 5 minutes to 1 hour.
 DEFAULT_WINDOWS: tuple[float, ...] = tuple(
     m * MINUTE for m in (5, 10, 15, 20, 30, 40, 50, 60)
 )
+
+#: A sweep grid: each point is (window seconds, spec to evaluate there).
+SpecGrid = Sequence[tuple[float, PredictorSpec]]
 
 
 @dataclass(frozen=True)
@@ -44,38 +66,119 @@ class SweepPoint:
         return 0.0 if p + r == 0 else 2 * p * r / (p + r)
 
 
-def prediction_window_sweep(
-    factory: WindowFactory,
+def _point(window: float, result: CVResult) -> SweepPoint:
+    return SweepPoint(
+        window=float(window),
+        precision=result.precision,
+        recall=result.recall,
+        result=result,
+    )
+
+
+def sweep(
+    grid: SpecGrid,
     events: EventStore,
-    windows: Sequence[float] = DEFAULT_WINDOWS,
+    *,
     k: int = 10,
+    jobs: Optional[int] = None,
+    cache_dir: Union[str, Path, None] = None,
+    seed: Optional[int] = None,
 ) -> list[SweepPoint]:
-    """Cross-validate a predictor at each prediction window (Figures 4-5)."""
-    points: list[SweepPoint] = []
-    for w in windows:
-        result = cross_validate(lambda w=w: factory(w), events, k=k)
-        points.append(
-            SweepPoint(
-                window=float(w),
-                precision=result.precision,
-                recall=result.recall,
-                result=result,
+    """Cross-validate every spec in ``grid``; one point per grid entry.
+
+    All ``len(grid) * k`` folds are submitted to the evaluation engine as
+    one task list, so parallel workers stay busy across point boundaries
+    and cached fit artifacts are shared between points whose specs agree on
+    fit parameters.  ``jobs``/``cache_dir`` default from ``REPRO_JOBS`` /
+    ``REPRO_CACHE_DIR``; ``seed`` spawns an independent child seed per fold
+    task.  Point order follows ``grid`` order; results are identical across
+    worker counts.
+    """
+    grid = list(grid)
+    if not grid:
+        raise ValueError("empty sweep grid")
+    ranges = fold_index_ranges(len(events), k)
+    seeds = spawn_task_seeds(seed, len(grid) * len(ranges))
+    tasks: list[FoldTask] = []
+    for gi, (_, spec) in enumerate(grid):
+        for fold, (start, end) in enumerate(ranges):
+            tasks.append(
+                FoldTask(
+                    spec=spec,
+                    start=start,
+                    end=end,
+                    fold=fold,
+                    group=gi,
+                    seed=seeds[len(tasks)],
+                )
             )
+    outcomes = run_fold_tasks(tasks, events, jobs=jobs, cache_dir=cache_dir)
+    obs = get_registry()
+    for outcome in outcomes:
+        obs.observe("crossval.fold_seconds", outcome.seconds)
+    obs.counter("crossval.folds", len(outcomes))
+    points: list[SweepPoint] = []
+    for gi, (window, _) in enumerate(grid):
+        mine = sorted(
+            (o for o in outcomes if o.group == gi), key=lambda o: o.fold
         )
+        result = CVResult(
+            fold_metrics=[o.match.metrics for o in mine],
+            fold_matches=[o.match for o in mine],
+        )
+        points.append(_point(window, result))
     return points
 
 
+def prediction_window_sweep(
+    factory: Union[WindowFactory, PredictorSpec],
+    events: EventStore,
+    windows: Sequence[float] = DEFAULT_WINDOWS,
+    k: int = 10,
+    *,
+    jobs: Optional[int] = None,
+    cache_dir: Union[str, Path, None] = None,
+) -> list[SweepPoint]:
+    """Cross-validate a predictor at each prediction window (Figures 4-5).
+
+    Passing a :class:`PredictorSpec` sweeps its ``prediction_window``
+    parameter through the engine (equivalent to
+    ``sweep(spec.grid("prediction_window", windows), ...)``).  Passing a
+    legacy window-factory callable runs each point serially in-process.
+    """
+    if isinstance(factory, PredictorSpec):
+        return sweep(
+            factory.grid("prediction_window", windows),
+            events,
+            k=k,
+            jobs=jobs,
+            cache_dir=cache_dir,
+        )
+    return [
+        _point(w, cross_validate(lambda w=w: factory(w), events, k=k))
+        for w in windows
+    ]
+
+
 def rule_window_sweep(
-    factory: WindowFactory,
+    factory: Union[WindowFactory, PredictorSpec],
     events: EventStore,
     windows: Sequence[float] = DEFAULT_WINDOWS,
     k: int = 10,
 ) -> list[SweepPoint]:
-    """Cross-validate over *rule-generation* windows (Step 5).
+    """Deprecated alias of :func:`prediction_window_sweep`.
 
-    ``factory`` receives the rule-generation window; the prediction window
-    it embeds should be held fixed by the caller.
+    .. deprecated::
+        It never did anything distinct — the factory decides which window
+        the value lands on.  Sweep rule-generation windows explicitly with
+        ``sweep(spec.grid("rule_window", windows), events, ...)``.
     """
+    _warnings.warn(
+        "rule_window_sweep is deprecated; use "
+        "sweep(spec.grid('rule_window', windows), events, ...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return prediction_window_sweep(factory, events, windows, k=k)
 
 

@@ -261,6 +261,32 @@ class MetaLearner(Predictor):
         #: Diagnostics: number of emitted warnings per base method.
         self.dispatch_counts: dict[str, int] = {"rule": 0, "statistical": 0}
 
+    @classmethod
+    def from_state(
+        cls,
+        *,
+        prediction_window: float,
+        statistical: StatisticalPredictor,
+        rulebased: RuleBasedPredictor,
+    ) -> "MetaLearner":
+        """Rebuild a *fitted* meta-learner from fitted base predictors.
+
+        The public restore path used by model deserialization and the
+        artifact cache.  Both bases must already be fitted (restored via
+        their own ``from_state``/``restore_state``).
+        """
+        if not statistical.is_fitted or not rulebased.is_fitted:
+            raise ValueError(
+                "MetaLearner.from_state requires fitted base predictors"
+            )
+        meta = cls(
+            prediction_window=prediction_window,
+            statistical=statistical,
+            rulebased=rulebased,
+        )
+        meta.mark_fitted()
+        return meta
+
     def fit(self, events: EventStore) -> "MetaLearner":
         """Fit both base predictors on the training store (paper step 1)."""
         self.statistical.fit(events)

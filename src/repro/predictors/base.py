@@ -84,6 +84,18 @@ class Predictor(abc.ABC):
         if not self._fitted:
             raise NotFittedError(f"{type(self).__name__} must be fit() first")
 
+    def mark_fitted(self) -> "Predictor":
+        """Declare this predictor trained without calling :meth:`fit`.
+
+        The public constructor path for restoring learned state — model
+        deserialization (:mod:`repro.core.serialize`) and the artifact cache
+        (:mod:`repro.cache`) install the learned attributes and then call
+        this instead of poking the private flag.  Returns ``self`` so
+        restore pipelines can chain it.
+        """
+        self._fitted = True
+        return self
+
     @abc.abstractmethod
     def fit(self, events: EventStore) -> "Predictor":
         """Learn from a Phase-1 (classified, compressed) training store."""

@@ -68,6 +68,44 @@ class RuleBasedPredictor(Predictor):
         #: Fraction of training failures with no precursor (recall ceiling).
         self.no_precursor_fraction: float = 0.0
 
+    @classmethod
+    def from_state(
+        cls,
+        *,
+        rule_window: float,
+        prediction_window: float,
+        min_support: float,
+        min_confidence: float,
+        max_len: int,
+        miner: str,
+        ruleset: RuleSet,
+        no_precursor_fraction: float,
+    ) -> "RuleBasedPredictor":
+        """Rebuild a *fitted* predictor from a previously mined rule set.
+
+        The public restore path used by model deserialization and the
+        artifact cache; equivalent to a :meth:`fit` that mined exactly
+        ``ruleset``.
+        """
+        rb = cls(
+            rule_window=rule_window,
+            prediction_window=prediction_window,
+            min_support=check_fraction(min_support, "min_support"),
+            min_confidence=check_fraction(min_confidence, "min_confidence"),
+            max_len=max_len,
+            miner=miner,
+        )
+        return rb.restore_state(ruleset, no_precursor_fraction)
+
+    def restore_state(
+        self, ruleset: RuleSet, no_precursor_fraction: float
+    ) -> "RuleBasedPredictor":
+        """Install a mined rule set onto this instance and mark it fitted."""
+        self.ruleset = ruleset
+        self.no_precursor_fraction = float(no_precursor_fraction)
+        self.mark_fitted()
+        return self
+
     def fit(self, events: EventStore) -> "RuleBasedPredictor":
         """Mine rules from the training store (Steps 1-4)."""
         obs = get_registry()

@@ -110,6 +110,44 @@ class StatisticalPredictor(Predictor):
         #: Selected trigger categories after fit().
         self.trigger_categories: tuple[MainCategory, ...] = ()
 
+    @classmethod
+    def from_state(
+        cls,
+        *,
+        window: float,
+        lead: float,
+        trigger_threshold: float,
+        deduplicate: bool,
+        follow_probability: dict[MainCategory, float],
+        trigger_categories: Sequence[MainCategory],
+        classifier: Optional[TaxonomyClassifier] = None,
+    ) -> "StatisticalPredictor":
+        """Rebuild a *fitted* predictor from previously learned state.
+
+        The public restore path used by model deserialization and the
+        artifact cache; equivalent to a :meth:`fit` that arrived at exactly
+        this state.
+        """
+        sp = cls(
+            window=window,
+            lead=lead,
+            trigger_threshold=trigger_threshold,
+            deduplicate=deduplicate,
+            classifier=classifier,
+        )
+        return sp.restore_state(dict(follow_probability), trigger_categories)
+
+    def restore_state(
+        self,
+        follow_probability: dict[MainCategory, float],
+        trigger_categories: Sequence[MainCategory],
+    ) -> "StatisticalPredictor":
+        """Install learned state onto this instance and mark it fitted."""
+        self.follow_probability = dict(follow_probability)
+        self.trigger_categories = tuple(trigger_categories)
+        self.mark_fitted()
+        return self
+
     # -- training -------------------------------------------------------- #
 
     def _band(self) -> tuple[float, float]:

@@ -18,9 +18,8 @@ import numpy as np
 from repro.core.pipeline import ThreePhasePredictor
 from repro.evaluation.crossval import cross_validate
 from repro.evaluation.paper import RULE_GENERATION_WINDOW_MIN, TABLE5
-from repro.meta.stacked import MetaLearner
+from repro.evaluation.spec import PredictorSpec
 from repro.predictors.rulebased import RuleBasedPredictor
-from repro.predictors.statistical import StatisticalPredictor
 from repro.synth.generator import LogGenerator
 from repro.synth.profiles import SystemProfile
 from repro.taxonomy.categories import MainCategory
@@ -81,9 +80,10 @@ def measure_profile(
             len(events.fatal_events()) / planted if planted else 1.0)
 
         cv = cross_validate(
-            lambda: StatisticalPredictor(
+            PredictorSpec.statistical(
                 window=HOUR, lead=5 * MINUTE,
-                categories=[MainCategory.NETWORK, MainCategory.IOSTREAM],
+                categories=f"{MainCategory.NETWORK.name},"
+                           f"{MainCategory.IOSTREAM.name}",
             ),
             events, k=k,
         )
@@ -92,7 +92,7 @@ def measure_profile(
 
         for minutes in (5, 60):
             cv = cross_validate(
-                lambda: RuleBasedPredictor(
+                PredictorSpec.rule(
                     rule_window=rule_window,
                     prediction_window=minutes * MINUTE,
                 ),
@@ -101,7 +101,7 @@ def measure_profile(
             add(f"rule_precision_{minutes}", cv.precision)
             add(f"rule_recall_{minutes}", cv.recall)
             cv = cross_validate(
-                lambda: MetaLearner(
+                PredictorSpec.meta(
                     prediction_window=minutes * MINUTE,
                     rule_window=rule_window,
                 ),

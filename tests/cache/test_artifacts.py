@@ -1,0 +1,118 @@
+"""Tests for repro.cache: artifact store, fingerprints, robustness."""
+
+import json
+import os
+
+import pytest
+
+from repro.cache import ArtifactCache, combine_tokens, store_fingerprint
+from repro.obs import MetricsRegistry, use
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "1" * 62
+KEY_C = "cc" + "2" * 62
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(tmp_path / "cache")
+
+
+def test_roundtrip(cache):
+    assert cache.get(KEY_A) is None
+    cache.put(KEY_A, {"x": 1})
+    assert cache.get(KEY_A) == {"x": 1}
+    assert KEY_A in cache
+    assert KEY_B not in cache
+    assert len(cache) == 1
+
+
+def test_sharded_layout(cache):
+    path = cache.put(KEY_A, {})
+    assert path == cache.directory / "aa" / f"{KEY_A}.json"
+    assert path.exists()
+
+
+def test_invalid_keys_rejected(cache):
+    for bad in ("", "UPPER" + "0" * 59, "zz!!", "../escape"):
+        with pytest.raises(ValueError, match="lowercase hex"):
+            cache.path_for(bad)
+
+
+def test_truncated_json_is_miss_not_crash(cache):
+    cache.put(KEY_A, {"big": list(range(100))})
+    path = cache.path_for(KEY_A)
+    path.write_text(path.read_text()[:17])  # simulate a killed writer
+    assert cache.get(KEY_A) is None
+    assert cache.corrupt == 1
+    # The corrupt file was discarded so the slot heals on the next put.
+    assert not path.exists()
+    cache.put(KEY_A, {"ok": True})
+    assert cache.get(KEY_A) == {"ok": True}
+
+
+def test_non_object_root_is_miss(cache):
+    path = cache.path_for(KEY_A)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps([1, 2, 3]))
+    assert cache.get(KEY_A) is None
+    assert cache.corrupt == 1
+
+
+def test_put_is_atomic_no_temp_left_behind(cache):
+    cache.put(KEY_A, {"x": 1})
+    leftovers = [
+        p for p in cache.directory.rglob("*") if p.name.startswith(".tmp-")
+    ]
+    assert leftovers == []
+
+
+def test_counters_and_stats(cache):
+    registry = MetricsRegistry()
+    with use(registry):
+        cache.get(KEY_A)          # miss
+        cache.put(KEY_A, {})
+        cache.get(KEY_A)          # hit
+    assert cache.stats()["hits"] == 1
+    assert cache.stats()["misses"] == 1
+    assert registry.counters["cache.hits"] == 1
+    assert registry.counters["cache.misses"] == 1
+    assert registry.counters["cache.writes"] == 1
+
+
+def test_prune_evicts_oldest_first(cache):
+    for i, key in enumerate((KEY_A, KEY_B, KEY_C)):
+        path = cache.put(key, {"i": i, "pad": "x" * 64})
+        os.utime(path, (1000 + i, 1000 + i))
+    size_all = cache.size_bytes()
+    per_entry = size_all // 3
+    removed = cache.prune(max_bytes=size_all - per_entry)
+    assert removed == 1
+    assert KEY_A not in cache  # oldest mtime went first
+    assert KEY_B in cache and KEY_C in cache
+    assert cache.prune(max_bytes=0) == 2
+    assert len(cache) == 0
+    with pytest.raises(ValueError):
+        cache.prune(max_bytes=-1)
+
+
+def test_clear(cache):
+    cache.put(KEY_A, {})
+    cache.put(KEY_B, {})
+    assert cache.clear() == 2
+    assert len(cache) == 0
+
+
+def test_store_fingerprint_tracks_content(anl_events, sdsc_events):
+    fp = store_fingerprint(anl_events)
+    assert fp == store_fingerprint(anl_events)
+    assert len(fp) == 64
+    assert fp != store_fingerprint(sdsc_events)
+    subset = anl_events.select(slice(0, len(anl_events) - 1))
+    assert store_fingerprint(subset) != fp
+
+
+def test_combine_tokens_is_order_insensitive():
+    assert combine_tokens(a=1, b="x") == combine_tokens(b="x", a=1)
+    assert combine_tokens(a=1) != combine_tokens(a=2)
+    assert combine_tokens(a=1) != combine_tokens(b=1)

@@ -79,6 +79,45 @@ def test_sweep_prints_table(log_path, capsys):
     assert out.count("\n") >= 3
 
 
+def test_evaluate_with_jobs_matches_serial(log_path, capsys):
+    args = [
+        "evaluate", str(log_path), "--method", "rule", "--folds", "4",
+    ]
+    assert main(args) == 0
+    serial_out = capsys.readouterr().out
+    assert main(args + ["--jobs", "2"]) == 0
+    parallel_out = capsys.readouterr().out
+    # Identical headline line (precision/recall to full printed precision).
+    assert serial_out.splitlines()[0] == parallel_out.splitlines()[0]
+
+
+def test_evaluate_cache_dir_reports_hits(log_path, tmp_path, capsys):
+    args = [
+        "evaluate", str(log_path), "--method", "rule", "--folds", "4",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    assert "artifact cache: 0 hits / 4 misses" in cold
+    assert main(args) == 0
+    warm = capsys.readouterr().out
+    assert "artifact cache: 4 hits / 0 misses" in warm
+    assert cold.splitlines()[0] == warm.splitlines()[0]
+
+
+def test_sweep_rule_window_param(log_path, tmp_path, capsys):
+    rc = main([
+        "sweep", str(log_path), "--method", "rule",
+        "--sweep-param", "rule_window",
+        "--windows", "10,20", "--folds", "4",
+        "--cache-dir", str(tmp_path / "cache"),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "rule rule_window sweep" in out
+    assert "window(min)" in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

@@ -20,9 +20,12 @@ def log_path(tmp_path_factory):
 
 def test_evaluate_emits_full_metrics_snapshot(log_path, tmp_path, capsys):
     out_path = tmp_path / "metrics.json"
+    # --jobs 1 pins the serial backend (overriding any REPRO_JOBS): mining
+    # and dispatch counters are recorded during fit/predict, which only
+    # reach this registry when folds run in-process.
     rc = main([
         "evaluate", str(log_path), "--method", "meta", "--folds", "3",
-        "--emit-metrics", str(out_path),
+        "--jobs", "1", "--emit-metrics", str(out_path),
     ])
     assert rc == 0
     snap = json.loads(out_path.read_text())
@@ -38,10 +41,17 @@ def test_evaluate_emits_full_metrics_snapshot(log_path, tmp_path, capsys):
     assert fold["max"] > 0.0
     assert {"p50", "p90", "p99", "mean", "sum", "min"} <= set(fold)
 
-    # Span tree: phase 1 once (shared preprocessing), one fold span per fold.
-    root_names = [s["name"] for s in snap["spans"]]
-    assert root_names.count("phase1") == 1
-    assert root_names.count("crossval.fold") == 3
+    # Span tree: phase 1 once (shared preprocessing); the evaluation engine
+    # groups one "crossval.fold" span per fold under its "engine.run" root.
+    def _names(spans):
+        for s in spans:
+            yield s["name"]
+            yield from _names(s.get("children", []))
+
+    all_names = list(_names(snap["spans"]))
+    assert all_names.count("phase1") == 1
+    assert all_names.count("engine.run") == 1
+    assert all_names.count("crossval.fold") == 3
 
     out = capsys.readouterr().out
     assert "metrics:" in out

@@ -8,14 +8,22 @@ import pytest
 from repro.core.pipeline import ThreePhasePredictor
 from repro.core.serialize import (
     SerializationError,
+    apply_learned_state,
+    codec_for,
+    codec_for_kind,
+    learned_state_to_dict,
     load_model,
     meta_from_dict,
     meta_to_dict,
+    register_codec,
+    registered_kinds,
     ruleset_from_dict,
     ruleset_to_dict,
     save_model,
 )
 from repro.meta.stacked import MetaLearner
+from repro.predictors.rulebased import RuleBasedPredictor
+from repro.predictors.statistical import StatisticalPredictor
 from repro.util.timeutil import MINUTE
 
 
@@ -129,3 +137,75 @@ def test_unknown_kind(tmp_path):
     path.write_text(json.dumps({"format_version": 1, "kind": "magic"}))
     with pytest.raises(SerializationError, match="kind"):
         load_model(path)
+
+
+# ---------------------------------------------------------------------- #
+# Codec registry + learned-state payloads
+# ---------------------------------------------------------------------- #
+
+
+def test_codec_registry_covers_builtin_kinds():
+    assert set(registered_kinds()) == {
+        "statistical", "rule", "meta", "three-phase",
+    }
+    assert codec_for_kind("meta").cls is MetaLearner
+    with pytest.raises(SerializationError, match="kind"):
+        codec_for_kind("magic")
+    with pytest.raises(SerializationError, match="cannot serialize"):
+        codec_for(object())
+
+
+def test_duplicate_codec_rejected():
+    meta_codec = codec_for_kind("meta")
+    with pytest.raises(ValueError, match="duplicate"):
+        register_codec(meta_codec)
+
+
+def test_learned_state_roundtrip_identical_predictions(fitted):
+    """State applied to a *fresh* predictor reproduces the fitted one."""
+    meta, test = fitted
+    doc = learned_state_to_dict(meta)
+    assert doc["kind"] == "meta"
+    restored = apply_learned_state(
+        MetaLearner(prediction_window=30 * MINUTE, rule_window=15 * MINUTE),
+        doc,
+    )
+    assert restored.is_fitted
+    assert [w.detail for w in restored.predict(test)] == [
+        w.detail for w in meta.predict(test)
+    ]
+
+
+def test_learned_state_survives_prediction_window_change(fitted):
+    """The cache's key insight: state is portable across predict-only params."""
+    meta, test = fitted
+    doc = learned_state_to_dict(meta.rulebased)
+    wide = apply_learned_state(
+        RuleBasedPredictor(
+            rule_window=15 * MINUTE, prediction_window=60 * MINUTE
+        ),
+        doc,
+    )
+    assert wide.prediction_window == 60 * MINUTE  # target's own parameter kept
+    assert len(wide.ruleset) == len(meta.rulebased.ruleset)
+    assert wide.no_precursor_fraction == meta.rulebased.no_precursor_fraction
+
+
+def test_apply_learned_state_validates_document(fitted):
+    meta, _ = fitted
+    doc = learned_state_to_dict(meta)
+    with pytest.raises(SerializationError, match="kind"):
+        apply_learned_state(RuleBasedPredictor(), doc)
+    with pytest.raises(SerializationError, match="version"):
+        apply_learned_state(MetaLearner(), {**doc, "format_version": 99})
+    with pytest.raises(SerializationError, match="state"):
+        apply_learned_state(MetaLearner(), {**doc, "state": None})
+
+
+def test_from_state_requires_fitted_bases():
+    with pytest.raises(ValueError, match="fitted"):
+        MetaLearner.from_state(
+            prediction_window=30 * MINUTE,
+            statistical=StatisticalPredictor(),
+            rulebased=RuleBasedPredictor(),
+        )

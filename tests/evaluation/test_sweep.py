@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.evaluation.spec import PredictorSpec
 from repro.evaluation.sweep import (
     DEFAULT_WINDOWS,
     SweepPoint,
@@ -9,6 +10,7 @@ from repro.evaluation.sweep import (
     prediction_window_sweep,
     rule_window_sweep,
     select_rule_window,
+    sweep,
 )
 from repro.predictors.rulebased import RuleBasedPredictor
 from repro.util.timeutil import MINUTE
@@ -47,16 +49,47 @@ def test_rule_recall_rises_with_window(anl_events):
     assert points[1].recall >= points[0].recall
 
 
-def test_rule_window_sweep_signature(anl_events):
-    points = rule_window_sweep(
-        lambda g: RuleBasedPredictor(
-            rule_window=g, prediction_window=30 * MINUTE
+def test_rule_window_sweep_is_deprecated(anl_events):
+    with pytest.warns(DeprecationWarning, match="rule_window_sweep"):
+        points = rule_window_sweep(
+            lambda g: RuleBasedPredictor(
+                rule_window=g, prediction_window=30 * MINUTE
+            ),
+            anl_events,
+            windows=[10 * MINUTE, 20 * MINUTE],
+            k=4,
+        )
+    assert len(points) == 2
+
+
+def test_spec_sweep_matches_factory_sweep(anl_events):
+    """The engine-backed grid sweep reproduces the legacy path exactly."""
+    windows = [10 * MINUTE, 30 * MINUTE]
+    legacy = prediction_window_sweep(
+        lambda w: RuleBasedPredictor(
+            rule_window=15 * MINUTE, prediction_window=w
         ),
         anl_events,
-        windows=[10 * MINUTE, 20 * MINUTE],
+        windows=windows,
         k=4,
     )
-    assert len(points) == 2
+    spec = PredictorSpec.rule(rule_window=15 * MINUTE)
+    modern = sweep(spec.grid("prediction_window", windows), anl_events, k=4)
+    assert [(p.window, p.precision, p.recall) for p in legacy] == [
+        (p.window, p.precision, p.recall) for p in modern
+    ]
+
+
+def test_prediction_window_sweep_accepts_spec(anl_events):
+    windows = [10 * MINUTE, 20 * MINUTE]
+    spec = PredictorSpec.rule(rule_window=15 * MINUTE)
+    points = prediction_window_sweep(spec, anl_events, windows=windows, k=4)
+    assert [p.window for p in points] == windows
+
+
+def test_sweep_rejects_empty_grid(anl_events):
+    with pytest.raises(ValueError, match="empty sweep grid"):
+        sweep([], anl_events, k=4)
 
 
 def _pt(window, precision, recall):

@@ -11,4 +11,5 @@ from tools.repro_lint.rules import (  # noqa: F401
     rl004_minute_literals,
     rl005_fraction_validation,
     rl006_no_direct_output,
+    rl007_factory_closure,
 )

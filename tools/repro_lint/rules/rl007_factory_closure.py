@@ -1,0 +1,90 @@
+"""RL007 — no factory closures into the evaluation entry points.
+
+The evaluation layer's historical convention passed zero-argument lambda
+closures (``lambda w=w: factory(w)``) into ``cross_validate`` and the sweep
+functions.  Closures cannot be pickled to process-pool workers and have no
+stable content hash, so every such call site forfeits parallel execution
+and artifact caching — and silently falls back to the serial path.  Library
+code must pass a ``PredictorSpec`` instead; the legacy callable form remains
+only for external callers.
+
+Scope: ``src/repro/`` except ``src/repro/evaluation/sweep.py``, which hosts
+the legacy compatibility shim itself (benchmarks, tests and examples may
+still exercise the legacy path deliberately).  Flagged:
+
+- a ``lambda`` as the predictor/factory argument (first positional) of
+  ``cross_validate``, ``holdout_validate``, ``prediction_window_sweep`` or
+  ``rule_window_sweep``;
+- any call to ``rule_window_sweep`` at all — it is a deprecated alias of
+  ``prediction_window_sweep``; sweep rule-generation windows with
+  ``sweep(spec.grid("rule_window", ...), ...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from tools.repro_lint.astutil import iter_calls, resolve_call
+from tools.repro_lint.diagnostics import Diagnostic
+from tools.repro_lint.registry import register
+
+if TYPE_CHECKING:
+    from tools.repro_lint.engine import LintContext
+
+#: Entry points whose first positional argument is a predictor description.
+FACTORY_ENTRY_POINTS = frozenset(
+    {
+        "cross_validate",
+        "holdout_validate",
+        "prediction_window_sweep",
+        "rule_window_sweep",
+    }
+)
+
+DEPRECATED_ENTRY_POINTS = frozenset({"rule_window_sweep"})
+
+
+def _called_name(call: ast.Call, ctx: "LintContext") -> Optional[str]:
+    """The bare name of the called function, through import aliases."""
+    dotted = resolve_call(call, ctx.imports)
+    if dotted:
+        return dotted.rsplit(".", 1)[-1]
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+@register
+class FactoryClosureRule:
+    code = "RL007"
+    name = "no-factory-closure"
+    description = "factory closure passed to an evaluation entry point"
+    hint = (
+        "pass a PredictorSpec (picklable, cacheable) instead of a lambda "
+        "factory; for rule-window sweeps use "
+        "sweep(spec.grid('rule_window', windows), events, ...)"
+    )
+
+    def check(self, ctx: "LintContext") -> Iterator[Diagnostic]:
+        if not ctx.in_package("src", "repro"):
+            return
+        if ctx.is_module("repro", "evaluation", "sweep.py"):
+            return  # hosts the legacy compatibility shim itself
+        for call in iter_calls(ctx.tree):
+            name = _called_name(call, ctx)
+            if name not in FACTORY_ENTRY_POINTS:
+                continue
+            if name in DEPRECATED_ENTRY_POINTS:
+                yield ctx.diagnostic(
+                    self, call, f"deprecated evaluation alias {name}()"
+                )
+            if call.args and isinstance(call.args[0], ast.Lambda):
+                yield ctx.diagnostic(
+                    self,
+                    call,
+                    f"lambda factory passed to {name}() — serial-only and "
+                    f"uncacheable",
+                )
