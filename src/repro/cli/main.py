@@ -136,6 +136,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="suppress per-warning lines; print the summary only",
     )
 
+    v = sub.add_parser(
+        "serve-replay",
+        help="replay a log through the sharded serving engine (throughput mode)",
+    )
+    v.add_argument("log", help="raw log file to replay")
+    v.add_argument("--model", "-m", required=True, help="model JSON to load")
+    v.add_argument(
+        "--shards", type=int, default=4,
+        help="detector shards in the pool (default 4)",
+    )
+    v.add_argument(
+        "--key", choices=["midplane", "job"], default="midplane",
+        help="stream partition key (default midplane)",
+    )
+    v.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for shard replay "
+             "(default: $REPRO_JOBS, else serial)",
+    )
+
     r = sub.add_parser(
         "report", help="full study report: CDF, rules, sweeps, comparison"
     )
@@ -389,6 +409,47 @@ def cmd_watch(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_replay(args: argparse.Namespace) -> int:
+    from repro.serve import DetectorPool
+
+    model = load_model(args.model)
+    meta = model.meta if isinstance(model, ThreePhasePredictor) else model
+    _, result = _load_events(args.log)
+    pool = DetectorPool(meta, shards=args.shards, key=args.key)
+    report = pool.replay(result.events, jobs=args.jobs)
+    print(
+        f"serve-replay: {report.events} events through {len(report.shards)} "
+        f"active shard(s) (key={report.key}) in {report.seconds:.3f}s "
+        f"-> {report.events_per_sec:,.0f} events/sec"
+    )
+    for shard in report.shards:
+        s = shard.stats
+        print(
+            f"  shard {shard.shard}: {shard.events} events, "
+            f"{s.failures} failures, {len(shard.warnings)} warnings "
+            f"(precision {s.precision_so_far:.2f}, "
+            f"recall {s.recall_so_far:.2f}, {shard.seconds:.3f}s)"
+        )
+    combined = report.combined
+    print(
+        f"combined: {combined.warnings} warnings / {combined.failures} failures "
+        f"(precision {combined.precision_so_far:.2f}, "
+        f"recall {combined.recall_so_far:.2f})"
+    )
+    registry = get_registry()
+    if registry.enabled:
+        from repro.obs import summarize_histogram
+
+        samples = registry.histograms.get("serve.feed_seconds")
+        if samples:
+            s = summarize_histogram(samples)
+            print(
+                f"metrics:\n  per-shard feed time: mean={s['mean']:.3f}s "
+                f"p90={s['p90']:.3f}s max={s['max']:.3f}s"
+            )
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -490,6 +551,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "train": cmd_train,
     "watch": cmd_watch,
+    "serve-replay": cmd_serve_replay,
     "report": cmd_report,
     "export": cmd_export,
 }

@@ -24,7 +24,9 @@ containing the arriving item), "about the same as the rule-based method".
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.mining.rules import Rule, RuleMatcher, RuleSet
 from repro.obs import get_registry
@@ -78,11 +80,9 @@ class MetaStream:
     # -- internals ------------------------------------------------------ #
 
     def _best_satisfied(self) -> Optional[Rule]:
-        best: Optional[Rule] = None
-        for r in self._matcher.satisfied_rules():
-            if best is None or r.confidence > best.confidence:
-                best = r
-        return best
+        # Kept incrementally by the matcher (lazy satisfied-index heap)
+        # instead of rescanning every rule per arrival.
+        return self._matcher.best_satisfied()
 
     def _active_stat_conf(self, t: int) -> float:
         """Max confidence among statistical warnings covering ``t``."""
@@ -189,7 +189,7 @@ class MetaStream:
             # failures"; a trigger with no trigger-category history is the
             # potential *start* of a pattern, not evidence of one.
             stat_conf = None
-        nonfatal_present = bool(self._matcher.observed_items())
+        nonfatal_present = self._matcher.has_observed()
         best = self._best_satisfied() if nonfatal_present else None
         if stat_conf is not None:
             if not nonfatal_present:
@@ -220,6 +220,136 @@ class MetaStream:
         self._fatal_history.append(t)
         if category in self.trigger_set:
             self._trigger_history.append(t)
+        return out
+
+    def step_batch(
+        self,
+        times: np.ndarray,
+        subcat_ids: np.ndarray,
+        fatal_mask: np.ndarray,
+        categories: Sequence[MainCategory],
+    ) -> list[FailureWarning]:
+        """Process a column batch of events; returns all warnings raised.
+
+        The batched fast path of :meth:`step`: semantically identical (the
+        equivalence suite in ``tests/serve`` enforces element-for-element
+        equality with the per-event path), but per-event dispatch overhead is
+        amortized across the batch — the columns are bulk-converted to Python
+        scalars once, every attribute/method lookup is hoisted out of the
+        loop, and the statistical candidate-confidence table is precomputed.
+
+        ``categories`` is the label-indexed category table: entry ``i`` is
+        the :class:`MainCategory` of subcategory id ``i`` (only consulted for
+        fatal arrivals).  Time-order validation happens once, vectorized,
+        instead of per event.
+        """
+        times = np.asarray(times, dtype=np.int64)
+        n = len(times)
+        if n == 0:
+            return []
+        late = np.flatnonzero(np.diff(times) < 0) if n > 1 else np.empty(0)
+        if late.size:
+            i = int(late[0]) + 1
+            raise ValueError(
+                f"events must arrive in time order "
+                f"({int(times[i])} < {int(times[i - 1])})"
+            )
+        if self._last_time is not None and int(times[0]) < self._last_time:
+            raise ValueError(
+                f"events must arrive in time order "
+                f"({int(times[0])} < {self._last_time})"
+            )
+        t_list = times.tolist()
+        sc_list = np.asarray(subcat_ids).tolist()
+        fatal_list = np.asarray(fatal_mask, dtype=bool).tolist()
+
+        out: list[FailureWarning] = []
+        out_append = out.append
+        w = self.w
+        stat_hi = self.stat_hi
+        trigger_set = self.trigger_set
+        matcher = self._matcher
+        matcher_add = matcher.add
+        matcher_remove = matcher.remove
+        best_satisfied = matcher.best_satisfied
+        has_observed = matcher.has_observed
+        window_events = self._window_events
+        win_append = window_events.append
+        win_popleft = window_events.popleft
+        fatal_history = self._fatal_history
+        fatal_append = fatal_history.append
+        fatal_popleft = fatal_history.popleft
+        trigger_history = self._trigger_history
+        trigger_append = trigger_history.append
+        trigger_popleft = trigger_history.popleft
+        stat_conf_until = self._stat_conf_until  # mutated in place, never rebound
+        stat_conf_map = self.statistical.candidate_confidence_map()
+        emit_rule = self._emit_rule
+        emit_stat = self._emit_stat
+
+        for t, sc, is_fatal in zip(t_list, sc_list, fatal_list):
+            # _advance, inlined.
+            cutoff = t - w
+            while window_events and window_events[0][0] < cutoff:
+                matcher_remove(win_popleft()[1])
+            cutoff = t - stat_hi
+            while fatal_history and fatal_history[0] < cutoff:
+                fatal_popleft()
+            while trigger_history and trigger_history[0] < cutoff:
+                trigger_popleft()
+
+            if not is_fatal:
+                win_append((t, sc))
+                if matcher_add(sc):
+                    best = best_satisfied()
+                    if best is not None:
+                        if fatal_history:
+                            # Case 3 at a non-fatal arrival (see step()).
+                            active = 0.0
+                            for end, c in stat_conf_until:
+                                if t <= end and c > active:
+                                    active = c
+                            if best.confidence >= active:
+                                warning = emit_rule(t, best)
+                                if warning:
+                                    out_append(warning)
+                        else:
+                            warning = emit_rule(t, best)
+                            if warning:
+                                out_append(warning)
+                continue
+
+            # Fatal arrival: statistical trigger point.
+            category = categories[sc]
+            stat_conf = stat_conf_map[category]
+            if stat_conf is not None and not trigger_history:
+                stat_conf = None
+            nonfatal_present = has_observed()
+            best = best_satisfied() if nonfatal_present else None
+            if stat_conf is not None:
+                if not nonfatal_present:
+                    warning = emit_stat(t, category, stat_conf)
+                    if warning:
+                        out_append(warning)
+                else:
+                    rule_conf = best.confidence if best is not None else 0.0
+                    if stat_conf > rule_conf:
+                        warning = emit_stat(t, category, stat_conf)
+                        if warning:
+                            out_append(warning)
+                    elif best is not None:
+                        warning = emit_rule(t, best)
+                        if warning:
+                            out_append(warning)
+            elif best is not None:
+                warning = emit_rule(t, best)
+                if warning:
+                    out_append(warning)
+            fatal_append(t)
+            if category in trigger_set:
+                trigger_append(t)
+
+        self._last_time = t_list[-1]
         return out
 
 
@@ -306,7 +436,7 @@ class MetaLearner(Predictor):
         )
 
     def predict(self, events: EventStore) -> list[FailureWarning]:
-        """Drive the dispatch stream over a whole store."""
+        """Drive the dispatch stream over a whole store (batched path)."""
         obs = get_registry()
         stream = self.stream()
         warnings: list[FailureWarning] = []
@@ -316,16 +446,9 @@ class MetaLearner(Predictor):
         with obs.span("phase3.dispatch"):
             clf = self.statistical.classifier
             cat_table = [clf.category_of_label(n) for n in events.subcat_table]
-            times = events.times
-            subcats = events.subcat_ids
-            fatal_mask = events.fatal_mask()
-            for i in range(len(events)):
-                sc = int(subcats[i])
-                warnings.extend(
-                    stream.step(
-                        int(times[i]), sc, bool(fatal_mask[i]), cat_table[sc]
-                    )
-                )
+            warnings = stream.step_batch(
+                events.times, events.subcat_ids, events.fatal_mask(), cat_table
+            )
         self.dispatch_counts = dict(stream.dispatch_counts)
         # Which base method each emitted warning came from — the paper's
         # case-1/2/3 coverage dispatch made visible per run.

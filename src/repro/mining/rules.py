@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.mining.apriori import apriori
@@ -239,11 +240,18 @@ class RuleMatcher:
         self.ruleset = ruleset
         self._present: dict[int, int] = defaultdict(int)  # item -> multiplicity
         self._missing: list[int] = [len(r.body) for r in ruleset.rules]
+        # Lazy min-heap of rule indices that became satisfied.  Rules are
+        # confidence-descending, so the smallest *currently satisfied* index
+        # is exactly the paper's Step-6 pick; stale entries (rules that fell
+        # back out of the window) are discarded at query time, which keeps
+        # best_satisfied() O(log R) amortized instead of O(R) per event.
+        self._satisfied_heap: list[int] = []
 
     def reset(self) -> None:
         """Clear the window state."""
         self._present.clear()
         self._missing = [len(r.body) for r in self.ruleset.rules]
+        self._satisfied_heap.clear()
 
     def add(self, item: int) -> list[Rule]:
         """Item enters the window; returns rules completed by this arrival."""
@@ -254,6 +262,7 @@ class RuleMatcher:
                 self._missing[idx] -= 1
                 if self._missing[idx] == 0:
                     completed.append(self.ruleset.rules[idx])
+                    heappush(self._satisfied_heap, idx)
         completed.sort(key=lambda r: -r.confidence)
         return completed
 
@@ -277,6 +286,26 @@ class RuleMatcher:
             if m == 0
         ]
 
+    def best_satisfied(self) -> Optional[Rule]:
+        """Highest-confidence rule currently fully observed, if any.
+
+        Equivalent to scanning :meth:`satisfied_rules` for the max-confidence
+        rule (ties broken by support count, i.e. ruleset order), but O(log R)
+        amortized: the satisfied-index heap is maintained incrementally by
+        :meth:`add` and pruned of stale entries here.
+        """
+        heap = self._satisfied_heap
+        missing = self._missing
+        while heap and missing[heap[0]] != 0:
+            heappop(heap)
+        if not heap:
+            return None
+        return self.ruleset.rules[heap[0]]
+
     def observed_items(self) -> set[int]:
         """Distinct items currently in the window."""
         return set(self._present)
+
+    def has_observed(self) -> bool:
+        """True if any item is currently in the window (no set built)."""
+        return bool(self._present)

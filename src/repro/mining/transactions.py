@@ -156,24 +156,42 @@ def build_tiled_windows(
     _require_classified(events)
     if fatal_items is None:
         fatal_items = _fatal_item_ids(events)
-    bodies: list[frozenset[int]] = []
-    heads: list[frozenset[int]] = []
     if len(events) == 0:
         return EventSetDB([], [], list(events.subcat_table), fatal_items)
     t0 = int(events.times[0])
     t1 = int(events.times[-1]) + 1
     edges = np.arange(t0, t1 + window, window)
-    starts = np.searchsorted(events.times, edges[:-1], "left")
-    ends = np.searchsorted(events.times, edges[1:], "left")
+    # Window id per event: largest i with edges[i] <= t, i.e. membership in
+    # [edges[i], edges[i+1]) — the same intervals the per-window searchsorted
+    # pairs delimit, computed in one pass over the event column instead of
+    # one pass per window.
+    win = np.searchsorted(edges, events.times, "right") - 1
+    # Distinct (window, item) pairs via a composite key; np.unique both
+    # dedups within each window and sorts by window, so decoding the keys
+    # yields contiguous per-window segments in ascending window order —
+    # exactly the order the per-window loop emitted transactions in.
+    n_items = len(events.subcat_table) or 1
+    keys = win.astype(np.int64) * n_items + events.subcat_ids
     fatal_mask = events.fatal_mask()
-    for s, e in zip(starts, ends):
-        if s == e:
-            continue
-        sl = slice(int(s), int(e))
-        cats = events.subcat_ids[sl]
-        fm = fatal_mask[sl]
-        bodies.append(frozenset(int(x) for x in np.unique(cats[~fm])))
-        heads.append(frozenset(int(x) for x in np.unique(cats[fm])))
+    nonfatal_keys = np.unique(keys[~fatal_mask])
+    fatal_keys = np.unique(keys[fatal_mask])
+    present = np.unique(win)  # windows containing >= 1 event, ascending
+    nonfatal_win = nonfatal_keys // n_items
+    fatal_win = fatal_keys // n_items
+    nonfatal_lo = np.searchsorted(nonfatal_win, present, "left")
+    nonfatal_hi = np.searchsorted(nonfatal_win, present, "right")
+    fatal_lo = np.searchsorted(fatal_win, present, "left")
+    fatal_hi = np.searchsorted(fatal_win, present, "right")
+    nonfatal_items = (nonfatal_keys % n_items).tolist()
+    fatal_items_list = (fatal_keys % n_items).tolist()
+    bodies = [
+        frozenset(nonfatal_items[lo:hi])
+        for lo, hi in zip(nonfatal_lo.tolist(), nonfatal_hi.tolist())
+    ]
+    heads = [
+        frozenset(fatal_items_list[lo:hi])
+        for lo, hi in zip(fatal_lo.tolist(), fatal_hi.tolist())
+    ]
     return EventSetDB(
         bodies=bodies,
         heads=heads,

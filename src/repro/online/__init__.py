@@ -7,14 +7,22 @@ and :mod:`repro.meta` process whole stores; this subpackage provides the
 event-at-a-time counterpart a monitoring daemon would embed:
 
 - :class:`repro.online.detector.OnlineDetector` — feed classified events one
-  by one; warnings are returned the moment they are raised.  Its output is
-  bit-identical to :meth:`repro.meta.stacked.MetaLearner.predict` on the
-  same stream (tested), so offline evaluation transfers to deployment.
+  by one (or in column batches via ``feed_batch``/``feed_store``); warnings
+  are returned the moment they are raised.  Its output is bit-identical to
+  :meth:`repro.meta.stacked.MetaLearner.predict` on the same stream
+  (tested), so offline evaluation transfers to deployment.
 - :class:`repro.online.detector.OnlineSession` — bookkeeping wrapper that
   also resolves warnings against observed failures in real time, maintaining
   the operator-facing counters (hits, false alarms, misses, lead times).
+- :class:`repro.online.resolution.WarningResolver` — the heap-based
+  resolution core (O(log P) amortized per event in the pending count P),
+  shared by the session and the :mod:`repro.serve` engine.
+
+For serving many independent streams from one fitted model, see
+:mod:`repro.serve` (sharded detector pool, throughput accounting).
 """
 
-from repro.online.detector import OnlineDetector, OnlineSession, SessionStats
+from repro.online.detector import OnlineDetector, OnlineSession
+from repro.online.resolution import SessionStats, WarningResolver
 
-__all__ = ["OnlineDetector", "OnlineSession", "SessionStats"]
+__all__ = ["OnlineDetector", "OnlineSession", "SessionStats", "WarningResolver"]

@@ -4,26 +4,32 @@
 (or its :class:`~repro.meta.stacked.MetaStream`) behind a feed interface that
 accepts raw :class:`~repro.ras.events.RasEvent` objects: each event is
 classified on arrival and pushed through the dispatch state machine, and any
-warnings raised by it are returned immediately.
+warnings raised by it are returned immediately.  :meth:`OnlineDetector.feed_batch`
+and :meth:`OnlineDetector.feed_store` are the columnar fast paths — same
+warnings, amortized dispatch (see ``docs/serving.md``).
 
 :class:`OnlineSession` adds real-time *resolution*: it matches warnings
 against the failures that subsequently arrive, expiring horizons as the
 clock advances, and maintains the counters an operator dashboard would show
 (caught/missed failures, false alarms, lead times).  Resolution is causal —
 a warning is only counted as a false alarm once its horizon has fully
-elapsed without a failure.
+elapsed without a failure — and runs on the heap-based
+:class:`~repro.online.resolution.WarningResolver` (O(log P) amortized per
+event in the pending-warning count P).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Optional
+import numpy as np
 
 from repro.meta.stacked import MetaLearner, MetaStream
+from repro.online.resolution import SessionStats, WarningResolver
 from repro.predictors.base import FailureWarning
 from repro.ras.events import RasEvent
+from repro.ras.store import UNCLASSIFIED, EventStore
 from repro.taxonomy.classifier import TaxonomyClassifier
+
+__all__ = ["OnlineDetector", "OnlineSession", "SessionStats"]
 
 
 class OnlineDetector:
@@ -32,7 +38,9 @@ class OnlineDetector:
     Feed events in time order with :meth:`feed`; each call returns the
     warnings that event raised.  Output over a stream equals
     ``meta.predict(store)`` over the equivalent store (same dispatch state
-    machine underneath).
+    machine underneath).  :meth:`feed_batch` accepts whole column batches in
+    the classifier's label space; :meth:`feed_store` replays a classified
+    :class:`~repro.ras.store.EventStore` directly.
     """
 
     def __init__(self, meta: MetaLearner) -> None:
@@ -44,6 +52,11 @@ class OnlineDetector:
         self._label_index = {
             name: i for i, name in enumerate(self.classifier.label_names)
         }
+        #: Label id -> main category, hoisted for the batch path.
+        self._category_table = [
+            self.classifier.category_of_label(name)
+            for name in self.classifier.label_names
+        ]
         self.events_seen = 0
 
     @property
@@ -64,39 +77,55 @@ class OnlineDetector:
         self.events_seen += 1
         return self._stream.step(event.time, subcat_id, is_fatal, category)
 
+    def feed_batch(
+        self,
+        times: np.ndarray,
+        subcat_ids: np.ndarray,
+        fatal_mask: np.ndarray,
+        categories=None,
+    ) -> list[FailureWarning]:
+        """Process a column batch; returns all warnings it raised, in order.
 
-@dataclass
-class SessionStats:
-    """Operator-facing counters of an :class:`OnlineSession`."""
+        ``subcat_ids`` must be in the *classifier's* label space (use
+        :meth:`feed_store` for raw stores, which remaps the store's label
+        table first).  ``categories`` is the label-indexed category table and
+        defaults to the classifier's own; output is element-for-element
+        identical to calling :meth:`feed` per event.
+        """
+        if categories is None:
+            categories = self._category_table
+        warnings = self._stream.step_batch(
+            times, subcat_ids, fatal_mask, categories
+        )
+        self.events_seen += len(times)
+        return warnings
 
-    events: int = 0
-    failures: int = 0
-    warnings: int = 0
-    #: Warnings whose horizon contained >= 1 failure.
-    hits: int = 0
-    #: Warnings whose horizon fully elapsed without a failure.
-    false_alarms: int = 0
-    #: Failures covered by >= 1 active warning when they occurred.
-    caught_failures: int = 0
-    missed_failures: int = 0
-    #: Lead seconds (warning issue -> failure) of caught failures.
-    lead_seconds: list[float] = field(default_factory=list)
+    def label_ids_for(self, store: EventStore) -> np.ndarray:
+        """Map a classified store's subcategory column to classifier label ids.
 
-    @property
-    def precision_so_far(self) -> float:
-        """Precision over *resolved* warnings (hits + expired misses)."""
-        resolved = self.hits + self.false_alarms
-        return 1.0 if resolved == 0 else self.hits / resolved
+        Labels the classifier never saw fall back to its catch-all bucket —
+        the same policy :meth:`feed` applies per event, vectorized over the
+        store's (small) label table instead of per row.
+        """
+        if len(store) and bool(np.any(store.subcat_ids == UNCLASSIFIED)):
+            raise ValueError(
+                "store has unclassified rows; run the Phase-1 pipeline first"
+            )
+        fallback = self._label_index[self.classifier.label_names[-1]]
+        remap = np.array(
+            [self._label_index.get(name, fallback) for name in store.subcat_table]
+            or [fallback],
+            dtype=np.int64,
+        )
+        return remap[store.subcat_ids]
 
-    @property
-    def recall_so_far(self) -> float:
-        return 1.0 if self.failures == 0 else self.caught_failures / self.failures
-
-    @property
-    def mean_lead(self) -> float:
-        if not self.lead_seconds:
-            return float("nan")
-        return sum(self.lead_seconds) / len(self.lead_seconds)
+    def feed_store(self, store: EventStore) -> list[FailureWarning]:
+        """Replay a whole classified store through the batch path."""
+        if len(store) == 0:
+            return []
+        return self.feed_batch(
+            store.times, self.label_ids_for(store), store.fatal_mask()
+        )
 
 
 class OnlineSession:
@@ -106,58 +135,70 @@ class OnlineSession:
     is read off :attr:`stats` at any time.  A warning becomes a *hit* the
     first time a failure lands in its horizon and a *false alarm* when an
     event arrives after its horizon with no failure having landed.
+    :meth:`process_store` is the batched equivalent — identical stats,
+    columnar feed.
     """
 
     def __init__(self, meta: MetaLearner) -> None:
         self.detector = OnlineDetector(meta)
-        self.stats = SessionStats()
-        #: Unresolved warnings, ordered by horizon end.
-        self._pending: deque[tuple[FailureWarning, bool]] = deque()
+        self.resolver = WarningResolver()
 
-    def _expire(self, now: int) -> None:
-        keep: deque[tuple[FailureWarning, bool]] = deque()
-        for warning, hit in self._pending:
-            if warning.horizon_end < now:
-                if hit:
-                    self.stats.hits += 1
-                else:
-                    self.stats.false_alarms += 1
-            else:
-                keep.append((warning, hit))
-        self._pending = keep
+    @property
+    def stats(self) -> SessionStats:
+        """The resolver's operator-facing counters."""
+        return self.resolver.stats
+
+    @property
+    def pending_count(self) -> int:
+        """Warnings whose horizon has not fully elapsed yet."""
+        return self.resolver.pending_count
 
     def process(self, event: RasEvent) -> list[FailureWarning]:
         """Feed one event; resolve outstanding warnings against it."""
-        self._expire(event.time)
-        self.stats.events += 1
-
+        resolver = self.resolver
+        resolver.advance(event.time)
+        resolver.stats.events += 1
         if event.is_fatal:
-            self.stats.failures += 1
-            covered = False
-            earliest_issue: Optional[int] = None
-            updated: deque[tuple[FailureWarning, bool]] = deque()
-            for warning, hit in self._pending:
-                if warning.covers(event.time):
-                    hit = True
-                    covered = True
-                    if earliest_issue is None or warning.issued_at < earliest_issue:
-                        earliest_issue = warning.issued_at
-                updated.append((warning, hit))
-            self._pending = updated
-            if covered:
-                self.stats.caught_failures += 1
-                assert earliest_issue is not None
-                self.stats.lead_seconds.append(event.time - earliest_issue)
-            else:
-                self.stats.missed_failures += 1
-
+            resolver.observe_failure(event.time)
         raised = self.detector.feed(event)
         for w in raised:
-            self.stats.warnings += 1
-            self._pending.append((w, False))
+            resolver.add(w)
         return raised
+
+    def process_store(self, store: EventStore) -> list[FailureWarning]:
+        """Feed a whole classified store through the batched path.
+
+        Detection runs once over the columns (:meth:`OnlineDetector.feed_store`);
+        resolution then replays the merged event/warning timeline.  A warning
+        issued at time ``t`` never covers events at ``t`` (horizons start
+        strictly later), so enqueueing each warning just before the first
+        event after its issue time reproduces the per-event interleaving
+        exactly — :attr:`stats` comes out identical to calling
+        :meth:`process` per event.
+        """
+        warnings = self.detector.feed_store(store)
+        resolver = self.resolver
+        stats = resolver.stats
+        advance = resolver.advance
+        observe_failure = resolver.observe_failure
+        add = resolver.add
+        times = store.times.tolist()
+        fatal_list = store.fatal_mask().tolist()
+        wi = 0
+        n_warnings = len(warnings)
+        for t, is_fatal in zip(times, fatal_list):
+            while wi < n_warnings and warnings[wi].issued_at < t:
+                add(warnings[wi])
+                wi += 1
+            advance(t)
+            stats.events += 1
+            if is_fatal:
+                observe_failure(t)
+        while wi < n_warnings:
+            add(warnings[wi])
+            wi += 1
+        return warnings
 
     def finish(self) -> SessionStats:
         """Resolve every outstanding warning (end of shift) and return stats."""
-        self._expire(now=2**62)
-        return self.stats
+        return self.resolver.finalize()

@@ -1,0 +1,192 @@
+"""Heap-based causal warning resolution (the serving hot path).
+
+The original :class:`~repro.online.detector.OnlineSession` rebuilt its whole
+pending deque on every arrival (once in ``_expire`` and again in the fatal
+coverage scan), which is O(P) per event — quadratic wall time once a warning
+backlog builds up.  :class:`WarningResolver` keeps the same causal semantics
+with O(log P) amortized work per event:
+
+- an **expiry heap** keyed on ``horizon_end`` pops warnings the moment their
+  horizon has fully elapsed (hit or false alarm decided right there);
+- an **activation heap** keyed on ``horizon_start`` moves warnings into the
+  *active interval index* exactly when their horizon opens, so a coverage
+  query never scans warnings whose horizon has not started;
+- a **coverage epoch** counter marks hits in O(1): a warning is a hit iff at
+  least one failure was observed while it was active, i.e. iff the epoch
+  advanced between its activation and its expiry;
+- an **issue heap** (lazy deletion) answers "earliest issue time among the
+  active, covering warnings" — the lead-time anchor — in O(log P) amortized.
+
+Every state transition increments :attr:`WarningResolver.resolution_ops`;
+the regression suite asserts total ops stay linear in stream length, so a
+reintroduced per-event rebuild fails loudly rather than just slowly.
+
+Semantics are bit-identical to the deque implementation (enforced by
+``tests/online/test_resolution.py`` against a reference copy, including ties
+at horizon boundaries): a warning whose ``horizon_end`` equals the current
+time is still live, and a failure at exactly ``horizon_start`` counts as
+covered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Optional
+
+from repro.predictors.base import FailureWarning
+
+
+@dataclass
+class SessionStats:
+    """Operator-facing counters of causal warning resolution."""
+
+    events: int = 0
+    failures: int = 0
+    warnings: int = 0
+    #: Warnings whose horizon contained >= 1 failure.
+    hits: int = 0
+    #: Warnings whose horizon fully elapsed without a failure.
+    false_alarms: int = 0
+    #: Failures covered by >= 1 active warning when they occurred.
+    caught_failures: int = 0
+    missed_failures: int = 0
+    #: Lead seconds (warning issue -> failure) of caught failures.
+    lead_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def precision_so_far(self) -> float:
+        """Precision over *resolved* warnings (hits + expired misses)."""
+        resolved = self.hits + self.false_alarms
+        return 1.0 if resolved == 0 else self.hits / resolved
+
+    @property
+    def recall_so_far(self) -> float:
+        return 1.0 if self.failures == 0 else self.caught_failures / self.failures
+
+    @property
+    def mean_lead(self) -> float:
+        if not self.lead_seconds:
+            return float("nan")
+        return sum(self.lead_seconds) / len(self.lead_seconds)
+
+    def merge(self, other: "SessionStats") -> "SessionStats":
+        """Accumulate ``other`` into this instance (pool aggregation)."""
+        self.events += other.events
+        self.failures += other.failures
+        self.warnings += other.warnings
+        self.hits += other.hits
+        self.false_alarms += other.false_alarms
+        self.caught_failures += other.caught_failures
+        self.missed_failures += other.missed_failures
+        self.lead_seconds.extend(other.lead_seconds)
+        return self
+
+
+class _PendingWarning:
+    """Mutable resolution state of one unresolved warning."""
+
+    __slots__ = ("warning", "active", "activation_epoch")
+
+    def __init__(self, warning: FailureWarning) -> None:
+        self.warning = warning
+        self.active = False
+        self.activation_epoch = -1
+
+
+class WarningResolver:
+    """Causal hit/false-alarm resolution over a pending-warning set.
+
+    Drive it strictly forward: :meth:`advance` to the event's time, then
+    :meth:`observe_failure` if the event is fatal, then :meth:`add` for each
+    warning the event raised.  ``stats`` accumulates the operator counters;
+    :meth:`finalize` resolves everything still outstanding.
+
+    The resolver is detector-agnostic on purpose — the serving engine, the
+    online session and the throughput benchmarks all share this one
+    implementation.
+    """
+
+    #: now-value used by :meth:`finalize` (later than any plausible horizon).
+    END_OF_TIME = 2**62
+
+    def __init__(self, stats: Optional[SessionStats] = None) -> None:
+        self.stats = stats if stats is not None else SessionStats()
+        #: seq -> entry, for every unresolved (pending or active) warning.
+        self._entries: dict[int, _PendingWarning] = {}
+        self._start_heap: list[tuple[int, int]] = []  # (horizon_start, seq)
+        self._end_heap: list[tuple[int, int]] = []  # (horizon_end, seq)
+        self._issue_heap: list[tuple[int, int]] = []  # (issued_at, seq), lazy
+        self._coverage_epoch = 0
+        self._seq = 0
+        #: Cumulative heap/dict transitions — the resolution work counter.
+        self.resolution_ops = 0
+
+    @property
+    def pending_count(self) -> int:
+        """Unresolved warnings (horizon not yet fully elapsed)."""
+        return len(self._entries)
+
+    def advance(self, now: int) -> None:
+        """Activate and expire warnings against the clock at ``now``."""
+        entries = self._entries
+        ops = 0
+        start_heap = self._start_heap
+        while start_heap and start_heap[0][0] <= now:
+            _, seq = heappop(start_heap)
+            entry = entries[seq]
+            entry.active = True
+            entry.activation_epoch = self._coverage_epoch
+            heappush(self._issue_heap, (entry.warning.issued_at, seq))
+            ops += 2
+        end_heap = self._end_heap
+        stats = self.stats
+        epoch = self._coverage_epoch
+        while end_heap and end_heap[0][0] < now:
+            _, seq = heappop(end_heap)
+            entry = entries.pop(seq)
+            if entry.active and epoch > entry.activation_epoch:
+                stats.hits += 1
+            else:
+                stats.false_alarms += 1
+            ops += 2
+        self.resolution_ops += ops
+
+    def observe_failure(self, now: int) -> bool:
+        """Record a failure at ``now``; returns True if it was covered.
+
+        Call after :meth:`advance(now) <advance>`: every entry still in the
+        active index then satisfies ``horizon_start <= now <= horizon_end``,
+        so coverage is simply "is the active index non-empty", and the
+        earliest covering issue time is the issue-heap top (stale tops —
+        expired warnings — are discarded lazily).
+        """
+        stats = self.stats
+        stats.failures += 1
+        issue_heap = self._issue_heap
+        entries = self._entries
+        while issue_heap and issue_heap[0][1] not in entries:
+            heappop(issue_heap)
+            self.resolution_ops += 1
+        self._coverage_epoch += 1
+        if not issue_heap:
+            stats.missed_failures += 1
+            return False
+        stats.caught_failures += 1
+        stats.lead_seconds.append(now - issue_heap[0][0])
+        return True
+
+    def add(self, warning: FailureWarning) -> None:
+        """Enqueue a freshly raised warning for resolution."""
+        seq = self._seq
+        self._seq = seq + 1
+        self._entries[seq] = _PendingWarning(warning)
+        heappush(self._start_heap, (warning.horizon_start, seq))
+        heappush(self._end_heap, (warning.horizon_end, seq))
+        self.stats.warnings += 1
+        self.resolution_ops += 2
+
+    def finalize(self) -> SessionStats:
+        """Resolve every outstanding warning (end of shift); returns stats."""
+        self.advance(self.END_OF_TIME)
+        return self.stats

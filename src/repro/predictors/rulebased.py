@@ -158,28 +158,32 @@ def _match_stream(
     matcher = RuleMatcher(ruleset)
     in_window: deque[tuple[int, int]] = deque()  # (time, item)
     active_until: dict[frozenset[int], int] = {}  # rule body -> horizon end
-    times = events.times
-    subcats = events.subcat_ids
-    fatal_mask = events.fatal_mask()
     w = int(window)
-    for i in range(len(events)):
-        t = int(times[i])
+    # Hoisted bindings: one Python-level loop per event is the serving hot
+    # path, so bulk-convert the columns once and bind methods to locals.
+    times = events.times.tolist()
+    subcats = events.subcat_ids.tolist()
+    fatal_list = events.fatal_mask().tolist()
+    matcher_add = matcher.add
+    matcher_remove = matcher.remove
+    best_satisfied = matcher.best_satisfied
+    window_popleft = in_window.popleft
+    window_append = in_window.append
+    append_warning = warnings.append
+    item_names = ruleset.item_names
+    for t, item, is_fatal in zip(times, subcats, fatal_list):
         # Evict items older than the observation window.
-        while in_window and in_window[0][0] < t - w:
-            _, old_item = in_window.popleft()
-            matcher.remove(old_item)
-        if fatal_mask[i]:
+        cutoff = t - w
+        while in_window and in_window[0][0] < cutoff:
+            matcher_remove(window_popleft()[1])
+        if is_fatal:
             continue  # rule bodies are non-fatal items only
-        item = int(subcats[i])
-        in_window.append((t, item))
-        completed = matcher.add(item)
-        if not completed:
+        window_append((t, item))
+        if not matcher_add(item):
             continue
-        # Paper Step 6: among observed rules pick the highest confidence.
-        best: Optional[Rule] = None
-        for r in matcher.satisfied_rules():
-            if best is None or r.confidence > best.confidence:
-                best = r
+        # Paper Step 6: among observed rules pick the highest confidence —
+        # kept incrementally by the matcher instead of rescanned per event.
+        best: Optional[Rule] = best_satisfied()
         if best is None:  # pragma: no cover - completed implies satisfied
             continue
         end = active_until.get(best.body)
@@ -191,8 +195,8 @@ def _match_stream(
             horizon_end=t + w,
             confidence=best.confidence,
             source=source,
-            detail=best.format(ruleset.item_names),
+            detail=best.format(item_names),
         )
         active_until[best.body] = warning.horizon_end
-        warnings.append(warning)
+        append_warning(warning)
     return warnings

@@ -1,0 +1,30 @@
+"""High-throughput serving engine for the fitted meta-learner.
+
+The paper positions the meta-learner as cheap enough to run online; this
+package is the deployment-shaped surface for doing that at installation
+scale.  It layers three mechanisms, each individually tested for
+equivalence with the reference event-at-a-time path:
+
+- **Batched columnar feed** — :meth:`repro.online.detector.OnlineDetector.feed_batch`
+  / ``feed_store`` push whole column batches through the dispatch state
+  machine with hoisted lookups and no per-event object construction.
+- **Heap-based warning resolution** — :class:`repro.online.resolution.WarningResolver`
+  resolves warnings against failures in O(log P) amortized per event.
+- **Sharded detector pool** — :class:`repro.serve.pool.DetectorPool` runs one
+  independent detector per midplane/job shard, optionally across processes.
+
+See ``docs/serving.md`` for the architecture and the equivalence guarantees.
+"""
+
+from repro.serve.pool import DetectorPool, PoolReport, ShardReport
+from repro.serve.sharding import SHARD_KEYS, midplane_of, shard_ids, shard_of_key
+
+__all__ = [
+    "DetectorPool",
+    "PoolReport",
+    "ShardReport",
+    "SHARD_KEYS",
+    "midplane_of",
+    "shard_ids",
+    "shard_of_key",
+]

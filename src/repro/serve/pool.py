@@ -1,0 +1,257 @@
+"""Sharded detector pool: many independent streams, one fitted model.
+
+:class:`DetectorPool` runs one :class:`~repro.online.detector.OnlineSession`
+per shard of the incoming stream (see :mod:`repro.serve.sharding` for the
+partition keys).  Two entry points:
+
+- :meth:`DetectorPool.process` — daemon mode: route one event to its shard's
+  persistent session and return the warnings it raised.
+- :meth:`DetectorPool.replay` — throughput mode: partition a whole classified
+  store, replay every shard through the batched columnar path
+  (:meth:`~repro.online.detector.OnlineSession.process_store`), and return a
+  :class:`PoolReport` with per-shard and combined statistics.
+
+Replay optionally fans shards out across processes
+(``jobs > 1`` or ``REPRO_JOBS``), reusing the evaluation engine's
+worker-shipping pattern: the fitted meta-learner travels once per worker via
+the pool initializer, shard sub-stores travel once per task, and results come
+back in shard order — serial and parallel replays are bit-for-bit identical.
+
+Observability (parent process): a ``serve.replay`` span,
+``serve.shard_events`` counter, ``serve.feed_seconds`` per-shard histogram,
+``serve.pending_warnings`` per-shard histogram and a ``serve.events_per_sec``
+gauge.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Optional
+
+import numpy as np
+
+from repro.evaluation.engine import resolve_jobs
+from repro.meta.stacked import MetaLearner
+from repro.obs import get_registry
+from repro.online.detector import OnlineSession
+from repro.online.resolution import SessionStats
+from repro.predictors.base import FailureWarning
+from repro.ras.events import RasEvent
+from repro.ras.store import EventStore
+from repro.serve.sharding import SHARD_KEYS, midplane_of, shard_ids, shard_of_key
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """Replay result of one shard (its events, in stream order)."""
+
+    shard: int
+    events: int
+    seconds: float
+    stats: SessionStats
+    warnings: list[FailureWarning]
+
+
+@dataclass(frozen=True)
+class PoolReport:
+    """Aggregate replay result across every shard of a store."""
+
+    key: str
+    shards: list[ShardReport]
+    seconds: float
+    combined: SessionStats = field(init=False)
+
+    def __post_init__(self) -> None:
+        combined = SessionStats()
+        for shard in self.shards:
+            combined.merge(shard.stats)
+        object.__setattr__(self, "combined", combined)
+
+    @property
+    def events(self) -> int:
+        return sum(s.events for s in self.shards)
+
+    @property
+    def warnings_total(self) -> int:
+        return sum(len(s.warnings) for s in self.shards)
+
+    @property
+    def events_per_sec(self) -> float:
+        if self.seconds <= 0.0:
+            return float("inf") if self.events else 0.0
+        return self.events / self.seconds
+
+
+def _replay_shard(
+    meta: MetaLearner, shard: int, store: EventStore, finalize: bool
+) -> ShardReport:
+    """Replay one shard's sub-store on a fresh session (both backends)."""
+    t0 = perf_counter()
+    session = OnlineSession(meta)
+    warnings = session.process_store(store)
+    stats = session.finish() if finalize else session.stats
+    return ShardReport(
+        shard=shard,
+        events=len(store),
+        seconds=perf_counter() - t0,
+        stats=stats,
+        warnings=warnings,
+    )
+
+
+# Per-worker global, installed once by the pool initializer so the fitted
+# meta-learner is not re-pickled for every shard task.
+_WORKER_META: Optional[MetaLearner] = None
+
+
+def _init_worker(meta: MetaLearner) -> None:
+    global _WORKER_META
+    _WORKER_META = meta
+
+
+def _replay_in_worker(task: tuple[int, EventStore, bool]) -> ShardReport:
+    assert _WORKER_META is not None, "worker initializer did not run"
+    shard, store, finalize = task
+    return _replay_shard(_WORKER_META, shard, store, finalize)
+
+
+class DetectorPool:
+    """A fixed set of detector shards fed from one fitted meta-learner.
+
+    Each shard owns an independent :class:`OnlineSession` (its own dispatch
+    state machine and warning resolver); events are routed by ``key``
+    (``"midplane"`` or ``"job"``).  Sharding deliberately changes the stream
+    a detector sees — that is the deployment model, one detector per
+    midplane/job partition, not an approximation of the unsharded stream.
+    With ``shards=1`` the pool degenerates to a single plain session and its
+    output is bit-identical to :class:`OnlineSession` (tested).
+    """
+
+    def __init__(self, meta: MetaLearner, shards: int = 4, key: str = "midplane"):
+        if key not in SHARD_KEYS:
+            raise ValueError(f"unknown shard key {key!r}; choose from {SHARD_KEYS}")
+        check_positive(shards, "shards")
+        if not meta.is_fitted:
+            raise ValueError("MetaLearner must be fitted before serving")
+        self.meta = meta
+        self.shards = int(shards)
+        self.key = key
+        self._sessions: dict[int, OnlineSession] = {}
+
+    # ---------------------------------------------------------------- #
+    # Daemon mode (event-at-a-time)
+    # ---------------------------------------------------------------- #
+
+    def shard_of(self, event: RasEvent) -> int:
+        """The shard this event routes to (consistent with :func:`shard_ids`)."""
+        if self.key == "job":
+            return int(event.job_id % self.shards)
+        return shard_of_key(midplane_of(event.location), self.shards)
+
+    def session(self, shard: int) -> OnlineSession:
+        """The shard's persistent session (created lazily)."""
+        if not 0 <= shard < self.shards:
+            raise ValueError(f"shard must be in [0, {self.shards}), got {shard}")
+        existing = self._sessions.get(shard)
+        if existing is None:
+            existing = self._sessions[shard] = OnlineSession(self.meta)
+        return existing
+
+    def process(self, event: RasEvent) -> list[FailureWarning]:
+        """Route one event to its shard and process it there."""
+        return self.session(self.shard_of(event)).process(event)
+
+    def combined_stats(self) -> SessionStats:
+        """Merged counters across the persistent shard sessions."""
+        combined = SessionStats()
+        for shard in sorted(self._sessions):
+            combined.merge(self._sessions[shard].stats)
+        return combined
+
+    def finish(self) -> SessionStats:
+        """Finalize every persistent session; returns merged counters."""
+        combined = SessionStats()
+        for shard in sorted(self._sessions):
+            combined.merge(self._sessions[shard].finish())
+        return combined
+
+    # ---------------------------------------------------------------- #
+    # Replay mode (whole classified store, batched)
+    # ---------------------------------------------------------------- #
+
+    def partition(self, store: EventStore) -> list[tuple[int, EventStore]]:
+        """Non-empty ``(shard, sub-store)`` pairs, ascending by shard.
+
+        Each sub-store preserves stream order within its shard; intern
+        tables are shared with the parent store (``select`` semantics).
+        """
+        assignment = shard_ids(store, self.key, self.shards)
+        parts = []
+        for shard in range(self.shards):
+            idx = np.flatnonzero(assignment == shard)
+            if len(idx):
+                parts.append((shard, store.select(idx)))
+        return parts
+
+    def replay(
+        self,
+        store: EventStore,
+        *,
+        jobs: Optional[int] = None,
+        finalize: bool = True,
+    ) -> PoolReport:
+        """Partition and replay a whole classified store; returns the report.
+
+        Replay uses fresh sessions (one per non-empty shard) so it never
+        perturbs the persistent daemon-mode sessions.  ``finalize=True``
+        resolves warnings still pending at end of stream (end-of-shift
+        accounting); ``jobs`` follows the evaluation engine's convention
+        (``None`` -> ``REPRO_JOBS`` -> serial).
+        """
+        jobs = resolve_jobs(jobs)
+        parts = self.partition(store)
+        obs = get_registry()
+        backend = "process" if (jobs > 1 and len(parts) > 1) else "serial"
+        t0 = perf_counter()
+        with obs.span(
+            "serve.replay", backend=backend, key=self.key, shards=str(self.shards)
+        ):
+            if backend == "serial":
+                reports = [
+                    _replay_shard(self.meta, shard, part, finalize)
+                    for shard, part in parts
+                ]
+            else:
+                workers = min(jobs, len(parts))
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_init_worker,
+                    initargs=(self.meta,),
+                ) as pool:
+                    reports = list(
+                        pool.map(
+                            _replay_in_worker,
+                            [(shard, part, finalize) for shard, part in parts],
+                        )
+                    )
+        report = PoolReport(key=self.key, shards=reports, seconds=perf_counter() - t0)
+        for shard_report in reports:
+            obs.counter(
+                "serve.shard_events",
+                shard_report.events,
+                shard=str(shard_report.shard),
+            )
+            obs.observe("serve.feed_seconds", shard_report.seconds)
+            obs.observe(
+                "serve.pending_warnings",
+                float(
+                    shard_report.stats.warnings
+                    - shard_report.stats.hits
+                    - shard_report.stats.false_alarms
+                ),
+            )
+        obs.gauge("serve.events_per_sec", report.events_per_sec)
+        return report

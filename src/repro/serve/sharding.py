@@ -1,0 +1,64 @@
+"""Stream partitioning for the detector pool.
+
+A Blue Gene/L installation is not one event stream: midplanes fail (and are
+serviced) independently, and jobs land on disjoint partitions.  The serving
+engine therefore shards the incoming stream by a *key* and runs one detector
+per shard.  Shard assignment must be
+
+- **deterministic** — the same event always lands on the same shard, across
+  processes and replay orders (no ``hash()``, which is salted per process);
+- **vectorizable** — whole stores are partitioned in one pass over the
+  (small) intern tables, never per row.
+
+``crc32`` of the key string satisfies both; job ids shard by value directly.
+"""
+
+from __future__ import annotations
+
+from zlib import crc32
+
+import numpy as np
+
+from repro.ras.store import EventStore
+from repro.util.validation import check_positive
+
+#: Supported shard keys.
+SHARD_KEYS = ("midplane", "job")
+
+
+def midplane_of(location: str) -> str:
+    """The midplane prefix of a location code (``R00-M1-N03-C02`` -> ``R00-M1``).
+
+    Locations above midplane granularity (a bare rack, a service card path,
+    or free-form text) shard by their full string — stable, just coarser.
+    """
+    parts = location.split("-", 2)
+    if len(parts) >= 2 and parts[1][:1] == "M":
+        return parts[0] + "-" + parts[1]
+    return location
+
+
+def shard_of_key(key: str, shards: int) -> int:
+    """Deterministic shard of one key string (process-stable, unsalted)."""
+    return crc32(key.encode("utf-8")) % shards
+
+
+def shard_ids(store: EventStore, key: str, shards: int) -> np.ndarray:
+    """Per-row shard assignment for a whole store, vectorized.
+
+    ``key="midplane"`` maps each interned location to its midplane and
+    shards by ``crc32``; ``key="job"`` shards by job id.  Work is
+    O(intern-table size + n) — the per-row step is one fancy-indexing or
+    modulo operation.
+    """
+    check_positive(shards, "shards")
+    if key == "job":
+        return (store.jobs % shards).astype(np.int64)
+    if key == "midplane":
+        table = np.array(
+            [shard_of_key(midplane_of(loc), shards) for loc in store.location_table]
+            or [0],
+            dtype=np.int64,
+        )
+        return table[store.location_ids]
+    raise ValueError(f"unknown shard key {key!r}; choose from {SHARD_KEYS}")

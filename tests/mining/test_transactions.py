@@ -129,3 +129,36 @@ def test_paper_no_precursor_range(anl_events):
     """The ANL profile plants a substantial no-precursor fraction."""
     db = build_event_sets(anl_events, rule_window=15 * 60)
     assert 0.1 < db.no_precursor_fraction() < 0.7
+
+
+def _tiled_reference(events, window):
+    """The pre-vectorization per-window loop, kept as the oracle."""
+    import numpy as np
+
+    t0 = int(events.times[0])
+    t1 = int(events.times[-1]) + 1
+    edges = np.arange(t0, t1 + window, window)
+    starts = np.searchsorted(events.times, edges[:-1], "left")
+    ends = np.searchsorted(events.times, edges[1:], "left")
+    fatal_mask = events.fatal_mask()
+    bodies, heads = [], []
+    for s, e in zip(starts, ends):
+        if s == e:
+            continue
+        sl = slice(int(s), int(e))
+        cats = events.subcat_ids[sl]
+        fm = fatal_mask[sl]
+        bodies.append(frozenset(int(x) for x in np.unique(cats[~fm])))
+        heads.append(frozenset(int(x) for x in np.unique(cats[fm])))
+    return bodies, heads
+
+
+@pytest.mark.parametrize("window", [60.0, 300.0, 337.5, 3600.0])
+def test_tiled_windows_match_per_window_reference(anl_events, window):
+    """The np.unique segment construction is bit-identical to the loop,
+    including non-integer window widths (float edge arithmetic)."""
+    db = build_tiled_windows(anl_events, window)
+    ref_bodies, ref_heads = _tiled_reference(anl_events, window)
+    assert db.bodies == ref_bodies
+    assert db.heads == ref_heads
+    assert all(isinstance(next(iter(b), 0), int) for b in db.bodies)

@@ -453,6 +453,97 @@ def test_rl007_waives_the_legacy_shim_module():
     assert [d.code for d in lint(source)] == ["RL007"]
 
 
+# ---------------------------------------------------------------- RL008
+
+ONLINE_PATH = "src/repro/online/detector.py"
+
+
+def test_rl008_flags_deque_rebuild_in_per_event_method():
+    diags = lint(
+        """\
+        from collections import deque
+
+        class Session:
+            def _expire(self, now):
+                self._pending = deque(
+                    w for w in self._pending if w.horizon_end >= now
+                )
+        """,
+        path=ONLINE_PATH,
+    )
+    assert codes_and_lines(diags) == [("RL008", 5)]
+    assert "_expire" in diags[0].message
+
+
+def test_rl008_flags_list_copy_and_aliased_deque():
+    diags = lint(
+        """\
+        import collections as c
+
+        class Session:
+            def process(self, event):
+                self._pending = list(self._pending)
+                self._live = c.deque(self._live)
+        """,
+        path="src/repro/serve/pool.py",
+    )
+    assert codes_and_lines(diags) == [("RL008", 5), ("RL008", 6)]
+    assert "list(...)" in diags[0].message
+    assert "deque(...)" in diags[1].message
+
+
+def test_rl008_accepts_batch_methods_and_empty_list():
+    assert (
+        lint(
+            """\
+            from collections import deque
+
+            class Session:
+                def __init__(self):
+                    self._pending = deque()
+
+                def process_store(self, store):
+                    times = list(store.times)
+                    return deque(times)
+
+                def process(self, event):
+                    out = list()
+                    out.append(event)
+                    return out
+            """,
+            path=ONLINE_PATH,
+        )
+        == []
+    )
+
+
+def test_rl008_scoped_to_online_and_serve_packages():
+    source = """\
+        from collections import deque
+
+        class Thing:
+            def process(self, event):
+                self._items = deque(self._items)
+        """
+    assert [d.code for d in lint(source, path=ONLINE_PATH)] == ["RL008"]
+    assert lint(source, path="src/repro/mining/rules.py") == []
+    assert lint(source, path="tests/online/test_x.py") == []
+
+
+def test_rl008_waivable_with_justification():
+    diags = lint(
+        """\
+        from collections import deque
+
+        class Session:
+            def process(self, event):
+                self._pending = deque(self._pending)  # repro-lint: disable=RL008
+        """,
+        path=ONLINE_PATH,
+    )
+    assert diags == []
+
+
 # ------------------------------------------------------- engine/waivers
 
 

@@ -12,4 +12,5 @@ from tools.repro_lint.rules import (  # noqa: F401
     rl005_fraction_validation,
     rl006_no_direct_output,
     rl007_factory_closure,
+    rl008_per_event_rebuild,
 )
