@@ -1,0 +1,219 @@
+"""Lifecycle engine: hot-swap latency and drift-triggered precision recovery.
+
+Two measurements, each with a built-in correctness gate (the managed loop
+must behave — fire on drift, stay silent when stationary, keep resolution
+counters consistent — before its numbers mean anything):
+
+- **Hot-swap latency** — ``DetectorPool.swap_model`` on a warmed pool with
+  live sessions and pending warnings, alternating between two fitted
+  models.  Reported as p50/p99 from the ``serve.swap_seconds`` histogram;
+  the gate checks every swap touched all live sessions and the resolution
+  counters stayed monotone (no warning lost at the barrier — the
+  element-for-element equivalence itself is proven in
+  ``tests/lifecycle/test_swap.py``).
+- **Drift-triggered precision recovery** — a serving model fitted on a
+  *stale* epoch (the training slice with its top-16 subcategories removed,
+  i.e. the distribution the stream has since drifted away from) serves the
+  live continuation.  A frozen deployment keeps the stale model; the
+  managed deployment (``LifecycleManager``) detects the reference/live
+  mismatch via bucketed PSI, retrains on the sliding window and hot-swaps.
+  Gates: drift fires on the stale scenario, a stationary control (fresh
+  model, matching reference) never retrains, and the managed run beats the
+  frozen baseline on both precision and recall.  A model fitted directly
+  on the live stream's own epoch is reported as the ceiling.
+
+The drift threshold here is 0.1 — the classic PSI "investigate" level —
+rather than the monitor's 0.25 default: with top-10 bucketing the
+stationary noise floor at this window size measures ~0.02, so 0.1 keeps a
+5x margin while catching the one-sided shift (new labels appearing fold
+into the ``__other__`` bucket, which moves PSI less than reference labels
+vanishing does).  Everything is seeded; reruns are bit-identical.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.core.pipeline import ThreePhasePredictor
+from repro.evaluation.spec import PredictorSpec
+from repro.lifecycle import (
+    DriftMonitor,
+    LifecycleManager,
+    ModelRegistry,
+    RetrainPolicy,
+    Retrainer,
+    subcategory_counts,
+)
+from repro.obs import get_registry, summarize_histogram
+from repro.serve import DetectorPool
+
+#: Swap-latency sampling: alternating swaps on a warmed pool.
+SWAP_ROUNDS = 60
+
+#: Drift scenario: events per monitor window / swap-barrier chunk.
+DRIFT_WINDOW = 512
+#: PSI "investigate" threshold (see module docstring).
+DRIFT_THRESHOLD = 0.1
+#: Reference labels removed to build the stale training epoch.
+STALE_DROP_TOP = 16
+
+
+def _split(events, frac: float):
+    cut = int(len(events) * frac)
+    return events.select(slice(0, cut)), events.select(slice(cut, len(events)))
+
+
+def _drop_top_labels(store, k: int):
+    """The store minus its ``k`` most common subcategories (a stale epoch)."""
+    counts = subcategory_counts(store)
+    top = {
+        name
+        for name, _ in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+    }
+    table = store.subcat_table
+    keep = np.array([table[i] not in top for i in store.subcat_ids.tolist()])
+    return store.select(np.flatnonzero(keep))
+
+
+def _precision(stats) -> float:
+    resolved = stats.hits + stats.false_alarms
+    return stats.hits / resolved if resolved else 0.0
+
+
+def test_hot_swap_latency(anl_bench_events):
+    """swap_model p50/p99 on a pool with live sessions + pending warnings."""
+    events = anl_bench_events
+    train, live = _split(events, 0.5)
+    spec = PredictorSpec.of("meta")
+    model_a = spec.build(seed=None)
+    model_a.fit(train)
+    model_b = spec.build(seed=None)
+    model_b.fit(_drop_top_labels(train, 4))
+
+    pool = DetectorPool(model_a, shards=4)
+    warm = live.select(slice(0, int(len(live) * 0.7)))
+    pool.process_store(warm)
+    sessions = len(pool._sessions)
+    assert sessions > 0, "warm-up traffic created no sessions"
+    # A fitted model dedups warnings against active horizons, so the pending
+    # backlog at a real barrier is small — but it must be non-zero here or
+    # the swap never exercises the pending-warning carry-over path.
+    assert sum(s.pending_count for s in pool._sessions.values()) > 0
+
+    before = pool.combined_stats()
+    for i in range(SWAP_ROUNDS):
+        swapped = pool.swap_model(model_b if i % 2 == 0 else model_a)
+        assert swapped == sessions  # every live session crossed the barrier
+    after = pool.combined_stats()
+    # Barrier safety: swapping resolves nothing by itself — counters only
+    # move when events arrive.
+    assert after.hits == before.hits
+    assert after.false_alarms == before.false_alarms
+    assert after.warnings == before.warnings
+
+    obs = get_registry()
+    s = summarize_histogram(obs.histograms["serve.swap_seconds"])
+    pending = summarize_histogram(obs.histograms["serve.swap_pending_warnings"])
+    report(
+        "hot-swap latency (4 shards, warmed pool)",
+        [
+            ("swaps", SWAP_ROUNDS),
+            ("live sessions", sessions),
+            ("pending warnings at barrier (mean)", f"{pending['mean']:.0f}"),
+            ("swap p50", f"{s['p50'] * 1e3:.3f} ms"),
+            ("swap p99", f"{s['p99'] * 1e3:.3f} ms"),
+            ("swap max", f"{s['max'] * 1e3:.3f} ms"),
+        ],
+    )
+    obs.gauge("lifecycle.bench_swap_p99_ms", s["p99"] * 1e3)
+
+
+def test_drift_triggered_precision_recovery(anl_bench_events, tmp_path):
+    """Managed (drift->retrain->swap) vs frozen stale model on a live epoch."""
+    events = anl_bench_events
+    head, live = _split(events, 0.5)
+    train_stale = _drop_top_labels(head, STALE_DROP_TOP)
+
+    spec = PredictorSpec.of("meta")
+    stale = spec.build(seed=None)
+    stale.fit(train_stale)
+    fresh = spec.build(seed=None)
+    fresh.fit(head)
+
+    def frozen_run(model):
+        pool = DetectorPool(model, shards=4)
+        pool.process_store(live)
+        return pool.finish()
+
+    stale_stats = frozen_run(stale)
+    fresh_stats = frozen_run(fresh)
+
+    registry = ModelRegistry(tmp_path / "registry")
+    base = registry.save(stale, spec=spec)
+    manager = LifecycleManager(
+        DetectorPool(stale, shards=4),
+        DriftMonitor(train_stale, window=DRIFT_WINDOW, threshold=DRIFT_THRESHOLD),
+        RetrainPolicy(on_drift=True, cooldown_events=2 * DRIFT_WINDOW),
+        Retrainer(
+            spec, registry, window_events=2 * DRIFT_WINDOW, seed=3,
+            cache_dir=tmp_path / "cache",
+        ),
+        serving_snapshot=base.snapshot_id,
+    )
+    t0 = perf_counter()
+    managed = manager.run(live, chunk_events=DRIFT_WINDOW)
+    managed_seconds = perf_counter() - t0
+    assert managed.stats is not None
+
+    # Stationary control: a fresh model with a matching reference must
+    # never fire — otherwise "drift detected" is just noise.
+    control_registry = ModelRegistry(tmp_path / "control")
+    control_base = control_registry.save(fresh, spec=spec)
+    control = LifecycleManager(
+        DetectorPool(fresh, shards=4),
+        DriftMonitor(head, window=DRIFT_WINDOW, threshold=DRIFT_THRESHOLD),
+        RetrainPolicy(on_drift=True, cooldown_events=2 * DRIFT_WINDOW),
+        Retrainer(
+            spec, control_registry, window_events=2 * DRIFT_WINDOW, seed=3,
+            cache_dir=tmp_path / "control-cache",
+        ),
+        serving_snapshot=control_base.snapshot_id,
+    ).run(live, chunk_events=DRIFT_WINDOW)
+
+    assert managed.retrains >= 1, "drift never fired on the stale scenario"
+    assert all(swap.reason == "drift" for swap in managed.swaps)
+    assert control.retrains == 0, "stationary control retrained (noise)"
+
+    stale_p, managed_p = _precision(stale_stats), _precision(managed.stats)
+    assert managed_p > stale_p, (
+        f"managed precision {managed_p:.4f} did not beat frozen "
+        f"{stale_p:.4f}"
+    )
+    assert managed.stats.recall_so_far >= stale_stats.recall_so_far
+
+    report(
+        "drift-triggered precision recovery (stale epoch -> live stream)",
+        [
+            ("live events", len(live)),
+            ("frozen stale precision / recall",
+             f"{stale_p:.4f} / {stale_stats.recall_so_far:.4f}"),
+            ("managed precision / recall",
+             f"{managed_p:.4f} / {managed.stats.recall_so_far:.4f}"),
+            ("fresh-fit ceiling precision / recall",
+             f"{_precision(fresh_stats):.4f} / "
+             f"{fresh_stats.recall_so_far:.4f}"),
+            ("retrains (managed / control)",
+             f"{managed.retrains} / {control.retrains}"),
+            ("swaps", ", ".join(
+                f"{s.reason}@{s.at_event} psi={s.drift_score:.3f}"
+                for s in managed.swaps
+            )),
+            ("managed run time", f"{managed_seconds:.2f} s"),
+        ],
+    )
+    obs = get_registry()
+    obs.gauge("lifecycle.bench_precision_frozen", stale_p)
+    obs.gauge("lifecycle.bench_precision_managed", managed_p)

@@ -141,7 +141,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="replay a log through the sharded serving engine (throughput mode)",
     )
     v.add_argument("log", help="raw log file to replay")
-    v.add_argument("--model", "-m", required=True, help="model JSON to load")
+    v.add_argument(
+        "--model", "-m", default=None,
+        help="model JSON to load (or use --registry)",
+    )
     v.add_argument(
         "--shards", type=int, default=4,
         help="detector shards in the pool (default 4)",
@@ -155,6 +158,67 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for shard replay "
              "(default: $REPRO_JOBS, else serial)",
     )
+    v.add_argument(
+        "--registry", default=None, metavar="DIR",
+        help="model registry directory; serves --model-ref instead of "
+             "--model and receives retrained snapshots",
+    )
+    v.add_argument(
+        "--model-ref", default="latest", metavar="REF",
+        help="registry ref to serve: tag, snapshot id, or id prefix "
+             "(default latest)",
+    )
+    v.add_argument(
+        "--retrain-every", type=int, default=None, metavar="N",
+        help="lifecycle mode: refit the model every N events "
+             "(requires --registry)",
+    )
+    v.add_argument(
+        "--drift-threshold", type=float, default=None, metavar="PSI",
+        help="lifecycle mode: refit when the windowed subcategory PSI "
+             "reaches this level (requires --registry; see docs/lifecycle.md)",
+    )
+    v.add_argument(
+        "--drift-window", type=int, default=1024, metavar="N",
+        help="drift monitor's live window in events; the stream's first "
+             "window also seeds the reference histogram (default 1024)",
+    )
+    v.add_argument(
+        "--retrain-window", type=int, default=50_000, metavar="N",
+        help="sliding training window for refits, in events (default 50000)",
+    )
+    v.add_argument(
+        "--chunk", type=int, default=2048, metavar="N",
+        help="lifecycle serving chunk — the hot-swap barrier granularity "
+             "(default 2048)",
+    )
+
+    mo = sub.add_parser(
+        "model", help="manage the versioned model registry (save/load/list)"
+    )
+    mo_sub = mo.add_subparsers(dest="model_command", required=True)
+    ms = mo_sub.add_parser(
+        "save", help="register a model JSON file as a snapshot"
+    )
+    ms.add_argument("model_json", help="model JSON written by 'train'")
+    ms.add_argument("--registry", required=True, metavar="DIR")
+    ms.add_argument(
+        "--tag", action="append", default=[], metavar="NAME",
+        help="named ref(s) to point at the snapshot (repeatable)",
+    )
+    ms.add_argument("--note", default="", help="free-form provenance note")
+    ms.add_argument(
+        "--parent", default=None, metavar="REF",
+        help="lineage parent (tag, id, or prefix)",
+    )
+    ml = mo_sub.add_parser(
+        "load", help="export a registry snapshot back to a model JSON file"
+    )
+    ml.add_argument("ref", help="tag, snapshot id, or unique id prefix")
+    ml.add_argument("--registry", required=True, metavar="DIR")
+    ml.add_argument("--output", "-o", required=True, help="model JSON to write")
+    mls = mo_sub.add_parser("list", help="list snapshots, tags and lineage")
+    mls.add_argument("--registry", required=True, metavar="DIR")
 
     r = sub.add_parser(
         "report", help="full study report: CDF, rules, sweeps, comparison"
@@ -308,6 +372,22 @@ def _print_metrics_section() -> None:
     cache_misses = registry.counters.get("engine.cache_misses", 0)
     if hits or cache_misses:
         lines.append(f"  artifact cache: {hits:g} hits / {cache_misses:g} misses")
+    drift = registry.gauges.get("lifecycle.drift_score")
+    if drift is not None:
+        lines.append(f"  drift score (PSI): {drift:.4f}")
+    precision = registry.gauges.get("lifecycle.live_precision")
+    if precision is not None:
+        lines.append(f"  live precision (window): {precision:.2f}")
+    retrains = registry.counters.get("lifecycle.retrains")
+    if retrains:
+        lines.append(f"  retrains: {retrains:g}")
+    swap_samples = registry.histograms.get("serve.swap_seconds")
+    if swap_samples:
+        s = summarize_histogram(swap_samples)
+        lines.append(
+            f"  hot swaps: {len(swap_samples)} "
+            f"(mean={s['mean'] * 1000:.2f}ms max={s['max'] * 1000:.2f}ms)"
+        )
     if lines:
         print("metrics:")
         print("\n".join(lines))
@@ -409,13 +489,50 @@ def cmd_watch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fail(message: str) -> int:
+    """Print a one-line operator-facing error (no traceback); exit code 2."""
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
 def cmd_serve_replay(args: argparse.Namespace) -> int:
+    from repro.lifecycle import ModelRegistry, RegistryError
     from repro.serve import DetectorPool
 
-    model = load_model(args.model)
-    meta = model.meta if isinstance(model, ThreePhasePredictor) else model
+    lifecycle_mode = (
+        args.retrain_every is not None or args.drift_threshold is not None
+    )
+    if args.model is None and args.registry is None:
+        return _fail("provide a model: --model FILE or --registry DIR")
+    if lifecycle_mode and args.registry is None:
+        return _fail(
+            "--retrain-every/--drift-threshold need --registry "
+            "(retrained snapshots must be registered somewhere)"
+        )
+
+    model_registry = None
+    snapshot = None
+    try:
+        if args.registry is not None:
+            model_registry = ModelRegistry(args.registry)
+            snapshot = model_registry.get(args.model_ref)
+            meta = model_registry.load_meta(args.model_ref)
+        else:
+            model = load_model(args.model)
+            meta = model.meta if isinstance(model, ThreePhasePredictor) else model
+    except (RegistryError, FileNotFoundError) as exc:
+        return _fail(str(exc))
+
     _, result = _load_events(args.log)
+    if len(result.events) == 0:
+        return _fail(
+            f"no events parsed from {args.log}; nothing to replay "
+            "(is the file empty or in an unrecognized dialect?)"
+        )
     pool = DetectorPool(meta, shards=args.shards, key=args.key)
+    if lifecycle_mode:
+        assert model_registry is not None and snapshot is not None
+        return _serve_lifecycle(args, pool, model_registry, snapshot, result.events)
     report = pool.replay(result.events, jobs=args.jobs)
     print(
         f"serve-replay: {report.events} events through {len(report.shards)} "
@@ -447,6 +564,121 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
                 f"metrics:\n  per-shard feed time: mean={s['mean']:.3f}s "
                 f"p90={s['p90']:.3f}s max={s['max']:.3f}s"
             )
+    return 0
+
+
+def _serve_lifecycle(args, pool, model_registry, snapshot, events) -> int:
+    """serve-replay's managed mode: drift-monitored, hot-swap retraining."""
+    from repro.lifecycle import (
+        DriftMonitor,
+        LifecycleManager,
+        Retrainer,
+        RetrainPolicy,
+    )
+
+    # The stream's own head seeds the reference histogram: the monitor
+    # compares "recently" against "when serving started", which is what an
+    # operator without the original training store can actually deploy.
+    head = min(max(args.drift_window, 1), len(events))
+    monitor = DriftMonitor(
+        events.select(slice(0, head)),
+        window=args.drift_window,
+        threshold=args.drift_threshold if args.drift_threshold else 0.25,
+    )
+    policy = RetrainPolicy(
+        args.retrain_every,
+        on_drift=args.drift_threshold is not None,
+        cooldown_events=max(args.chunk, 1024),
+    )
+    spec = snapshot.spec if snapshot.spec is not None else PredictorSpec.meta()
+    retrainer = Retrainer(
+        spec,
+        model_registry,
+        window_events=args.retrain_window,
+        jobs=args.jobs,
+        seed=0,
+    )
+    manager = LifecycleManager(
+        pool, monitor, policy, retrainer,
+        serving_snapshot=snapshot.snapshot_id,
+    )
+    report = manager.run(events, chunk_events=args.chunk)
+    stats = report.stats
+    assert stats is not None
+    print(
+        f"serve-replay (lifecycle): {report.events} events in "
+        f"{args.chunk}-event chunks, {report.warnings} warnings, "
+        f"{report.retrains} retrain(s)"
+    )
+    for swap in report.swaps:
+        print(
+            f"  swap @event {swap.at_event}: {swap.reason} -> "
+            f"{swap.snapshot_id[:12]} "
+            f"(psi={swap.drift_score:.3f}, "
+            f"sessions={swap.sessions_swapped})"
+        )
+    print(
+        f"combined: {stats.warnings} warnings / {stats.failures} failures "
+        f"(precision {stats.precision_so_far:.2f}, "
+        f"recall {stats.recall_so_far:.2f})"
+    )
+    print(f"serving snapshot: {manager.serving_snapshot[:12]}")
+    _print_metrics_section()
+    return 0
+
+
+def cmd_model(args: argparse.Namespace) -> int:
+    from repro.core.serialize import SerializationError
+    from repro.lifecycle import ModelRegistry, RegistryError
+
+    model_registry = ModelRegistry(args.registry)
+    try:
+        if args.model_command == "save":
+            predictor = load_model(args.model_json)
+            snap = model_registry.save(
+                predictor,
+                parent=args.parent,
+                note=args.note,
+                tags=tuple(args.tag),
+            )
+            tags = " ".join(args.tag)
+            print(
+                f"registered {snap.snapshot_id[:12]} "
+                f"(kind={snap.kind}, seq={snap.seq}"
+                + (f", tags: {tags})" if tags else ")")
+            )
+        elif args.model_command == "load":
+            model = model_registry.load(args.ref)
+            save_model(model, args.output)
+            print(
+                f"snapshot {model_registry.resolve(args.ref)[:12]} "
+                f"written to {args.output}"
+            )
+        else:  # list
+            snapshots = model_registry.list()
+            by_id: dict[str, list[str]] = {}
+            for name, target in model_registry.tags().items():
+                by_id.setdefault(target, []).append(name)
+            if not snapshots:
+                print("registry is empty")
+                return 0
+            for snap in snapshots:
+                refs = ",".join(sorted(by_id.get(snap.snapshot_id, [])))
+                parent = snap.parent[:12] if snap.parent else "-"
+                trained = (
+                    f"{snap.train_events}ev"
+                    if snap.train_events is not None
+                    else "?"
+                )
+                print(
+                    f"  {snap.snapshot_id[:12]}  seq={snap.seq:<3d} "
+                    f"kind={snap.kind:<12s} parent={parent:<12s} "
+                    f"train={trained:<9s} "
+                    + (f"[{refs}]" if refs else "")
+                    + (f" {snap.note}" if snap.note else "")
+                )
+    except (RegistryError, SerializationError, FileNotFoundError) as exc:
+        return _fail(str(exc))
     return 0
 
 
@@ -552,6 +784,7 @@ _COMMANDS = {
     "train": cmd_train,
     "watch": cmd_watch,
     "serve-replay": cmd_serve_replay,
+    "model": cmd_model,
     "report": cmd_report,
     "export": cmd_export,
 }

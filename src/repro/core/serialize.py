@@ -429,17 +429,43 @@ def apply_learned_state(predictor: Predictor, doc: dict) -> Predictor:
 # ---------------------------------------------------------------------- #
 
 
+def model_to_dict(
+    predictor: Union[ThreePhasePredictor, MetaLearner, Predictor],
+) -> dict:
+    """The versioned full-model document (what :func:`save_model` writes).
+
+    The in-memory form backs both file persistence and the lifecycle model
+    registry (:mod:`repro.lifecycle`), whose snapshot ids are content hashes
+    of exactly this document.
+    """
+    codec = codec_for(predictor)
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": codec.kind,
+        **codec.encode(predictor),
+    }
+
+
+def model_from_dict(
+    doc: dict,
+) -> Union[ThreePhasePredictor, MetaLearner, Predictor]:
+    """Decode a :func:`model_to_dict` document into a fitted predictor."""
+    if not isinstance(doc, dict):
+        raise SerializationError("model document root is not an object")
+    version = doc.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported model format version: {version!r}"
+        )
+    return codec_for_kind(doc.get("kind")).decode(doc)
+
+
 def save_model(
     predictor: Union[ThreePhasePredictor, MetaLearner, Predictor],
     target: Union[str, Path, TextIO],
 ) -> None:
     """Serialize a fitted predictor to JSON (codec-registry dispatch)."""
-    codec = codec_for(predictor)
-    doc = {
-        "format_version": FORMAT_VERSION,
-        "kind": codec.kind,
-        **codec.encode(predictor),
-    }
+    doc = model_to_dict(predictor)
     if isinstance(target, (str, Path)):
         with open(target, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=1)
@@ -456,9 +482,4 @@ def load_model(
             doc = json.load(fh)
     else:
         doc = json.load(source)
-    version = doc.get("format_version")
-    if version != FORMAT_VERSION:
-        raise SerializationError(
-            f"unsupported model format version: {version!r}"
-        )
-    return codec_for_kind(doc.get("kind")).decode(doc)
+    return model_from_dict(doc)

@@ -203,6 +203,27 @@ class PredictorSpec:
         """Spec for the end-to-end three-phase predictor."""
         return cls.of("three-phase", **params)
 
+    @classmethod
+    def from_dict(cls, doc: dict) -> "PredictorSpec":
+        """Rebuild a spec from its :meth:`as_manifest` document.
+
+        The round-trip partner the lifecycle model registry uses: a snapshot
+        manifest carries ``{"kind": ..., "params": {...}}`` and this restores
+        a spec with the identical ``token()``/``fit_token()``.
+        """
+        try:
+            kind = doc["kind"]
+            params = doc.get("params", {})
+        except (KeyError, TypeError) as exc:
+            raise SpecError(f"malformed spec document: {exc}") from exc
+        if not isinstance(params, dict):
+            raise SpecError("spec document 'params' is not an object")
+        return cls.of(str(kind), **params)
+
+    def as_manifest(self) -> dict:
+        """JSON-ready ``{"kind", "params"}`` document (registry manifests)."""
+        return {"kind": self.kind, "params": self.as_dict()}
+
     # -- access / derivation -------------------------------------------- #
 
     def as_dict(self) -> dict[str, ParamValue]:

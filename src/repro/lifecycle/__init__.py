@@ -1,0 +1,55 @@
+"""Model lifecycle: versioned registry, drift detection, hot-swap retraining.
+
+The subsystem closes the loop the serving engine left open: a deployed
+failure predictor ages as the workload shifts, and this package notices
+(:mod:`repro.lifecycle.drift`), refits (:mod:`repro.lifecycle.retrain`),
+versions (:mod:`repro.lifecycle.registry`) and swaps the replacement into
+the live pool without dropping pending warnings
+(:meth:`repro.serve.DetectorPool.swap_model`,
+:class:`repro.lifecycle.manager.LifecycleManager`).
+
+See ``docs/lifecycle.md`` for the registry layout, the drift math and the
+swap-barrier equivalence argument.
+"""
+
+from repro.lifecycle.drift import (
+    OTHER_LABEL,
+    DriftMonitor,
+    DriftSignal,
+    PrecisionTracker,
+    chi_square_score,
+    psi_score,
+    subcategory_counts,
+)
+from repro.lifecycle.manager import LifecycleManager, LifecycleReport, SwapEvent
+from repro.lifecycle.registry import (
+    ModelRegistry,
+    ModelSnapshot,
+    RegistryError,
+)
+from repro.lifecycle.retrain import (
+    RetrainDecision,
+    Retrainer,
+    RetrainPolicy,
+    fit_spec,
+)
+
+__all__ = [
+    "OTHER_LABEL",
+    "DriftMonitor",
+    "DriftSignal",
+    "LifecycleManager",
+    "LifecycleReport",
+    "ModelRegistry",
+    "ModelSnapshot",
+    "PrecisionTracker",
+    "RegistryError",
+    "RetrainDecision",
+    "RetrainPolicy",
+    "Retrainer",
+    "SwapEvent",
+    "chi_square_score",
+    "fit_spec",
+    "psi_score",
+    "subcategory_counts",
+]

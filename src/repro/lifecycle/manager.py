@@ -1,0 +1,167 @@
+"""The serving-loop orchestrator: monitor, decide, refit, hot-swap.
+
+:class:`LifecycleManager` owns one :class:`~repro.serve.DetectorPool` and
+drives the full loop the subsystem exists for::
+
+    feed chunk -> score drift -> (policy fires?) -> refit on the sliding
+    window -> register snapshot (lineage: parent = serving model) ->
+    pool.swap_model at the chunk barrier -> rebase the drift reference
+
+Chunks are the swap barrier: every event inside a chunk is scored by the
+model that was serving when the chunk arrived, and a swap takes effect
+exactly at the chunk boundary — the same boundary a cold restart would
+happen at, which is what makes the hot-swap equivalence testable.
+
+The manager never touches wall clocks or ambient RNG: retrain seeds come
+from the retrainer's spawned sequences and every decision is a pure
+function of the event stream, so a replay of the same store reproduces the
+same snapshots, swaps and warnings bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.lifecycle.drift import DriftMonitor, DriftSignal
+from repro.lifecycle.retrain import RetrainPolicy, Retrainer
+from repro.obs import get_registry
+from repro.online.resolution import SessionStats
+from repro.predictors.base import FailureWarning
+from repro.ras.store import EventStore
+from repro.serve.pool import DetectorPool
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class SwapEvent:
+    """One completed retrain + hot-swap."""
+
+    at_event: int  # stream position (events fed so far) of the barrier
+    reason: str  # "count" | "drift"
+    snapshot_id: str
+    parent: Optional[str]
+    drift_score: float
+    sessions_swapped: int
+
+
+@dataclass
+class LifecycleReport:
+    """What one managed run did: traffic, swaps, final resolution stats."""
+
+    events: int = 0
+    warnings: int = 0
+    swaps: list[SwapEvent] = field(default_factory=list)
+    signals: list[DriftSignal] = field(default_factory=list)
+    stats: Optional[SessionStats] = None
+
+    @property
+    def retrains(self) -> int:
+        return len(self.swaps)
+
+
+class LifecycleManager:
+    """Continuous-learning wrapper around a serving pool.
+
+    Parameters
+    ----------
+    pool:
+        The serving pool; its persistent sessions are fed via
+        :meth:`~repro.serve.DetectorPool.process_store` and swapped in
+        place.
+    monitor / policy / retrainer:
+        The drift detector, the refit decision and the refit mechanism
+        (see their modules).  The retrainer's registry receives one
+        snapshot per swap, with ``parent`` pointing at the replaced model.
+    serving_snapshot:
+        Registry id of the initially serving model, if it came from the
+        registry — the first retrain's lineage parent.
+    """
+
+    def __init__(
+        self,
+        pool: DetectorPool,
+        monitor: DriftMonitor,
+        policy: RetrainPolicy,
+        retrainer: Retrainer,
+        *,
+        serving_snapshot: Optional[str] = None,
+    ) -> None:
+        self.pool = pool
+        self.monitor = monitor
+        self.policy = policy
+        self.retrainer = retrainer
+        self.serving_snapshot = serving_snapshot
+        self.events_fed = 0
+
+    def feed(self, chunk: EventStore) -> list[FailureWarning]:
+        """Serve one chunk, then run the monitor/retrain/swap step.
+
+        Returns the warnings the chunk raised (grouped by shard).  The
+        swap, if any, lands *after* the chunk — the next chunk is the first
+        traffic the new model sees.
+        """
+        warnings = self.pool.process_store(chunk)
+        self.events_fed += len(chunk)
+        self.monitor.observe_store(chunk)
+        self.retrainer.extend(chunk)
+        self.policy.observe_events(len(chunk))
+        signal = self.monitor.evaluate(self.pool.combined_stats())
+        decision = self.policy.decide(drifted=signal.drifted)
+        if decision:
+            self._retrain_and_swap(decision.reason or "count", signal)
+        return warnings
+
+    def _retrain_and_swap(self, reason: str, signal: DriftSignal) -> SwapEvent:
+        obs = get_registry()
+        with obs.span("lifecycle.swap", reason=reason):
+            snapshot, predictor = self.retrainer.retrain(
+                parent=self.serving_snapshot,
+                note=f"auto-retrain ({reason}) at event {self.events_fed}",
+            )
+            sessions = self.pool.swap_model(predictor)
+        window = self.retrainer.window
+        assert window is not None  # retrain() above would have raised
+        self.monitor.rebase(window)
+        self.policy.mark_retrained()
+        event = SwapEvent(
+            at_event=self.events_fed,
+            reason=reason,
+            snapshot_id=snapshot.snapshot_id,
+            parent=self.serving_snapshot,
+            drift_score=signal.score,
+            sessions_swapped=sessions,
+        )
+        self.serving_snapshot = snapshot.snapshot_id
+        self._last_swap = event
+        return event
+
+    def run(
+        self,
+        store: EventStore,
+        *,
+        chunk_events: int = 4096,
+        finalize: bool = True,
+    ) -> LifecycleReport:
+        """Drive a whole classified store through the managed loop.
+
+        The store is cut into ``chunk_events``-sized chunks (the swap
+        barriers); ``finalize`` resolves warnings still pending at end of
+        stream.
+        """
+        check_positive(chunk_events, "chunk_events")
+        report = LifecycleReport()
+        swaps_before = self.policy.retrains
+        for start in range(0, len(store), int(chunk_events)):
+            chunk = store.select(slice(start, start + int(chunk_events)))
+            warnings = self.feed(chunk)
+            report.events += len(chunk)
+            report.warnings += len(warnings)
+            if self.policy.retrains > swaps_before:
+                swaps_before = self.policy.retrains
+                report.swaps.append(self._last_swap)
+            report.signals.append(self.monitor.evaluate())
+        report.stats = (
+            self.pool.finish() if finalize else self.pool.combined_stats()
+        )
+        return report

@@ -143,6 +143,23 @@ class OnlineSession:
         self.detector = OnlineDetector(meta)
         self.resolver = WarningResolver()
 
+    def swap_model(self, meta: MetaLearner) -> None:
+        """Install a new fitted model at a warning-safe barrier.
+
+        Call *between* events (every per-event/per-batch entry point is
+        atomic, so any inter-event point is a barrier).  The detector is
+        rebuilt from scratch — the new model starts from empty window state,
+        exactly as a cold restart would — while the resolver keeps running,
+        so warnings the old model issued still resolve against the events
+        that follow.  The emitted warning stream is therefore identical,
+        element for element, to stopping this session at the barrier and
+        cold-starting the new model on the remaining stream (tested in
+        ``tests/lifecycle/test_swap.py``).
+        """
+        events_seen = self.detector.events_seen
+        self.detector = OnlineDetector(meta)
+        self.detector.events_seen = events_seen
+
     @property
     def stats(self) -> SessionStats:
         """The resolver's operator-facing counters."""

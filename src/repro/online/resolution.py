@@ -127,6 +127,18 @@ class WarningResolver:
         """Unresolved warnings (horizon not yet fully elapsed)."""
         return len(self._entries)
 
+    def pending_warnings(self) -> list[FailureWarning]:
+        """The unresolved warnings, in issue order (enqueue sequence).
+
+        A diagnostic accessor — the lifecycle hot-swap barrier reports how
+        much old-model work is still in flight at swap time.  O(P) copy;
+        not for per-event use (RL008 applies to callers, not to this
+        snapshot method).
+        """
+        return [
+            self._entries[seq].warning for seq in sorted(self._entries)
+        ]
+
     def advance(self, now: int) -> None:
         """Activate and expire warnings against the clock at ``now``."""
         entries = self._entries

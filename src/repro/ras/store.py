@@ -330,6 +330,27 @@ class EventStore:
         hi = int(np.searchsorted(self.times, end, side="left"))
         return self._derive(np.arange(lo, hi))
 
+    def time_shifted(self, delta: int) -> "EventStore":
+        """A copy with every timestamp shifted by ``delta`` seconds.
+
+        Order is preserved (a constant shift cannot reorder), and intern
+        tables are shared with the parent.  Used to splice regime segments
+        into one continuous stream (e.g. the lifecycle drift benches append
+        a second log after the first one ends).
+        """
+        return EventStore(
+            self.times + np.int64(delta),
+            self.severities,
+            self.facilities,
+            self.jobs,
+            self.location_ids,
+            self.entry_ids,
+            self.subcat_ids,
+            self._locations,
+            self._entries,
+            self._subcats,
+        )
+
     def concat(self, other: "EventStore") -> "EventStore":
         """Merge two stores into a new time-sorted store.
 

@@ -164,6 +164,55 @@ class DetectorPool:
         """Route one event to its shard and process it there."""
         return self.session(self.shard_of(event)).process(event)
 
+    def process_store(self, store: EventStore) -> list[FailureWarning]:
+        """Feed a classified chunk through the *persistent* shard sessions.
+
+        The daemon-mode counterpart of :meth:`replay`: shard state (window
+        machines, pending warnings) carries over across calls, so a stream
+        can be fed chunk by chunk — the lifecycle manager's serving loop.
+        Warnings are returned grouped by shard, ascending (each shard's
+        sub-list is in stream order).
+        """
+        warnings: list[FailureWarning] = []
+        for shard, part in self.partition(store):
+            warnings.extend(self.session(shard).process_store(part))
+        return warnings
+
+    def swap_model(self, model: object) -> int:
+        """Hot-swap every live session onto a new fitted model.
+
+        ``model`` is a fitted :class:`MetaLearner`, anything exposing one as
+        ``.meta`` (e.g. a three-phase predictor or a loaded lifecycle
+        snapshot) — the pool stays decoupled from the registry.  The swap
+        happens at a warning-safe barrier: callers invoke it between events
+        or chunks, each session's detector restarts cold on the new model,
+        and pending old-model warnings keep resolving (see
+        :meth:`~repro.online.detector.OnlineSession.swap_model`).  Returns
+        the number of sessions swapped; later lazily-created sessions pick
+        up the new model automatically.
+        """
+        meta = getattr(model, "meta", model)
+        if not isinstance(meta, MetaLearner):
+            raise TypeError(
+                f"swap_model needs a MetaLearner or an object exposing one "
+                f"as .meta, got {type(model).__name__}"
+            )
+        if not meta.is_fitted:
+            raise ValueError("MetaLearner must be fitted before serving")
+        obs = get_registry()
+        t0 = perf_counter()
+        pending = 0
+        self.meta = meta
+        for shard in sorted(self._sessions):
+            session = self._sessions[shard]
+            pending += session.pending_count
+            session.swap_model(meta)
+        seconds = perf_counter() - t0
+        obs.observe("serve.swap_seconds", seconds)
+        obs.counter("serve.swaps")
+        obs.observe("serve.swap_pending_warnings", float(pending))
+        return len(self._sessions)
+
     def combined_stats(self) -> SessionStats:
         """Merged counters across the persistent shard sessions."""
         combined = SessionStats()

@@ -116,3 +116,60 @@ def test_combine_tokens_is_order_insensitive():
     assert combine_tokens(a=1, b="x") == combine_tokens(b="x", a=1)
     assert combine_tokens(a=1) != combine_tokens(a=2)
     assert combine_tokens(a=1) != combine_tokens(b=1)
+
+
+# ------------------------------------------------------ concurrent prune
+
+
+def _key_for(i: int) -> str:
+    import hashlib
+
+    return hashlib.sha256(f"artifact-{i}".encode()).hexdigest()
+
+
+def _concurrent_writer(root: str, count: int) -> int:
+    cache = ArtifactCache(root)
+    for i in range(count):
+        cache.put(_key_for(i), {"i": i, "pad": "x" * 512})
+    return count
+
+
+def _concurrent_pruner(root: str, rounds: int) -> int:
+    cache = ArtifactCache(root)
+    removed = 0
+    for _ in range(rounds):
+        removed += cache.prune(max_bytes=4096)
+    return removed
+
+
+def test_prune_races_concurrent_writers_safely(tmp_path):
+    """Pruning while another process writes must never corrupt or crash.
+
+    The registry and the retrainer share one cache directory across
+    processes (the lifecycle deployment story), so eviction races real
+    writers: files may vanish between the stat and the unlink, and
+    half-written temp files must never be visible to the pruner.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    root = str(tmp_path / "cache")
+    count, rounds = 200, 50
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        writer = pool.submit(_concurrent_writer, root, count)
+        pruner = pool.submit(_concurrent_pruner, root, rounds)
+        assert writer.result(timeout=120) == count
+        assert pruner.result(timeout=120) >= 0  # no exception is the point
+
+    # Whatever survived is fully readable — no partial/corrupt artifacts.
+    cache = ArtifactCache(root)
+    survivors = 0
+    for i in range(count):
+        doc = cache.get(_key_for(i))
+        assert doc is None or doc["i"] == i
+        survivors += doc is not None
+    assert len(cache) == survivors
+    # The cache still functions after the race.
+    cache.put(KEY_A, {"post": 1})
+    assert cache.get(KEY_A) == {"post": 1}
+    assert cache.prune(0) == survivors + 1  # everything evictable, evicted
+    assert len(cache) == 0

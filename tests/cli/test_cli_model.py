@@ -1,0 +1,143 @@
+"""Tests for the model registry CLI and serve-replay's lifecycle mode."""
+
+import pytest
+
+from repro.cli.main import main
+
+
+@pytest.fixture(scope="module")
+def log_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli_model") / "anl.log"
+    assert main([
+        "generate", "--profile", "ANL", "--scale", "0.02",
+        "--seed", "7", "-o", str(path),
+    ]) == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def model_path(log_path, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli_model_json") / "model.json"
+    assert main(["train", str(log_path), "-m", str(path)]) == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def registry_dir(model_path, tmp_path_factory):
+    reg = tmp_path_factory.mktemp("cli_registry") / "reg"
+    assert main([
+        "model", "save", str(model_path), "--registry", str(reg),
+        "--tag", "prod", "--note", "initial import",
+    ]) == 0
+    return reg
+
+
+# ------------------------------------------------------------ model ...
+
+
+def test_model_save_is_idempotent(model_path, registry_dir, capsys):
+    rc = main(["model", "save", str(model_path), "--registry", str(registry_dir)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "registered" in out and "kind=three-phase" in out
+
+
+def test_model_list_shows_tags_and_note(registry_dir, capsys):
+    assert main(["model", "list", "--registry", str(registry_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "prod" in out and "initial import" in out
+    assert "kind=three-phase" in out
+
+
+def test_model_load_roundtrips(registry_dir, tmp_path, capsys):
+    out_path = tmp_path / "roundtrip.json"
+    assert main([
+        "model", "load", "prod", "--registry", str(registry_dir),
+        "-o", str(out_path),
+    ]) == 0
+    assert out_path.exists()
+    assert "written to" in capsys.readouterr().out
+
+
+def test_model_load_bad_ref_is_clean_error(registry_dir, tmp_path, capsys):
+    rc = main([
+        "model", "load", "nosuchref", "--registry", str(registry_dir),
+        "-o", str(tmp_path / "x.json"),
+    ])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "unknown registry ref" in err
+
+
+def test_model_list_empty_registry(tmp_path, capsys):
+    assert main(["model", "list", "--registry", str(tmp_path / "empty")]) == 0
+    assert "registry is empty" in capsys.readouterr().out
+
+
+# ------------------------------------------- serve-replay x registry
+
+
+def test_serve_replay_from_registry(log_path, registry_dir, capsys):
+    rc = main([
+        "serve-replay", str(log_path), "--registry", str(registry_dir),
+        "--model-ref", "prod", "--shards", "2",
+    ])
+    assert rc == 0
+    assert "events/sec" in capsys.readouterr().out
+
+
+def test_serve_replay_lifecycle_mode_retrains(log_path, registry_dir, capsys):
+    rc = main([
+        "serve-replay", str(log_path), "--registry", str(registry_dir),
+        "--retrain-every", "150", "--chunk", "100",
+        "--drift-window", "100", "--retrain-window", "1000", "--shards", "2",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "lifecycle" in out
+    assert "retrain(s)" in out
+    assert "swap @event" in out  # at least one swap happened
+    assert "serving snapshot:" in out
+
+
+# -------------------------------------------------- error paths (no
+
+# tracebacks: operators get one actionable line on stderr and exit code 2).
+
+
+def test_serve_replay_empty_store_is_clean_error(model_path, tmp_path, capsys):
+    empty = tmp_path / "empty.log"
+    empty.write_text("")
+    rc = main(["serve-replay", str(empty), "-m", str(model_path)])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "no events parsed" in err
+
+
+def test_serve_replay_unresolvable_ref_is_clean_error(
+    log_path, registry_dir, capsys
+):
+    rc = main([
+        "serve-replay", str(log_path), "--registry", str(registry_dir),
+        "--model-ref", "does-not-exist",
+    ])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "unknown registry ref" in err
+
+
+def test_serve_replay_requires_some_model_source(log_path, capsys):
+    rc = main(["serve-replay", str(log_path)])
+    assert rc == 2
+    assert "--model FILE or --registry DIR" in capsys.readouterr().err
+
+
+def test_serve_replay_retrain_flags_require_registry(
+    log_path, model_path, capsys
+):
+    rc = main([
+        "serve-replay", str(log_path), "-m", str(model_path),
+        "--retrain-every", "100",
+    ])
+    assert rc == 2
+    assert "need --registry" in capsys.readouterr().err

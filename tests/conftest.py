@@ -92,3 +92,24 @@ def tiny_store() -> EventStore:
         ),
     ]
     return EventStore.from_events(events)
+
+
+@pytest.fixture(scope="session")
+def fitted_predictors(anl_events) -> dict:
+    """One fitted predictor per registered codec kind, keyed by kind.
+
+    Built from declarative specs so the round-trip property test and the
+    lifecycle registry tests exercise every codec the registry can snapshot
+    — a codec added without a spec kind (or vice versa) fails loudly here.
+    """
+    from repro.core.serialize import registered_kinds
+    from repro.evaluation.spec import PredictorSpec
+
+    cut = int(len(anl_events) * 0.7)
+    train = anl_events.select(slice(0, cut))
+    out = {}
+    for kind in registered_kinds():
+        predictor = PredictorSpec.of(kind).build(seed=123)
+        predictor.fit(train)
+        out[kind] = predictor
+    return out

@@ -1,0 +1,38 @@
+"""Fixtures for the lifecycle suite: fitted models and a split live stream."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.meta.stacked import MetaLearner
+from repro.util.timeutil import MINUTE
+
+
+@pytest.fixture(scope="module")
+def two_models(anl_events):
+    """Two differently-fitted meta-learners plus the held-out live stream.
+
+    ``meta_a`` trains on the first half of the events, ``meta_b`` on the
+    30-70% band with a different prediction window; the live stream is the
+    second half.  This split is chosen so that both models emit warnings on
+    the live stream *and* emit different ones — the swap-equivalence tests
+    assert both, guarding against a vacuous pass on empty streams.
+    """
+    n = len(anl_events)
+    meta_a = MetaLearner(
+        prediction_window=30 * MINUTE, rule_window=15 * MINUTE
+    ).fit(anl_events.select(slice(0, int(n * 0.5))))
+    meta_b = MetaLearner(
+        prediction_window=20 * MINUTE, rule_window=15 * MINUTE
+    ).fit(anl_events.select(slice(int(n * 0.3), int(n * 0.7))))
+    live = anl_events.select(slice(int(n * 0.5), n))
+    return meta_a, meta_b, live
+
+
+def warning_key(warnings):
+    """Element-for-element identity of a warning stream."""
+    return [
+        (w.issued_at, w.horizon_start, w.horizon_end, w.confidence,
+         w.source, w.detail)
+        for w in warnings
+    ]

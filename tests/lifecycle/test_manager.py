@@ -1,0 +1,102 @@
+"""Tests for repro.lifecycle.manager (the managed serving loop)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.spec import PredictorSpec
+from repro.lifecycle import (
+    DriftMonitor,
+    LifecycleManager,
+    ModelRegistry,
+    Retrainer,
+    RetrainPolicy,
+)
+from repro.serve import DetectorPool
+
+
+@pytest.fixture
+def managed(two_models, tmp_path):
+    """A manager over the live stream with a count-based retrain policy."""
+    meta_a, _, live = two_models
+    registry = ModelRegistry(tmp_path / "reg")
+    spec = PredictorSpec.of("meta")
+    base = registry.save(meta_a, spec=spec, tags=("base",))
+    pool = DetectorPool(meta_a, shards=2)
+    monitor = DriftMonitor(live.select(slice(0, 64)), window=64)
+    policy = RetrainPolicy(every_events=60, cooldown_events=50)
+    retrainer = Retrainer(spec, registry, window_events=500, seed=11)
+    manager = LifecycleManager(
+        pool, monitor, policy, retrainer, serving_snapshot=base.snapshot_id
+    )
+    return manager, registry, base, live
+
+
+def test_run_retrains_on_count_and_chains_lineage(managed):
+    manager, registry, base, live = managed
+    report = manager.run(live, chunk_events=40)
+    assert report.events == len(live)
+    assert report.retrains >= 2
+    assert report.stats is not None and report.stats.events == len(live)
+    # Every swap is registered, parents chain back to the base snapshot.
+    chain = registry.lineage("latest")
+    assert [s.snapshot_id for s in chain][-1] == base.snapshot_id
+    assert len(chain) == report.retrains + 1
+    assert report.swaps[0].parent == base.snapshot_id
+    assert manager.serving_snapshot == report.swaps[-1].snapshot_id
+    # Swap positions land exactly on chunk barriers.
+    assert all(s.at_event % 40 == 0 for s in report.swaps)
+
+
+def test_run_is_deterministic(two_models, tmp_path):
+    meta_a, _, live = two_models
+    spec = PredictorSpec.of("meta")
+
+    def run(root):
+        registry = ModelRegistry(root)
+        base = registry.save(meta_a, spec=spec)
+        manager = LifecycleManager(
+            DetectorPool(meta_a, shards=2),
+            DriftMonitor(live.select(slice(0, 64)), window=64),
+            RetrainPolicy(every_events=60, cooldown_events=50),
+            Retrainer(spec, registry, window_events=500, seed=11),
+            serving_snapshot=base.snapshot_id,
+        )
+        report = manager.run(live, chunk_events=40)
+        return (
+            report.warnings,
+            [s.snapshot_id for s in report.swaps],
+            [round(sig.score, 12) for sig in report.signals],
+        )
+
+    assert run(tmp_path / "a") == run(tmp_path / "b")
+
+
+def test_no_policy_trigger_means_no_retrain(two_models, tmp_path):
+    meta_a, _, live = two_models
+    registry = ModelRegistry(tmp_path)
+    manager = LifecycleManager(
+        DetectorPool(meta_a, shards=2),
+        DriftMonitor(live.select(slice(0, 64)), window=64),
+        RetrainPolicy(),  # no count trigger, drift disabled
+        Retrainer(PredictorSpec.of("meta"), registry, seed=1),
+    )
+    report = manager.run(live, chunk_events=50)
+    assert report.retrains == 0
+    assert registry.snapshot_ids() == []
+    assert report.warnings > 0  # the pool still served traffic
+
+
+def test_feed_returns_chunk_warnings_and_advances_state(managed):
+    manager, _, _, live = managed
+    chunk = live.select(slice(0, 50))
+    warnings = manager.feed(chunk)
+    assert manager.events_fed == 50
+    assert manager.retrainer.window_size == 50
+    assert isinstance(warnings, list)
+
+
+def test_chunk_events_must_be_positive(managed):
+    manager, _, _, live = managed
+    with pytest.raises(ValueError):
+        manager.run(live, chunk_events=0)

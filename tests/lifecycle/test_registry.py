@@ -1,0 +1,187 @@
+"""Tests for repro.lifecycle.registry (the versioned model store)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cache import store_fingerprint
+from repro.core.pipeline import ThreePhasePredictor
+from repro.core.serialize import model_to_dict, registered_kinds
+from repro.evaluation.spec import PredictorSpec
+from repro.lifecycle import ModelRegistry, RegistryError
+from repro.meta.stacked import MetaLearner
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "reg")
+
+
+# ------------------------------------------------------------- save/load
+
+
+@pytest.mark.parametrize("kind", sorted(registered_kinds()))
+def test_every_codec_kind_snapshots_and_reloads(kind, fitted_predictors, registry):
+    predictor = fitted_predictors[kind]
+    snap = registry.save(predictor, spec=PredictorSpec.of(kind))
+    assert snap.kind == kind
+    loaded = registry.load(snap.snapshot_id)
+    # Registry storage is the codec round trip (see
+    # tests/properties/test_codec_properties.py); identity at the document
+    # level implies identity of behaviour.
+    assert model_to_dict(loaded) == model_to_dict(predictor)
+
+
+def test_save_is_idempotent_and_content_addressed(fitted_predictors, registry):
+    meta = fitted_predictors["meta"]
+    first = registry.save(meta, spec=PredictorSpec.of("meta"))
+    second = registry.save(meta, spec=PredictorSpec.of("meta"))
+    assert first.snapshot_id == second.snapshot_id
+    assert second.seq == first.seq  # no new entry was created
+    assert len(registry.snapshot_ids()) == 1
+
+
+def test_snapshot_id_tracks_provenance(fitted_predictors, registry, anl_events):
+    meta = fitted_predictors["meta"]
+    spec = PredictorSpec.of("meta")
+    plain = registry.save(meta, spec=spec)
+    with_store = registry.save(
+        meta, spec=spec, store_fingerprint=store_fingerprint(anl_events)
+    )
+    # Same bytes, different training provenance -> different identity.
+    assert plain.snapshot_id != with_store.snapshot_id
+    assert with_store.seq == plain.seq + 1
+
+
+def test_seq_is_monotonic_without_wall_clock(fitted_predictors, registry):
+    seqs = [
+        registry.save(fitted_predictors[kind], spec=PredictorSpec.of(kind)).seq
+        for kind in sorted(registered_kinds())
+    ]
+    assert seqs == sorted(seqs)
+    assert seqs[0] == 1
+    stored = registry.list()
+    assert [s.seq for s in stored] == seqs
+
+
+def test_manifest_preserves_spec_and_fit_token(fitted_predictors, registry):
+    spec = PredictorSpec.of("meta")
+    snap = registry.save(
+        fitted_predictors["meta"], spec=spec, train_events=123, note="first"
+    )
+    got = registry.get(snap.snapshot_id)
+    assert got.spec == spec
+    assert got.fit_token == spec.fit_token()
+    assert got.train_events == 123
+    assert got.note == "first"
+
+
+def test_load_meta_unwraps_three_phase(fitted_predictors, registry):
+    registry.save(fitted_predictors["three-phase"])
+    meta = registry.load_meta("latest")
+    assert isinstance(meta, MetaLearner) and meta.is_fitted
+
+    registry.save(fitted_predictors["statistical"])
+    with pytest.raises(RegistryError, match="not a servable"):
+        registry.load_meta("latest")
+
+
+def test_loaded_three_phase_type(fitted_predictors, registry):
+    snap = registry.save(fitted_predictors["three-phase"])
+    assert isinstance(registry.load(snap.snapshot_id), ThreePhasePredictor)
+
+
+# ------------------------------------------------------------ resolution
+
+
+def test_resolve_tag_prefix_and_latest(fitted_predictors, registry):
+    snap = registry.save(
+        fitted_predictors["meta"], spec=PredictorSpec.of("meta"), tags=("prod",)
+    )
+    sid = snap.snapshot_id
+    assert registry.resolve("latest") == sid
+    assert registry.resolve("prod") == sid
+    assert registry.resolve(sid) == sid
+    assert registry.resolve(sid[:8]) == sid
+
+
+def test_resolve_rejects_unknown_short_and_ambiguous(fitted_predictors, registry):
+    with pytest.raises(RegistryError, match="unknown registry ref"):
+        registry.resolve("nosuchtag")
+    snap = registry.save(fitted_predictors["meta"])
+    # Too-short prefixes never resolve, even when unambiguous.
+    with pytest.raises(RegistryError, match="unknown registry ref"):
+        registry.resolve(snap.snapshot_id[:4])
+    with pytest.raises(RegistryError, match="empty"):
+        registry.resolve("")
+
+
+def test_latest_is_registry_managed(fitted_predictors, registry):
+    snap = registry.save(fitted_predictors["meta"])
+    with pytest.raises(RegistryError, match="registry-managed"):
+        registry.tag(snap.snapshot_id, "latest")
+
+
+def test_lineage_chain(fitted_predictors, registry):
+    meta = fitted_predictors["meta"]
+    spec = PredictorSpec.of("meta")
+    a = registry.save(meta, spec=spec, note="a")
+    b = registry.save(
+        meta, spec=spec, parent=a.snapshot_id, note="b",
+        store_fingerprint="f" * 64,
+    )
+    c = registry.save(
+        meta, spec=spec, parent=b.snapshot_id, note="c",
+        store_fingerprint="e" * 64,
+    )
+    chain = registry.lineage(c.snapshot_id)
+    assert [s.note for s in chain] == ["c", "b", "a"]
+    assert chain[0].parent == b.snapshot_id
+
+
+# ----------------------------------------------------- corruption, prune
+
+
+def test_corrupt_snapshot_reads_as_absent(fitted_predictors, registry):
+    snap = registry.save(fitted_predictors["meta"])
+    path = registry._snapshot_path(snap.snapshot_id)
+    path.write_text("{ truncated", encoding="utf-8")
+    assert registry.list() == []
+    with pytest.raises(RegistryError):
+        registry.load(snap.snapshot_id)
+
+
+def test_malformed_manifest_is_an_error(fitted_predictors, registry):
+    snap = registry.save(fitted_predictors["meta"])
+    path = registry._snapshot_path(snap.snapshot_id)
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    del doc["manifest"]["seq"]
+    path.write_text(json.dumps(doc), encoding="utf-8")
+    with pytest.raises(RegistryError, match="malformed snapshot manifest"):
+        registry.get(snap.snapshot_id)
+
+
+def test_prune_keeps_newest_and_ref_targets(fitted_predictors, registry):
+    spec = PredictorSpec.of("meta")
+    meta = fitted_predictors["meta"]
+    snaps = [
+        registry.save(meta, spec=spec, store_fingerprint=c * 64)
+        for c in "abcd"
+    ]
+    registry.tag(snaps[0].snapshot_id, "pinned")
+    removed = registry.prune(keep=1)
+    assert removed == 2  # b and c go; d is newest, a is pinned
+    left = {s.snapshot_id for s in registry.list()}
+    assert left == {snaps[0].snapshot_id, snaps[-1].snapshot_id}
+    # latest still resolves after pruning.
+    assert registry.resolve("latest") == snaps[-1].snapshot_id
+
+
+def test_no_temp_files_left_behind(fitted_predictors, registry):
+    registry.save(fitted_predictors["meta"], tags=("prod",))
+    stray = [
+        p for p in registry.root.rglob("*") if p.name.startswith(".tmp-")
+    ]
+    assert stray == []

@@ -1,0 +1,64 @@
+"""Round-trip properties of the predictor codec registry.
+
+The lifecycle registry's content addressing hashes the canonical JSON of
+``model_to_dict(predictor)``, so its whole identity scheme rests on one
+property: **encode → decode → encode is byte-identical** for every codec in
+:func:`repro.core.serialize.registered_kinds`.  These tests pin that
+property codec by codec — a codec whose decode loses or reorders state
+would silently fork snapshot ids.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.serialize import (
+    learned_state_to_dict,
+    model_from_dict,
+    model_to_dict,
+    registered_kinds,
+)
+
+
+def canonical(doc: dict) -> str:
+    """The byte form the registry hashes (sorted keys, no whitespace)."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+@pytest.mark.parametrize("kind", sorted(registered_kinds()))
+def test_encode_decode_encode_is_byte_identical(kind, fitted_predictors):
+    predictor = fitted_predictors[kind]
+    doc = model_to_dict(predictor)
+    assert doc["kind"] == kind
+    rebuilt = model_from_dict(json.loads(canonical(doc)))
+    assert type(rebuilt) is type(predictor)
+    assert canonical(model_to_dict(rebuilt)) == canonical(doc)
+
+
+@pytest.mark.parametrize("kind", sorted(registered_kinds()))
+def test_decoded_predictor_predicts_identically(kind, fitted_predictors, anl_events):
+    predictor = fitted_predictors[kind]
+    rebuilt = model_from_dict(model_to_dict(predictor))
+    cut = int(len(anl_events) * 0.7)
+    test = anl_events.select(slice(cut, len(anl_events)))
+    key = lambda ws: [  # noqa: E731
+        (w.issued_at, w.horizon_start, w.horizon_end, w.confidence, w.detail)
+        for w in ws
+    ]
+    assert key(rebuilt.predict(test)) == key(predictor.predict(test))
+
+
+@pytest.mark.parametrize("kind", sorted(registered_kinds()))
+def test_learned_state_roundtrip_is_stable(kind, fitted_predictors):
+    """State documents (the worker-transport payload) are stable too."""
+    predictor = fitted_predictors[kind]
+    state = learned_state_to_dict(predictor)
+    rebuilt = model_from_dict(model_to_dict(predictor))
+    assert canonical(learned_state_to_dict(rebuilt)) == canonical(state)
+
+
+def test_every_codec_kind_is_spec_buildable(fitted_predictors):
+    """The fixture itself asserts the codec and spec registries agree."""
+    assert set(fitted_predictors) == set(registered_kinds())

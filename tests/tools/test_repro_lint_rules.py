@@ -544,6 +544,89 @@ def test_rl008_waivable_with_justification():
     assert diags == []
 
 
+# ---------------------------------------------------------------- RL009
+
+
+def test_rl009_flags_pickle_of_anything_in_library_code():
+    diags = lint(
+        """\
+        import pickle
+
+        def stash(predictor, fh):
+            pickle.dump(predictor, fh)
+            return pickle.dumps({"x": 1})
+        """
+    )
+    assert codes_and_lines(diags) == [("RL009", 4), ("RL009", 5)]
+    assert "pickle.dump" in diags[0].message
+
+
+def test_rl009_resolves_pickle_aliases_and_loads():
+    diags = lint(
+        """\
+        import pickle as pkl
+        from pickle import loads
+
+        def restore(blob):
+            return pkl.load(blob) or loads(blob)
+        """
+    )
+    assert [d.code for d in diags] == ["RL009", "RL009"]
+
+
+def test_rl009_flags_adhoc_json_dump_of_predictor_payloads():
+    diags = lint(
+        """\
+        import json
+
+        def export(model, meta, fh):
+            json.dump(model.__dict__, fh)
+            blob = json.dumps({"state": meta})
+            return blob
+        """
+    )
+    assert codes_and_lines(diags) == [("RL009", 4), ("RL009", 5)]
+
+
+def test_rl009_allows_plain_json_and_blessed_modules():
+    # Non-predictor JSON payloads are fine anywhere.
+    assert (
+        lint(
+            """\
+            import json
+
+            def export(rows, fh):
+                json.dump({"rows": rows}, fh)
+            """
+        )
+        == []
+    )
+    # The serialization layer and the lifecycle registry are the two
+    # blessed homes of model persistence.
+    source = """\
+        import json
+
+        def save(model, fh):
+            json.dump(model, fh)
+        """
+    assert lint(source, path="src/repro/core/serialize.py") == []
+    assert lint(source, path="src/repro/lifecycle/registry.py") == []
+    # Outside the library (tests, tools) the rule does not apply.
+    assert lint(source, path="tests/core/test_serialize.py") == []
+
+
+def test_rl009_waivable_with_justification():
+    diags = lint(
+        """\
+        import pickle
+
+        def debug_dump(predictor, fh):
+            pickle.dump(predictor, fh)  # repro-lint: disable=RL009
+        """
+    )
+    assert diags == []
+
+
 # ------------------------------------------------------- engine/waivers
 
 

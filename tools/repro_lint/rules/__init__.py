@@ -13,4 +13,5 @@ from tools.repro_lint.rules import (  # noqa: F401
     rl006_no_direct_output,
     rl007_factory_closure,
     rl008_per_event_rebuild,
+    rl009_model_persistence,
 )

@@ -1,0 +1,102 @@
+"""RL009 — model persistence must go through the serialization layer.
+
+Fitted predictors have exactly two blessed paths to disk:
+:mod:`repro.core.serialize` (the versioned codec registry — stable format,
+``format_version`` gate, byte-identical round trips) and
+:mod:`repro.lifecycle` (the registry, which builds on it).  Anything else —
+``pickle`` of a predictor, or an ad-hoc ``json.dumps(model.__dict__)``
+scattered through library code — creates a second, unversioned wire format
+that silently diverges from the codecs and breaks the lifecycle registry's
+content addressing.
+
+Two checks inside ``src/repro/`` (the two blessed modules are exempt):
+
+- any import-resolved ``pickle`` / ``cPickle`` / ``dill`` ``dump(s)`` /
+  ``load(s)`` call is flagged unconditionally — predictor or not, the
+  library has no business pickling (worker transport ships learned-state
+  *documents*, not objects);
+- a ``json.dump(s)`` call whose payload expression mentions a
+  predictor-ish identifier (``model``, ``predictor``, ``meta`` — see
+  :data:`PREDICTOR_HINTS`) is flagged as ad-hoc model persistence.  This is
+  a heuristic by design: naming a payload ``model_doc`` outside the
+  serialization layer is exactly the smell the rule exists to catch.  False
+  positives carry the standard waiver (``# repro-lint: disable=RL009``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from tools.repro_lint.astutil import iter_calls, resolve_call
+from tools.repro_lint.diagnostics import Diagnostic
+from tools.repro_lint.registry import register
+
+if TYPE_CHECKING:
+    from tools.repro_lint.engine import LintContext
+
+#: Object-serialization calls never allowed in library code.
+PICKLE_CALLS = frozenset(
+    f"{mod}.{fn}"
+    for mod in ("pickle", "cPickle", "dill")
+    for fn in ("dump", "dumps", "load", "loads")
+)
+
+JSON_DUMP_CALLS = frozenset({"json.dump", "json.dumps"})
+
+#: Identifier substrings that mark a JSON payload as predictor-shaped.
+PREDICTOR_HINTS = ("predictor", "model")
+
+#: Identifiers matched exactly (substring matching would be too broad).
+PREDICTOR_EXACT = frozenset({"meta", "clf", "estimator"})
+
+
+def _mentions_predictor(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        name = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        if name is None:
+            continue
+        lowered = name.lower()
+        if lowered in PREDICTOR_EXACT:
+            return True
+        if any(hint in lowered for hint in PREDICTOR_HINTS):
+            return True
+    return False
+
+
+@register
+class ModelPersistenceRule:
+    code = "RL009"
+    name = "model-persistence"
+    description = "predictor persistence outside the serialization layer"
+    hint = (
+        "persist models via repro.core.serialize (save_model/model_to_dict) "
+        "or the lifecycle ModelRegistry; never pickle or hand-rolled JSON"
+    )
+
+    def check(self, ctx: "LintContext") -> Iterator[Diagnostic]:
+        if not ctx.in_package("src", "repro"):
+            return
+        if ctx.is_module("core", "serialize.py") or ctx.in_package(
+            "repro", "lifecycle"
+        ):
+            return
+        for call in iter_calls(ctx.tree):
+            dotted = resolve_call(call, ctx.imports)
+            if dotted in PICKLE_CALLS:
+                yield ctx.diagnostic(
+                    self,
+                    call,
+                    f"object (de)serialization via {dotted}() in library code",
+                )
+            elif dotted in JSON_DUMP_CALLS and call.args:
+                if _mentions_predictor(call.args[0]):
+                    yield ctx.diagnostic(
+                        self,
+                        call,
+                        f"ad-hoc {dotted}() of a predictor-shaped payload",
+                    )
