@@ -17,7 +17,7 @@ unique stream from it — which is tested as a round-trip property.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import Callable, Optional, Protocol, Sequence
 
 import numpy as np
 
@@ -29,8 +29,24 @@ from repro.ras.store import EventStore
 from repro.util.rng import SeedLike, as_generator
 from repro.util.validation import check_positive
 
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see taxonomy)
-    from repro.taxonomy.subcategories import Subcategory
+
+class SubcategorySpec(Protocol):
+    """What the simulator needs to know about one subcategory.
+
+    A structural subset of ``repro.taxonomy.subcategories.Subcategory``;
+    the taxonomy stays a layer above ``bgl``, so callers inject a resolver
+    (normally ``repro.taxonomy.subcategories.by_name``) instead of the
+    simulator importing it.
+    """
+
+    location_kind: LocationKind
+    templates: Sequence[str]
+    severity: int
+    facility: int
+
+
+#: Maps a subcategory name to its spec; raises KeyError for unknown names.
+SubcategoryResolver = Callable[[str], SubcategorySpec]
 
 
 @dataclass(frozen=True)
@@ -93,10 +109,13 @@ class CmcsSimulator:
         job_trace: Optional[JobTrace] = None,
         duplication: Optional[DuplicationModel] = None,
         seed: SeedLike = None,
+        *,
+        resolver: SubcategoryResolver,
     ) -> None:
         self.machine = machine
         self.job_trace = job_trace
         self.duplication = duplication or DuplicationModel()
+        self.resolver = resolver
         self.rng = as_generator(seed)
         self._loc_intern: dict[str, int] = {}
         self._loc_table: list[str] = []
@@ -121,7 +140,7 @@ class CmcsSimulator:
             self._entry_intern[entry] = idx
         return idx
 
-    def _pick_location(self, sc: "Subcategory", job_id: int) -> str:
+    def _pick_location(self, sc: SubcategorySpec, job_id: int) -> str:
         """One location consistent with the subcategory's hardware level."""
         rng = self.rng
         kind = sc.location_kind
@@ -146,7 +165,7 @@ class CmcsSimulator:
         return pool[int(self.rng.integers(len(pool)))]
 
     def _co_reporting_locations(
-        self, sc: "Subcategory", job_id: int, primary: str
+        self, sc: SubcategorySpec, job_id: int, primary: str
     ) -> list[str]:
         """Locations that report the same fault (spatial duplicates).
 
@@ -187,8 +206,6 @@ class CmcsSimulator:
         duplicates share its ENTRY_DATA and JOB_ID and fall within
         ``jitter_span`` seconds of the event time.
         """
-        from repro.taxonomy.subcategories import by_name
-
         rng = self.rng
         dup = self.duplication
         times: list[int] = []
@@ -198,7 +215,7 @@ class CmcsSimulator:
         loc_ids: list[int] = []
         entry_ids: list[int] = []
         for gt in ground_truth:
-            sc = by_name(gt.subcategory)
+            sc = self.resolver(gt.subcategory)
             template = sc.templates[int(rng.integers(len(sc.templates)))]
             entry_id = self._intern_entry(template)
             primary = gt.location or self._pick_location(sc, gt.job_id)

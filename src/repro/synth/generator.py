@@ -379,6 +379,7 @@ class LogGenerator:
             job_trace=trace,
             duplication=self.profile.duplication,
             seed=rng_cmcs,
+            resolver=by_name,
         )
         raw = cmcs.expand(events)
         return GeneratedLog(

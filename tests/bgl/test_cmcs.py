@@ -48,12 +48,12 @@ def test_sample_chip_count_respects_availability():
 
 
 def test_expand_empty(machine):
-    sim = CmcsSimulator(machine, seed=0)
+    sim = CmcsSimulator(machine, seed=0, resolver=by_name)
     assert len(sim.expand([])) == 0
 
 
 def test_expand_system_event_single_location(machine):
-    sim = CmcsSimulator(machine, seed=0)
+    sim = CmcsSimulator(machine, seed=0, resolver=by_name)
     store = sim.expand(
         [GroundTruthEvent(time=100, subcategory="BGLMasterRestartInfo")]
     )
@@ -64,7 +64,7 @@ def test_expand_system_event_single_location(machine):
 def test_expand_job_fatal_fans_out(machine, trace):
     dup = DuplicationModel(mean_reporting_chips=32, mean_repeats=1.0,
                            max_repeats=1)
-    sim = CmcsSimulator(machine, job_trace=trace, duplication=dup, seed=1)
+    sim = CmcsSimulator(machine, job_trace=trace, duplication=dup, seed=1, resolver=by_name)
     store = sim.expand(
         [GroundTruthEvent(time=100, subcategory="loadProgramFailure", job_id=1)]
     )
@@ -78,7 +78,7 @@ def test_expand_job_fatal_fans_out(machine, trace):
 
 def test_expand_duplicates_within_jitter(machine, trace):
     dup = DuplicationModel(jitter_span=60.0)
-    sim = CmcsSimulator(machine, job_trace=trace, duplication=dup, seed=2)
+    sim = CmcsSimulator(machine, job_trace=trace, duplication=dup, seed=2, resolver=by_name)
     store = sim.expand(
         [GroundTruthEvent(time=500, subcategory="socketReadFailure", job_id=1)]
     )
@@ -87,7 +87,7 @@ def test_expand_duplicates_within_jitter(machine, trace):
 
 
 def test_expand_preserves_severity_and_facility(machine):
-    sim = CmcsSimulator(machine, seed=3)
+    sim = CmcsSimulator(machine, seed=3, resolver=by_name)
     sc = by_name("kernelPanicFailure")
     store = sim.expand(
         [GroundTruthEvent(time=10, subcategory="kernelPanicFailure")]
@@ -97,7 +97,7 @@ def test_expand_preserves_severity_and_facility(machine):
 
 
 def test_expand_hardware_event_no_fanout(machine, trace):
-    sim = CmcsSimulator(machine, job_trace=trace, seed=4)
+    sim = CmcsSimulator(machine, job_trace=trace, seed=4, resolver=by_name)
     store = sim.expand(
         [GroundTruthEvent(time=10, subcategory="linkcardFailure", job_id=NO_JOB)]
     )
@@ -105,7 +105,7 @@ def test_expand_hardware_event_no_fanout(machine, trace):
 
 
 def test_expand_pinned_location(machine):
-    sim = CmcsSimulator(machine, seed=5)
+    sim = CmcsSimulator(machine, seed=5, resolver=by_name)
     store = sim.expand(
         [GroundTruthEvent(time=10, subcategory="fanSpeedWarning",
                           location="R00-M1-S")]
@@ -114,7 +114,7 @@ def test_expand_pinned_location(machine):
 
 
 def test_expand_is_time_sorted(machine, trace):
-    sim = CmcsSimulator(machine, job_trace=trace, seed=6)
+    sim = CmcsSimulator(machine, job_trace=trace, seed=6, resolver=by_name)
     events = [
         GroundTruthEvent(time=t, subcategory="timerInterruptInfo", job_id=1)
         for t in (5000, 100, 3000)
@@ -125,7 +125,7 @@ def test_expand_is_time_sorted(machine, trace):
 
 def test_expand_deterministic(machine, trace):
     events = [GroundTruthEvent(time=100, subcategory="dmaError", job_id=1)]
-    a = CmcsSimulator(machine, job_trace=trace, seed=9).expand(events)
-    b = CmcsSimulator(machine, job_trace=trace, seed=9).expand(events)
+    a = CmcsSimulator(machine, job_trace=trace, seed=9, resolver=by_name).expand(events)
+    b = CmcsSimulator(machine, job_trace=trace, seed=9, resolver=by_name).expand(events)
     assert len(a) == len(b)
     assert np.array_equal(a.times, b.times)

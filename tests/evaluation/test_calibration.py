@@ -1,8 +1,8 @@
-"""Tests for repro.synth.calibration."""
+"""Tests for repro.evaluation.calibration."""
 
 import pytest
 
-from repro.synth.calibration import (
+from repro.evaluation.calibration import (
     CalibrationMeasurement,
     TargetCheck,
     compare_to_paper,

@@ -1,9 +1,9 @@
-"""Tests for repro.ras.loghub (public-dump compatibility)."""
+"""Tests for repro.preprocess.loghub (public-dump compatibility)."""
 
 import numpy as np
 import pytest
 
-from repro.ras.loghub import (
+from repro.preprocess.loghub import (
     ALERT_CATEGORIES,
     NON_ALERT_TAG,
     alert_main_category,

@@ -1,0 +1,255 @@
+"""Pass-1 project-model tests: naming, imports, resolution, cache.
+
+These exercise the whole-program infrastructure on synthetic module sets
+(``build_project_from_sources``) and on temporary trees, independent of
+any graph rule: weird import shapes must produce a *model* — degraded to
+"unknown" where static analysis cannot see — and never an exception.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tools.repro_lint.graph import (
+    ProjectModel,
+    build_project_from_sources,
+    content_key,
+    load_cached_model,
+    store_cached_model,
+)
+from tools.repro_lint.symbols import module_name_for
+
+
+# --------------------------------------------------------------------- #
+# Module naming from the filesystem.
+# --------------------------------------------------------------------- #
+
+
+def test_module_name_walks_packages(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "bgl"
+    pkg.mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "cmcs.py").write_text("")
+    assert module_name_for(pkg / "cmcs.py") == "repro.bgl.cmcs"
+
+
+def test_module_name_stops_without_init(tmp_path):
+    # No __init__.py anywhere: the module is just its stem.
+    f = tmp_path / "standalone.py"
+    f.write_text("")
+    assert module_name_for(f) == "standalone"
+
+
+def test_package_init_named_as_package(tmp_path):
+    pkg = tmp_path / "repro" / "util"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    assert module_name_for(pkg / "__init__.py") == "repro.util"
+
+
+# --------------------------------------------------------------------- #
+# Import-graph edge cases.
+# --------------------------------------------------------------------- #
+
+
+def test_cyclic_imports_build_without_crash():
+    model = build_project_from_sources({
+        "repro.a": "from repro.b import g\ndef f():\n    return g()\n",
+        "repro.b": "from repro.a import f\ndef g():\n    return f()\n",
+    })
+    edges = {(e.src_module, e.dst_module) for e in model.project_import_edges()}
+    assert ("repro.a", "repro.b") in edges
+    assert ("repro.b", "repro.a") in edges
+
+
+def test_import_as_alias_resolves_calls():
+    model = build_project_from_sources({
+        "repro.helpers": "def work():\n    return 1\n",
+        "repro.main": (
+            "import repro.helpers as h\n"
+            "def run():\n"
+            "    return h.work()\n"
+        ),
+    })
+    fn = model.functions["repro.main.run"]
+    assert "repro.helpers.work" in fn.resolved_callees
+
+
+def test_from_import_as_alias_resolves_calls():
+    model = build_project_from_sources({
+        "repro.helpers": "def work():\n    return 1\n",
+        "repro.main": (
+            "from repro.helpers import work as w\n"
+            "def run():\n"
+            "    return w()\n"
+        ),
+    })
+    assert "repro.helpers.work" in model.functions["repro.main.run"].resolved_callees
+
+
+def test_relative_imports_resolve_against_package(tmp_path):
+    pkg = tmp_path / "repro" / "sub"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (tmp_path / "repro" / "base.py").write_text("def f():\n    return 0\n")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "mod.py").write_text(
+        "from .. import base\n"
+        "from ..base import f\n"
+        "def g():\n"
+        "    return f()\n"
+    )
+    import ast
+
+    model = ProjectModel()
+    for p in [tmp_path / "repro" / "base.py", pkg / "mod.py"]:
+        tree = ast.parse(p.read_text())
+        from tools.repro_lint.symbols import extract_module
+
+        model.add_module(extract_module(str(p), tree, abs_path=p))
+    model.finalize()
+    targets = {e.dst_module for e in model.project_import_edges()}
+    assert "repro.base" in targets
+    assert "repro.sub.mod.g" in model.functions
+    assert "repro.base.f" in model.functions["repro.sub.mod.g"].resolved_callees
+
+
+def test_dynamic_getattr_degrades_to_unknown():
+    # getattr-computed call targets cannot be resolved; the model must
+    # carry them as unresolved rather than crash or invent an edge.
+    model = build_project_from_sources({
+        "repro.dyn": (
+            "import importlib\n"
+            "def load(name):\n"
+            "    mod = importlib.import_module(name)\n"
+            "    fn = getattr(mod, 'run')\n"
+            "    return fn()\n"
+        ),
+    })
+    fn = model.functions["repro.dyn.load"]
+    assert fn.resolved_callees == [] or all(
+        c.startswith("repro.") for c in fn.resolved_callees
+    )
+    kinds = {c.kind for c in fn.calls}
+    assert "dynamic" in kinds or "unknown" in kinds
+
+
+def test_star_import_records_edge():
+    model = build_project_from_sources({
+        "repro.a": "X = 1\n",
+        "repro.b": "from repro.a import *\n",
+    })
+    edges = {(e.src_module, e.dst_module) for e in model.project_import_edges()}
+    assert ("repro.b", "repro.a") in edges
+
+
+def test_multi_alias_import_is_one_edge():
+    model = build_project_from_sources({
+        "repro.a": "x = 1\ny = 2\nz = 3\n",
+        "repro.b": "from repro.a import x, y, z\n",
+    })
+    edges = [e for e in model.project_import_edges() if e.src_module == "repro.b"]
+    assert len(edges) == 1
+
+
+def test_reexport_chain_resolves():
+    model = build_project_from_sources({
+        "repro.impl": "def real():\n    return 1\n",
+        "repro.api": "from repro.impl import real\n",
+        "repro.user": (
+            "from repro.api import real\n"
+            "def go():\n"
+            "    return real()\n"
+        ),
+    })
+    assert "repro.impl.real" in model.functions["repro.user.go"].resolved_callees
+
+
+def test_method_call_through_self_resolves():
+    model = build_project_from_sources({
+        "repro.cls": (
+            "class Thing:\n"
+            "    def helper(self):\n"
+            "        return 1\n"
+            "    def run(self):\n"
+            "        return self.helper()\n"
+        ),
+    })
+    run = model.functions["repro.cls.Thing.run"]
+    assert "repro.cls.Thing.helper" in run.resolved_callees
+
+
+# --------------------------------------------------------------------- #
+# Reachability helpers.
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def chain_model():
+    return build_project_from_sources({
+        "repro.chain": (
+            "def c():\n    return 1\n"
+            "def b():\n    return c()\n"
+            "def a():\n    return b()\n"
+        ),
+    })
+
+
+def test_reverse_reachable_witness_path(chain_model):
+    reachers = chain_model.reverse_reachable({"repro.chain.c"})
+    assert reachers["repro.chain.a"] == (
+        "repro.chain.a", "repro.chain.b", "repro.chain.c",
+    )
+
+
+def test_forward_reach_through_restriction(chain_model):
+    # Forbid traversing b: a still *reaches* b (terminal) but not c.
+    reach = chain_model.forward_reach(
+        "repro.chain.a", through={"repro.chain.a"}
+    )
+    assert "repro.chain.b" in reach
+    assert "repro.chain.c" not in reach
+
+
+# --------------------------------------------------------------------- #
+# Serialization and the content-keyed cache.
+# --------------------------------------------------------------------- #
+
+
+def test_model_json_round_trip(chain_model):
+    data = chain_model.to_dict()
+    json.dumps(data)  # must be pure data
+    clone = ProjectModel.from_dict(data)
+    assert set(clone.functions) == set(chain_model.functions)
+    assert (
+        clone.functions["repro.chain.a"].resolved_callees
+        == chain_model.functions["repro.chain.a"].resolved_callees
+    )
+    assert clone.stats() == chain_model.stats()
+
+
+def test_cache_store_and_load(tmp_path, chain_model):
+    key = content_key([("repro/chain.py", "source-v1")], salt="s")
+    assert load_cached_model(tmp_path, key) is None
+    store_cached_model(tmp_path, key, chain_model)
+    loaded = load_cached_model(tmp_path, key)
+    assert loaded is not None
+    assert loaded.stats() == chain_model.stats()
+
+
+def test_cache_key_changes_with_content_and_salt():
+    base = content_key([("a.py", "x = 1")], salt="s")
+    assert content_key([("a.py", "x = 2")], salt="s") != base
+    assert content_key([("a.py", "x = 1")], salt="t") != base
+
+
+def test_corrupt_cache_returns_none(tmp_path, chain_model):
+    key = content_key([("repro/chain.py", "v1")], salt="s")
+    store_cached_model(tmp_path, key, chain_model)
+    for f in tmp_path.iterdir():
+        f.write_text("{not json", "utf-8")
+    assert load_cached_model(tmp_path, key) is None

@@ -1,0 +1,393 @@
+"""Graph-rule tests: one synthetic violation per rule, tiers, waivers.
+
+Each RL010-RL013 rule gets at least one minimal module set that triggers
+it, asserting the rule id, severity tier and source span; plus the
+negative space around it (typing-only demotion, bound-method warn tier,
+data-position initargs staying silent, waiver suppression through the
+full engine).
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from tools.repro_lint.contracts import Contract, Layer
+from tools.repro_lint.engine import GraphContext, run_lint
+from tools.repro_lint.graph import build_project_from_sources
+from tools.repro_lint.registry import get_rule
+
+
+def two_layer_contract(**kwargs):
+    return Contract(
+        root="repro",
+        layers=[
+            Layer(name="low", index=0, packages=("low",)),
+            Layer(name="high", index=1, packages=("high",)),
+        ],
+        exempt_modules=("repro",),
+        **kwargs,
+    )
+
+
+def findings(rule_code, sources, contract):
+    model = build_project_from_sources(sources)
+    gctx = GraphContext(project=model, contract=contract)
+    return list(get_rule(rule_code).check_project(gctx))
+
+
+# --------------------------------------------------------------------- #
+# RL010 — layering contract.
+# --------------------------------------------------------------------- #
+
+
+def test_rl010_upward_import_is_error():
+    diags = findings("RL010", {
+        "repro.low.mod": "from repro.high.api import thing\n",
+        "repro.high.api": "thing = 1\n",
+    }, two_layer_contract())
+    assert len(diags) == 1
+    d = diags[0]
+    assert d.code == "RL010"
+    assert d.severity == "error"
+    assert d.path == "repro/low/mod.py"
+    assert (d.line, d.col) == (1, 0)
+    assert "upward import" in d.message
+
+
+def test_rl010_downward_import_is_clean():
+    diags = findings("RL010", {
+        "repro.high.api": "from repro.low.mod import x\n",
+        "repro.low.mod": "x = 1\n",
+    }, two_layer_contract())
+    assert diags == []
+
+
+def test_rl010_typing_only_upward_demotes_to_warn():
+    src = textwrap.dedent("""\
+        from typing import TYPE_CHECKING
+        if TYPE_CHECKING:
+            from repro.high.api import Thing
+    """)
+    diags = findings("RL010", {
+        "repro.low.mod": src,
+        "repro.high.api": "class Thing:\n    pass\n",
+    }, two_layer_contract())
+    assert len(diags) == 1
+    assert diags[0].severity == "warn"
+    assert "typing-only" in diags[0].message
+
+
+def test_rl010_package_cycle_is_error():
+    # high -> low is layer-legal, but low -> high closes a cycle; both
+    # directions are reported (one upward, one cycle edge).
+    diags = findings("RL010", {
+        "repro.low.a": "from repro.high.b import g\n",
+        "repro.high.b": "from repro.low.a import f\ng = 1\nf = 2\n",
+    }, two_layer_contract())
+    codes = {(d.message.split(":")[0], d.severity) for d in diags}
+    assert ("upward import", "error") in codes
+    assert ("package cycle", "error") in codes
+
+
+def test_rl010_unassigned_package_is_skipped():
+    contract = Contract(
+        root="repro",
+        layers=[Layer(name="only", index=0, packages=("low",))],
+        exempt_modules=("repro",),
+    )
+    diags = findings("RL010", {
+        "repro.low.mod": "from repro.stranger.api import x\n",
+        "repro.stranger.api": "x = 1\n",
+    }, contract)
+    assert diags == []
+
+
+# --------------------------------------------------------------------- #
+# RL011 — determinism taint.
+# --------------------------------------------------------------------- #
+
+
+def test_rl011_ambient_rng_reachable_from_entry_point():
+    sources = {
+        "repro.low.helper": textwrap.dedent("""\
+            import numpy as np
+            def jitter(x):
+                return x + np.random.normal()
+        """),
+        "repro.low.model": textwrap.dedent("""\
+            from repro.low.helper import jitter
+            class M:
+                def fit(self, x):
+                    return jitter(x)
+        """),
+    }
+    diags = findings(
+        "RL011", sources,
+        two_layer_contract(rl011_entry_points=("fit", "predict")),
+    )
+    assert len(diags) == 1
+    d = diags[0]
+    assert d.code == "RL011" and d.severity == "error"
+    assert d.path == "repro/low/helper.py"
+    assert d.line == 3  # the np.random.normal() call site
+    assert "repro.low.model.M.fit" in d.message
+    assert "repro.low.helper.jitter" in d.message
+
+
+def test_rl011_unseeded_as_generator_is_tainted():
+    sources = {
+        "repro.low.gen": textwrap.dedent("""\
+            from repro.util.rng import as_generator
+            def sample(n):
+                rng = as_generator()
+                return rng.integers(n)
+        """),
+    }
+    diags = findings(
+        "RL011", sources, two_layer_contract(rl011_entry_points=("sample",)),
+    )
+    assert len(diags) == 1
+    assert "fresh entropy" in diags[0].message
+
+
+def test_rl011_seeded_generator_is_clean():
+    sources = {
+        "repro.low.gen": textwrap.dedent("""\
+            from repro.util.rng import as_generator
+            def sample(n, seed):
+                rng = as_generator(seed)
+                return rng.integers(n)
+        """),
+    }
+    diags = findings(
+        "RL011", sources, two_layer_contract(rl011_entry_points=("sample",)),
+    )
+    assert diags == []
+
+
+def test_rl011_taint_unreachable_from_entry_points_is_clean():
+    sources = {
+        "repro.low.dev": textwrap.dedent("""\
+            import random
+            def _debug_shuffle(items):
+                random.shuffle(items)
+        """),
+    }
+    diags = findings(
+        "RL011", sources, two_layer_contract(rl011_entry_points=("fit",)),
+    )
+    assert diags == []
+
+
+# --------------------------------------------------------------------- #
+# RL012 — process-boundary safety.
+# --------------------------------------------------------------------- #
+
+
+def test_rl012_lambda_submit_is_error():
+    sources = {
+        "repro.low.par": textwrap.dedent("""\
+            from concurrent.futures import ProcessPoolExecutor
+            def run(items):
+                with ProcessPoolExecutor() as pool:
+                    futs = [pool.submit(lambda x: x + 1, i) for i in items]
+                return [f.result() for f in futs]
+        """),
+    }
+    diags = findings("RL012", sources, two_layer_contract())
+    assert len(diags) == 1
+    d = diags[0]
+    assert d.code == "RL012" and d.severity == "error"
+    assert d.line == 4
+    assert "lambda" in d.message
+
+
+def test_rl012_closure_submit_is_error():
+    sources = {
+        "repro.low.par": textwrap.dedent("""\
+            from concurrent.futures import ProcessPoolExecutor
+            def run(items, offset):
+                def shifted(x):
+                    return x + offset
+                with ProcessPoolExecutor() as pool:
+                    return [pool.submit(shifted, i) for i in items]
+        """),
+    }
+    diags = findings("RL012", sources, two_layer_contract())
+    assert len(diags) == 1
+    assert diags[0].severity == "error"
+    assert "nested function" in diags[0].message
+
+
+def test_rl012_bound_method_initializer_is_warn():
+    sources = {
+        "repro.low.par": textwrap.dedent("""\
+            from concurrent.futures import ProcessPoolExecutor
+            class Runner:
+                def setup(self):
+                    pass
+                def run(self, items):
+                    with ProcessPoolExecutor(initializer=self.setup) as pool:
+                        return list(pool.map(str, items))
+        """),
+    }
+    diags = findings("RL012", sources, two_layer_contract())
+    assert len(diags) == 1
+    assert diags[0].severity == "warn"
+    assert "bound method" in diags[0].message
+
+
+def test_rl012_data_attribute_in_initargs_is_clean():
+    # self.config in initargs is data, not a callable: picklable by intent.
+    sources = {
+        "repro.low.par": textwrap.dedent("""\
+            from concurrent.futures import ProcessPoolExecutor
+            def _init(cfg):
+                pass
+            class Runner:
+                def run(self, items):
+                    with ProcessPoolExecutor(
+                        initializer=_init, initargs=(self.config,)
+                    ) as pool:
+                        return list(pool.map(str, items))
+        """),
+    }
+    assert findings("RL012", sources, two_layer_contract()) == []
+
+
+def test_rl012_module_level_function_is_clean():
+    sources = {
+        "repro.low.par": textwrap.dedent("""\
+            from concurrent.futures import ProcessPoolExecutor
+            def work(x):
+                return x + 1
+            def run(items):
+                with ProcessPoolExecutor() as pool:
+                    return [pool.submit(work, i) for i in items]
+        """),
+    }
+    assert findings("RL012", sources, two_layer_contract()) == []
+
+
+# --------------------------------------------------------------------- #
+# RL013 — async-blocking.
+# --------------------------------------------------------------------- #
+
+
+def test_rl013_direct_blocking_in_async_is_error():
+    sources = {
+        "repro.low.daemon": textwrap.dedent("""\
+            import time
+            async def tick():
+                time.sleep(1)
+        """),
+    }
+    diags = findings("RL013", sources, two_layer_contract())
+    assert len(diags) == 1
+    d = diags[0]
+    assert d.code == "RL013" and d.severity == "error"
+    assert (d.line, d.col) == (3, 4)
+    assert "time.sleep" in d.message
+
+
+def test_rl013_transitive_blocking_through_sync_helper():
+    sources = {
+        "repro.low.io": textwrap.dedent("""\
+            import subprocess
+            def flush():
+                subprocess.run(["sync"])
+        """),
+        "repro.low.daemon": textwrap.dedent("""\
+            from repro.low.io import flush
+            async def shutdown():
+                flush()
+        """),
+    }
+    diags = findings("RL013", sources, two_layer_contract())
+    assert len(diags) == 1
+    d = diags[0]
+    assert d.path == "repro/low/daemon.py"
+    assert d.line == 3  # the flush() call inside the coroutine
+    assert "subprocess.run" in d.message
+    assert "repro.low.io.flush" in d.message
+
+
+def test_rl013_await_into_other_coroutine_is_clean():
+    sources = {
+        "repro.low.daemon": textwrap.dedent("""\
+            import asyncio
+            async def inner():
+                await asyncio.sleep(1)
+            async def outer():
+                await inner()
+        """),
+    }
+    assert findings("RL013", sources, two_layer_contract()) == []
+
+
+def test_rl013_sync_function_blocking_alone_is_clean():
+    sources = {
+        "repro.low.io": textwrap.dedent("""\
+            import time
+            def pause():
+                time.sleep(1)
+        """),
+    }
+    assert findings("RL013", sources, two_layer_contract()) == []
+
+
+# --------------------------------------------------------------------- #
+# Waivers and the full engine path (real contract, tmp tree).
+# --------------------------------------------------------------------- #
+
+
+def _write_tree(root, files):
+    for rel, content in files.items():
+        p = root / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(content, "utf-8")
+
+
+def test_graph_rule_fires_through_run_lint(tmp_path, monkeypatch):
+    # util (foundation) importing cli (app) is upward under the real
+    # committed contract.
+    _write_tree(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/util/__init__.py": "",
+        "src/repro/util/helper.py": "from repro.cli.main import x\n",
+        "src/repro/cli/__init__.py": "",
+        "src/repro/cli/main.py": "x = 1\n",
+    })
+    monkeypatch.chdir(tmp_path)
+    result = run_lint(["src"])
+    rl010 = [d for d in result.diagnostics if d.code == "RL010"]
+    assert len(rl010) == 1
+    assert rl010[0].path.endswith("helper.py")
+
+
+def test_graph_finding_respects_line_waiver(tmp_path, monkeypatch):
+    _write_tree(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/util/__init__.py": "",
+        "src/repro/util/helper.py": (
+            "from repro.cli.main import x  # repro-lint: disable=RL010\n"
+        ),
+        "src/repro/cli/__init__.py": "",
+        "src/repro/cli/main.py": "x = 1\n",
+    })
+    monkeypatch.chdir(tmp_path)
+    result = run_lint(["src"])
+    assert [d for d in result.diagnostics if d.code == "RL010"] == []
+
+
+def test_no_graph_skips_graph_rules(tmp_path, monkeypatch):
+    _write_tree(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/util/__init__.py": "",
+        "src/repro/util/helper.py": "from repro.cli.main import x\n",
+        "src/repro/cli/__init__.py": "",
+        "src/repro/cli/main.py": "x = 1\n",
+    })
+    monkeypatch.chdir(tmp_path)
+    result = run_lint(["src"], graph=False)
+    assert [d for d in result.diagnostics if d.code == "RL010"] == []

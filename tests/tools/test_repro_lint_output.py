@@ -1,0 +1,247 @@
+"""Output and policy tests: SARIF shape, baseline workflow, repo gates.
+
+The last section holds the two policy gates CI leans on: the committed
+baseline may never park an error-tier finding, and the architecture
+contract must assign every package that actually exists under
+``src/repro`` (RL010 silently skips unassigned packages, so totality has
+to be asserted here, not in the rule).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tools.repro_lint.baseline import DEFAULT_BASELINE_PATH, Baseline
+from tools.repro_lint.cli import main
+from tools.repro_lint.contracts import load_contract
+from tools.repro_lint.diagnostics import Diagnostic
+from tools.repro_lint.registry import all_rules
+from tools.repro_lint.sarif import SARIF_SCHEMA, SARIF_VERSION, to_sarif
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _diag(path="src/x.py", line=3, code="RL001", message="msg",
+          severity="error"):
+    return Diagnostic(path=path, line=line, col=2, code=code,
+                      message=message, hint="h", severity=severity)
+
+
+# --------------------------------------------------------------------- #
+# SARIF 2.1.0 shape.
+# --------------------------------------------------------------------- #
+
+
+def test_sarif_document_shape():
+    doc = to_sarif(
+        [_diag(), _diag(code="RL010", severity="warn")],
+        all_rules(),
+        tool_version="2.0.0",
+    )
+    assert doc["$schema"] == SARIF_SCHEMA
+    assert doc["version"] == SARIF_VERSION
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    rule_ids = [r["id"] for r in driver["rules"]]
+    assert "RL001" in rule_ids and "RL013" in rule_ids
+    for rule in driver["rules"]:
+        assert rule["shortDescription"]["text"]
+        assert rule["defaultConfiguration"]["level"] in (
+            "error", "warning", "note",
+        )
+    assert len(run["results"]) == 2
+    first, second = run["results"]
+    assert first["ruleId"] == "RL001"
+    assert first["level"] == "error"
+    assert second["level"] == "warning"
+    loc = first["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "src/x.py"
+    assert loc["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+    assert loc["region"]["startLine"] == 3
+    assert loc["region"]["startColumn"] == 3  # 0-based col 2 -> 1-based 3
+    json.dumps(doc)  # must serialize
+
+
+def test_sarif_cli_output(tmp_path, capsys):
+    target = tmp_path / "bad.py"
+    target.write_text("import numpy as np\nx = np.random.rand()\n", "utf-8")
+    sarif_file = tmp_path / "out.sarif"
+    code = main([str(target), "--format", "sarif",
+                 "--sarif-file", str(sarif_file)])
+    assert code == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == SARIF_VERSION
+    assert doc["runs"][0]["results"][0]["ruleId"] == "RL001"
+    # --sarif-file wrote the same document.
+    assert json.loads(sarif_file.read_text("utf-8")) == doc
+
+
+# --------------------------------------------------------------------- #
+# Baseline workflow: adopt -> clean -> regression.
+# --------------------------------------------------------------------- #
+
+
+def test_baseline_adopt_then_clean_then_regress(tmp_path, capsys):
+    target = tmp_path / "legacy.py"
+    target.write_text("import numpy as np\nx = np.random.rand()\n", "utf-8")
+    baseline = tmp_path / "baseline.json"
+
+    # Adopt: findings recorded, exit 0.
+    assert main([str(target), "--baseline", str(baseline),
+                 "--update-baseline"]) == 0
+    data = json.loads(baseline.read_text("utf-8"))
+    assert len(data["entries"]) == 1
+    assert data["entries"][0]["code"] == "RL001"
+
+    # Same findings against the baseline: absorbed, run is clean.
+    capsys.readouterr()
+    assert main([str(target), "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out and "1 baselined" in out
+
+    # A regression (second occurrence of the same finding shape elsewhere)
+    # still fails.
+    target2 = tmp_path / "fresh.py"
+    target2.write_text("import numpy as np\ny = np.random.rand()\n", "utf-8")
+    assert main([str(target), str(target2),
+                 "--baseline", str(baseline)]) == 1
+
+
+def test_baseline_count_budget():
+    base = Baseline.from_diagnostics([_diag(line=3)])
+    fresh, absorbed = base.split([_diag(line=3), _diag(line=9)])
+    assert len(absorbed) == 1  # one occurrence absorbed...
+    assert len(fresh) == 1     # ...the extra one is a regression
+
+
+def test_missing_baseline_is_usage_error(tmp_path, capsys):
+    target = tmp_path / "ok.py"
+    target.write_text("x = 1\n", "utf-8")
+    assert main([str(target), "--baseline",
+                 str(tmp_path / "nope.json")]) == 2
+    assert "no baseline" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------- #
+# CLI: severity threshold, stats, metrics file.
+# --------------------------------------------------------------------- #
+
+
+def test_fail_on_threshold(tmp_path):
+    # A typing-only upward import is warn-tier: --fail-on error passes,
+    # --fail-on warn fails.
+    root = tmp_path / "src" / "repro"
+    (root / "util").mkdir(parents=True)
+    (root / "cli").mkdir()
+    (root / "__init__.py").write_text("")
+    (root / "util" / "__init__.py").write_text("")
+    (root / "cli" / "__init__.py").write_text("")
+    (root / "cli" / "main.py").write_text("class App:\n    pass\n")
+    (root / "util" / "helper.py").write_text(
+        "from typing import TYPE_CHECKING\n"
+        "if TYPE_CHECKING:\n"
+        "    from repro.cli.main import App\n"
+    )
+    import os
+    cwd = os.getcwd()
+    os.chdir(tmp_path)
+    try:
+        assert main(["src", "--fail-on", "error"]) == 0
+        assert main(["src", "--fail-on", "warn"]) == 1
+    finally:
+        os.chdir(cwd)
+
+
+def test_stats_and_metrics_file(tmp_path, capsys):
+    target = tmp_path / "clean.py"
+    target.write_text("x = 1\n", "utf-8")
+    metrics = tmp_path / "metrics.json"
+    assert main([str(target), "--stats", "--emit-metrics",
+                 str(metrics)]) == 0
+    out = capsys.readouterr().out
+    assert "files scanned:" in out
+    assert "findings by tier:" in out
+    summary = json.loads(metrics.read_text("utf-8"))
+    assert summary["files_scanned"] == 1
+    assert summary["severity_counts"] == {"error": 0, "warn": 0, "info": 0}
+    assert summary["cache"] == "off"
+
+
+def test_cache_roundtrip_via_cli(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text("x = 1\n", "utf-8")
+    cache = tmp_path / ".lint-cache"
+    metrics = tmp_path / "m.json"
+    main([str(target), "--cache-dir", str(cache),
+          "--emit-metrics", str(metrics)])
+    assert json.loads(metrics.read_text("utf-8"))["cache"] == "miss"
+    main([str(target), "--cache-dir", str(cache),
+          "--emit-metrics", str(metrics)])
+    assert json.loads(metrics.read_text("utf-8"))["cache"] == "hit"
+
+
+def test_obs_counters_recorded(tmp_path):
+    # With a live registry installed, the engine emits lint.* metrics.
+    from repro.obs import MetricsRegistry, use
+
+    reg = MetricsRegistry()
+    target = tmp_path / "bad.py"
+    target.write_text("import numpy as np\nx = np.random.rand()\n", "utf-8")
+    with use(reg):
+        main([str(target)])
+    assert any(k.startswith("lint.findings") for k in reg.counters)
+    assert any(
+        k.startswith("lint.graph_build_seconds") for k in reg.histograms
+    )
+    assert any(k.startswith("lint.files_scanned") for k in reg.gauges)
+
+
+# --------------------------------------------------------------------- #
+# Repo policy gates (run against the real tree).
+# --------------------------------------------------------------------- #
+
+
+def test_committed_baseline_has_zero_error_entries():
+    baseline = Baseline.load(DEFAULT_BASELINE_PATH)
+    assert baseline.error_entries() == [], (
+        "the committed baseline may park warn/info debt but never "
+        "error-tier findings — fix them instead"
+    )
+
+
+def test_contract_assigns_every_repro_package():
+    contract = load_contract()
+    assigned = contract.assigned_packages()
+    src_repro = REPO_ROOT / "src" / "repro"
+    actual = {
+        p.name
+        for p in src_repro.iterdir()
+        if p.is_dir() and (p / "__init__.py").exists()
+    }
+    unassigned = actual - assigned
+    assert not unassigned, (
+        f"packages missing from tools/repro_lint/contracts.toml: "
+        f"{sorted(unassigned)} — RL010 skips unassigned packages, so "
+        f"every package must be placed in a layer"
+    )
+    ghosts = assigned - actual
+    assert not ghosts, (
+        f"contract names packages that do not exist: {sorted(ghosts)}"
+    )
+
+
+@pytest.mark.slow
+def test_whole_program_pass_under_ten_seconds():
+    import time
+
+    from tools.repro_lint.engine import run_lint
+
+    t0 = time.perf_counter()
+    run_lint(
+        [str(REPO_ROOT / d) for d in ("src", "tools", "tests", "benchmarks")]
+    )
+    assert time.perf_counter() - t0 < 10.0

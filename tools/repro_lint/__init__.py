@@ -12,29 +12,50 @@ Programmatic use::
     findings = lint_paths(["src", "tests"])
 """
 
+from tools.repro_lint.baseline import Baseline
+from tools.repro_lint.contracts import Contract, load_contract
 from tools.repro_lint.diagnostics import Diagnostic, sort_diagnostics
 from tools.repro_lint.engine import (
+    GraphContext,
     LintContext,
+    LintResult,
     iter_python_files,
     lint_file,
     lint_paths,
     lint_source,
+    run_lint,
 )
-from tools.repro_lint.registry import Rule, all_rules, get_rule, register
+from tools.repro_lint.graph import ProjectModel, build_project
+from tools.repro_lint.registry import (
+    GraphRule,
+    Rule,
+    all_rules,
+    get_rule,
+    register,
+)
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    "Baseline",
+    "Contract",
     "Diagnostic",
+    "GraphContext",
+    "GraphRule",
     "LintContext",
+    "LintResult",
+    "ProjectModel",
     "Rule",
     "all_rules",
+    "build_project",
     "get_rule",
     "iter_python_files",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "load_contract",
     "register",
+    "run_lint",
     "sort_diagnostics",
     "__version__",
 ]

@@ -1,0 +1,113 @@
+"""Committed-baseline mode: adopt today's findings, fail only regressions.
+
+A baseline file records accepted findings as ``(path, code, message)``
+triples with occurrence counts — deliberately *without* line numbers, so
+unrelated edits that shift a finding do not churn the file.  ``--baseline
+FILE`` filters matching findings out of the failing set (they are still
+counted and reported in ``--stats``); ``--update-baseline`` rewrites the
+file from the current findings.
+
+The committed baseline (``tools/repro_lint/baseline.json``) is itself
+gated: a pytest test asserts it contains zero error-tier entries, so the
+baseline can park warn/info debt but never an invariant violation.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from tools.repro_lint.diagnostics import Diagnostic
+
+BASELINE_FORMAT_VERSION = 1
+
+DEFAULT_BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
+
+Key = tuple[str, str, str]  # (path, code, message)
+
+
+@dataclass
+class Baseline:
+    """Accepted findings, keyed by (path, code, message) with counts."""
+
+    entries: Counter = field(default_factory=Counter)
+    severities: dict[Key, str] = field(default_factory=dict)
+    source_path: Optional[str] = None
+
+    @staticmethod
+    def key_of(diag: Diagnostic) -> Key:
+        return (diag.path, diag.code, diag.message)
+
+    def split(
+        self, diags: list[Diagnostic]
+    ) -> tuple[list[Diagnostic], list[Diagnostic]]:
+        """Partition into (new findings, baselined findings).
+
+        Each baseline entry absorbs at most its recorded count of
+        occurrences; extra occurrences of a baselined finding are
+        regressions and stay in the failing set.
+        """
+        budget = Counter(self.entries)
+        fresh: list[Diagnostic] = []
+        absorbed: list[Diagnostic] = []
+        for diag in diags:
+            key = self.key_of(diag)
+            if budget[key] > 0:
+                budget[key] -= 1
+                absorbed.append(diag)
+            else:
+                fresh.append(diag)
+        return fresh, absorbed
+
+    def error_entries(self) -> list[Key]:
+        """Keys of baselined findings recorded at error severity."""
+        return sorted(
+            key for key, sev in self.severities.items() if sev == "error"
+        )
+
+    # -- persistence ---------------------------------------------------- #
+
+    @classmethod
+    def from_diagnostics(cls, diags: list[Diagnostic]) -> "Baseline":
+        baseline = cls()
+        for diag in diags:
+            key = cls.key_of(diag)
+            baseline.entries[key] += 1
+            baseline.severities[key] = diag.severity
+        return baseline
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text("utf-8"))
+        if data.get("format_version") != BASELINE_FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: baseline format {data.get('format_version')!r} "
+                f"!= {BASELINE_FORMAT_VERSION}"
+            )
+        baseline = cls(source_path=str(path))
+        for entry in data.get("entries", []):
+            key = (entry["path"], entry["code"], entry["message"])
+            baseline.entries[key] = int(entry.get("count", 1))
+            baseline.severities[key] = entry.get("severity", "error")
+        return baseline
+
+    def save(self, path: Path) -> None:
+        entries = [
+            {
+                "path": key[0],
+                "code": key[1],
+                "message": key[2],
+                "count": count,
+                "severity": self.severities.get(key, "error"),
+            }
+            for key, count in sorted(self.entries.items())
+        ]
+        payload = {
+            "format_version": BASELINE_FORMAT_VERSION,
+            "entries": entries,
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        "utf-8")

@@ -1,0 +1,204 @@
+"""The architecture contract: declared package layers, loaded from TOML.
+
+``contracts.toml`` (checked in next to this module) declares an ordered
+list of layers, each naming the top-level ``repro`` sub-packages it
+contains.  A package may import its own layer or any layer *below* it;
+importing upward is an RL010 error, and mutually-importing packages (a
+package-level cycle) are an RL010 error regardless of layer.  Typing-only
+upward imports (inside ``if TYPE_CHECKING:``) demote to warn — they are
+coupling, but not load-bearing at runtime.
+
+The same file carries the data-driven knobs of the other graph rules
+(RL011 entry-point names), so tightening the contract is a data change,
+not a code change.
+
+Python 3.11+ parses the file with :mod:`tomllib`; on 3.10 a minimal
+built-in parser covering exactly the subset this file uses (tables,
+arrays of tables, strings, ints, bools, string arrays) takes over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+DEFAULT_CONTRACT_PATH = Path(__file__).resolve().parent / "contracts.toml"
+
+
+@dataclass(frozen=True)
+class Layer:
+    name: str
+    index: int
+    packages: tuple[str, ...]
+
+
+@dataclass
+class Contract:
+    """Parsed architecture contract."""
+
+    root: str
+    layers: list[Layer]
+    exempt_modules: tuple[str, ...] = ()
+    rl011_entry_points: tuple[str, ...] = ()
+    source_path: Optional[str] = None
+    _layer_of: dict[str, Layer] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for layer in self.layers:
+            for pkg in layer.packages:
+                if pkg in self._layer_of:
+                    raise ValueError(
+                        f"package {pkg!r} assigned to two layers "
+                        f"({self._layer_of[pkg].name!r} and {layer.name!r})"
+                    )
+                self._layer_of[pkg] = layer
+
+    def layer_of(self, package: str) -> Optional[Layer]:
+        """Layer of a top-level sub-package of ``root`` (None: unassigned)."""
+        return self._layer_of.get(package)
+
+    def package_of_module(self, module_name: str) -> Optional[str]:
+        """Contract package of a dotted module, or None if out of scope."""
+        if module_name in self.exempt_modules:
+            return None
+        prefix = self.root + "."
+        if not module_name.startswith(prefix):
+            return None
+        return module_name[len(prefix):].split(".")[0]
+
+    def assigned_packages(self) -> set[str]:
+        return set(self._layer_of)
+
+
+def load_contract(path: Optional[Path] = None) -> Contract:
+    """Load and validate the contract from ``contracts.toml``."""
+    path = path or DEFAULT_CONTRACT_PATH
+    data = parse_toml(path.read_text("utf-8"))
+    contract = data.get("contract", {})
+    raw_layers = data.get("layer", [])
+    if not raw_layers:
+        raise ValueError(f"{path}: no [[layer]] tables declared")
+    layers = [
+        Layer(
+            name=str(entry["name"]),
+            index=i,
+            packages=tuple(entry.get("packages", [])),
+        )
+        for i, entry in enumerate(raw_layers)
+    ]
+    rules = data.get("rules", {})
+    rl011 = rules.get("RL011", {}) if isinstance(rules, dict) else {}
+    return Contract(
+        root=str(contract.get("root", "repro")),
+        layers=layers,
+        exempt_modules=tuple(contract.get("exempt_modules", [])),
+        rl011_entry_points=tuple(rl011.get("entry_points", [])),
+        source_path=str(path),
+    )
+
+
+def parse_toml(text: str) -> dict[str, Any]:
+    """Parse TOML via stdlib tomllib, or the minimal fallback on 3.10."""
+    try:
+        import tomllib
+    except ImportError:
+        return _parse_minimal_toml(text)
+    return tomllib.loads(text)
+
+
+def _parse_minimal_toml(text: str) -> dict[str, Any]:
+    """Parse the TOML subset ``contracts.toml`` uses.
+
+    Supports ``[table]``, ``[table.sub]``, ``[[array.of.tables]]``,
+    ``key = "string" | 123 | true | false | [ "a", "b" ]`` (arrays may
+    span lines) and ``#`` comments.  Anything else raises ValueError —
+    this is a fallback for Python 3.10, not a general parser.
+    """
+    root: dict[str, Any] = {}
+    current: dict[str, Any] = root
+    pending = ""
+    pending_key = ""
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = _strip_comment(raw).strip()
+        if pending_key:
+            pending += " " + line
+            if _array_closed(pending):
+                current[pending_key] = _parse_value(pending.strip(), lineno)
+                pending_key = pending = ""
+            continue
+        if not line:
+            continue
+        if line.startswith("[[") and line.endswith("]]"):
+            current = _enter_array_table(root, line[2:-2].strip())
+        elif line.startswith("[") and line.endswith("]"):
+            current = _enter_table(root, line[1:-1].strip())
+        elif "=" in line:
+            key, _, value = line.partition("=")
+            key, value = key.strip(), value.strip()
+            if value.startswith("[") and not _array_closed(value):
+                pending_key, pending = key, value
+                continue
+            current[key] = _parse_value(value, lineno)
+        else:
+            raise ValueError(f"toml fallback: cannot parse line {lineno}: {raw!r}")
+    if pending_key:
+        raise ValueError(f"toml fallback: unterminated array for {pending_key!r}")
+    return root
+
+
+def _strip_comment(line: str) -> str:
+    out: list[str] = []
+    in_str = False
+    for ch in line:
+        if ch == '"':
+            in_str = not in_str
+        if ch == "#" and not in_str:
+            break
+        out.append(ch)
+    return "".join(out)
+
+
+def _array_closed(fragment: str) -> bool:
+    return fragment.count("[") <= fragment.count("]")
+
+
+def _enter_table(root: dict[str, Any], dotted: str) -> dict[str, Any]:
+    node = root
+    for part in dotted.split("."):
+        node = node.setdefault(part.strip(), {})
+    return node
+
+
+def _enter_array_table(root: dict[str, Any], dotted: str) -> dict[str, Any]:
+    parts = [p.strip() for p in dotted.split(".")]
+    node = root
+    for part in parts[:-1]:
+        node = node.setdefault(part, {})
+    arr = node.setdefault(parts[-1], [])
+    entry: dict[str, Any] = {}
+    arr.append(entry)
+    return entry
+
+
+def _parse_value(value: str, lineno: int) -> Any:
+    value = value.strip()
+    if value.startswith('"') and value.endswith('"') and len(value) >= 2:
+        return value[1:-1]
+    if value in ("true", "false"):
+        return value == "true"
+    if value.startswith("[") and value.endswith("]"):
+        inner = value[1:-1].strip()
+        if not inner:
+            return []
+        return [
+            _parse_value(item.strip(), lineno)
+            for item in inner.split(",")
+            if item.strip()
+        ]
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(
+            f"toml fallback: unsupported value on line {lineno}: {value!r}"
+        ) from None

@@ -1,15 +1,30 @@
 """Diagnostic records emitted by repro-lint rules.
 
 A :class:`Diagnostic` pins a rule violation to a ``file:line:col`` location
-and carries both the human-readable message and a *fix hint* — the invariant
-checkers exist to teach the conventions, so every rule explains how to comply
-rather than just complaining.
+and carries the human-readable message, a *fix hint* — the invariant
+checkers exist to teach the conventions, so every rule explains how to
+comply rather than just complaining — and a severity tier:
+
+``error``
+    Violates a correctness invariant; fails the build (subject to the
+    committed baseline, see ``baseline.py``).
+``warn``
+    Probably wrong or fragile, but with known-legitimate shapes (e.g. a
+    bound method crossing a process boundary); reported, does not fail
+    the build by default.
+``info``
+    Advisory only (e.g. contract-coverage notes).
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
+
+SEVERITIES = ("error", "warn", "info")
+
+#: Diagnostic severity -> SARIF 2.1.0 result level.
+SARIF_LEVELS = {"error": "error", "warn": "warning", "info": "note"}
 
 
 @dataclass(frozen=True, order=True)
@@ -22,10 +37,20 @@ class Diagnostic:
     code: str
     message: str
     hint: str = field(default="", compare=False)
+    severity: str = field(default="error", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity {self.severity!r} not one of {SEVERITIES}"
+            )
 
     def format(self, *, show_hint: bool = True) -> str:
-        """Render ``path:line:col: CODE message`` (plus the hint if any)."""
-        text = f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+        """Render ``path:line:col: CODE [severity] message`` (+ hint)."""
+        text = (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} [{self.severity}] {self.message}"
+        )
         if show_hint and self.hint:
             text += f"\n    hint: {self.hint}"
         return text
@@ -37,3 +62,10 @@ class Diagnostic:
 def sort_diagnostics(diags: list[Diagnostic]) -> list[Diagnostic]:
     """Stable order for reporting: by path, then line, column and code."""
     return sorted(diags)
+
+
+def count_by_severity(diags: list[Diagnostic]) -> dict[str, int]:
+    counts = {sev: 0 for sev in SEVERITIES}
+    for diag in diags:
+        counts[diag.severity] += 1
+    return counts

@@ -1,23 +1,60 @@
-"""Lint engine: file discovery, parsing, rule dispatch, waiver filtering.
+"""Lint engine: discovery, parsing, two-pass analysis, waivers, baseline.
 
-The engine owns everything that is not rule-specific: walking the target
-paths, building one :class:`LintContext` per file (AST + import table +
-waivers), running each enabled rule, and dropping diagnostics whose line
-carries a matching waiver.  Rules therefore never need to think about
-waivers, file systems or syntax errors.
+The engine owns everything that is not rule-specific.  Linting is now two
+passes over the target tree:
+
+**Pass 1 — project model.**  Every file is parsed once; per-file symbol
+tables, the import graph and a best-effort intra-project call graph are
+assembled into a :class:`~tools.repro_lint.graph.ProjectModel` (optionally
+loaded from an on-disk cache keyed by source content, since the model is
+pure data).
+
+**Pass 2 — rules.**  File rules (RL001–RL009) run against each file's
+:class:`LintContext`; graph rules (RL010+) run once against a
+:class:`GraphContext` wrapping the model and the architecture contract.
+Diagnostics from either kind pass through the same waiver filter — a
+``# repro-lint: disable=RLnnn`` on the flagged line suppresses a graph
+finding exactly like a file finding — and then through the committed
+baseline, so CI fails only on regressions.
+
+When ``repro.obs`` is importable (PYTHONPATH includes ``src``), the engine
+records ``lint.findings`` counters and a ``lint.graph_build_seconds``
+sample against the active metrics registry; with the default no-op
+registry this costs nothing.
 """
 
 from __future__ import annotations
 
 import ast
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
 from tools.repro_lint.astutil import ImportTable
-from tools.repro_lint.diagnostics import Diagnostic, sort_diagnostics
-from tools.repro_lint.registry import Rule, all_rules
+from tools.repro_lint.baseline import Baseline
+from tools.repro_lint.contracts import Contract, load_contract
+from tools.repro_lint.diagnostics import (
+    Diagnostic,
+    count_by_severity,
+    sort_diagnostics,
+)
+from tools.repro_lint.graph import (
+    ProjectModel,
+    build_project,
+    content_key,
+    load_cached_model,
+    store_cached_model,
+)
+from tools.repro_lint.registry import (
+    AnyRule,
+    GraphRule,
+    Rule,
+    all_rules,
+    is_graph_rule,
+    rule_severity,
+)
 from tools.repro_lint.waivers import Waivers, parse_waivers
 
 #: Directory names never descended into.
@@ -27,7 +64,7 @@ SKIP_DIRS = {"__pycache__", ".git", ".venv", "venv", "node_modules", ".mypy_cach
 
 @dataclass
 class LintContext:
-    """Everything a rule may inspect about one source file."""
+    """Everything a file rule may inspect about one source file."""
 
     path: str  # as reported in diagnostics (relative when possible)
     tree: ast.Module
@@ -60,7 +97,7 @@ class LintContext:
         return self.posix_path.endswith("/".join(parts))
 
     def diagnostic(
-        self, rule: Rule, node: ast.AST, message: Optional[str] = None
+        self, rule: AnyRule, node: ast.AST, message: Optional[str] = None
     ) -> Diagnostic:
         """Build a Diagnostic for ``node`` carrying the rule's fix hint."""
         return Diagnostic(
@@ -70,7 +107,64 @@ class LintContext:
             code=rule.code,
             message=message or rule.description,
             hint=rule.hint,
+            severity=rule_severity(rule),
         )
+
+
+@dataclass
+class GraphContext:
+    """Everything a graph rule may inspect about the whole program."""
+
+    project: ProjectModel
+    contract: Contract
+
+    def diagnostic(
+        self,
+        rule: AnyRule,
+        *,
+        path: str,
+        line: int,
+        col: int = 0,
+        message: Optional[str] = None,
+        severity: Optional[str] = None,
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=path,
+            line=line,
+            col=col,
+            code=rule.code,
+            message=message or rule.description,
+            hint=rule.hint,
+            severity=severity or rule_severity(rule),
+        )
+
+
+@dataclass
+class FileRecord:
+    """One parsed target file (pass-1 product shared by both passes)."""
+
+    path: str
+    abs_path: Optional[Path]
+    source: str
+    tree: ast.Module
+    imports: ImportTable
+    waivers: Waivers
+
+
+@dataclass
+class LintResult:
+    """Full outcome of a two-pass lint run."""
+
+    diagnostics: list[Diagnostic]
+    baselined: list[Diagnostic] = field(default_factory=list)
+    files_scanned: int = 0
+    parse_errors: int = 0
+    model_stats: dict = field(default_factory=dict)
+    graph_build_seconds: float = 0.0
+    cache_state: str = "off"  # "off" | "hit" | "miss"
+
+    def severity_counts(self) -> dict[str, int]:
+        return count_by_severity(self.diagnostics)
 
 
 def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
@@ -103,13 +197,183 @@ def _display_path(path: Path) -> str:
         return str(path)
 
 
+def _load_records(
+    paths: Sequence[str | Path],
+) -> tuple[list[FileRecord], list[Diagnostic]]:
+    """Parse every target file once; syntax errors become diagnostics."""
+    records: list[FileRecord] = []
+    errors: list[Diagnostic] = []
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        display = _display_path(path)
+        try:
+            tree = ast.parse(source, filename=display)
+        except SyntaxError as exc:
+            errors.append(Diagnostic(
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code="RL999",
+                message=f"syntax error: {exc.msg}",
+                hint="repro-lint only checks files that parse",
+            ))
+            continue
+        records.append(FileRecord(
+            path=display,
+            abs_path=path,
+            source=source,
+            tree=tree,
+            imports=ImportTable(tree),
+            waivers=parse_waivers(display, source),
+        ))
+    return records, errors
+
+
+def _build_or_load_model(
+    records: list[FileRecord],
+    contract: Contract,
+    cache_dir: Optional[Path],
+) -> tuple[ProjectModel, str]:
+    """Assemble the project model, consulting the content-keyed cache."""
+    if cache_dir is not None:
+        key = content_key(
+            ((r.path, r.source) for r in records),
+            salt=f"contract:{contract.source_path}:"
+                 f"{_contract_fingerprint(contract)}",
+        )
+        cached = load_cached_model(cache_dir, key)
+        if cached is not None:
+            return cached, "hit"
+    model = build_project(
+        (r.path, r.tree, r.abs_path) for r in records
+    )
+    if cache_dir is not None:
+        store_cached_model(cache_dir, key, model)
+        return model, "miss"
+    return model, "off"
+
+
+def _contract_fingerprint(contract: Contract) -> str:
+    layers = ";".join(
+        f"{layer.name}={','.join(layer.packages)}" for layer in contract.layers
+    )
+    return f"{contract.root}|{layers}|{','.join(contract.rl011_entry_points)}"
+
+
+def _record_obs(result: LintResult) -> None:
+    """Best-effort hook into repro.obs; a no-op without src on the path."""
+    try:
+        from repro.obs import get_registry
+    except Exception:
+        return
+    reg = get_registry()
+    from collections import Counter
+
+    counts: Counter[tuple[str, str]] = Counter(
+        (d.code, d.severity) for d in result.diagnostics
+    )
+    for (code, severity), n in sorted(counts.items()):
+        reg.counter("lint.findings", n, rule=code, severity=severity)
+    reg.gauge("lint.files_scanned", float(result.files_scanned))
+    if result.model_stats:
+        reg.gauge("lint.graph_modules", float(result.model_stats["modules"]))
+        reg.gauge("lint.graph_import_edges",
+                  float(result.model_stats["import_edges"]))
+        reg.gauge("lint.graph_call_edges",
+                  float(result.model_stats["call_edges"]))
+    reg.observe("lint.graph_build_seconds", result.graph_build_seconds)
+
+
+def _select_rules(
+    select: Optional[Iterable[str]], ignore: Optional[Iterable[str]]
+) -> list[AnyRule]:
+    rules = all_rules()
+    if select is not None:
+        wanted = set(select)
+        rules = [r for r in rules if r.code in wanted]
+    if ignore is not None:
+        unwanted = set(ignore)
+        rules = [r for r in rules if r.code not in unwanted]
+    return rules
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    graph: bool = True,
+    contract_path: Optional[Path] = None,
+    baseline: Optional[Baseline] = None,
+    cache_dir: Optional[Path] = None,
+) -> LintResult:
+    """Two-pass lint over files/directories; the full-featured entry point."""
+    rules = _select_rules(select, ignore)
+    frules: list[Rule] = [r for r in rules if not is_graph_rule(r)]
+    grules: list[GraphRule] = [r for r in rules if is_graph_rule(r)]
+
+    records, diags = _load_records(paths)
+    parse_errors = len(diags)
+    waivers_by_path = {r.path: r.waivers for r in records}
+    for record in records:
+        diags.extend(record.waivers.errors)
+
+    # Pass 2a: file-local rules.
+    for record in records:
+        ctx = LintContext(
+            path=record.path, tree=record.tree, source=record.source,
+            imports=record.imports, waivers=record.waivers,
+        )
+        for rule in frules:
+            for diag in rule.check(ctx):
+                if not record.waivers.is_waived(diag.code, diag.line):
+                    diags.append(diag)
+
+    # Pass 1 + 2b: project model and graph rules.
+    result = LintResult(diagnostics=[], files_scanned=len(records),
+                        parse_errors=parse_errors)
+    if graph and grules:
+        t0 = time.perf_counter()
+        contract = load_contract(contract_path)
+        model, cache_state = _build_or_load_model(records, contract, cache_dir)
+        result.graph_build_seconds = time.perf_counter() - t0
+        result.cache_state = cache_state
+        result.model_stats = model.stats()
+        gctx = GraphContext(project=model, contract=contract)
+        for grule in grules:
+            for diag in grule.check_project(gctx):
+                waivers = waivers_by_path.get(diag.path)
+                if waivers is not None and waivers.is_waived(diag.code, diag.line):
+                    continue
+                diags.append(diag)
+
+    diags = sort_diagnostics(diags)
+    if baseline is not None:
+        diags, baselined = baseline.split(diags)
+        result.baselined = baselined
+    result.diagnostics = diags
+    _record_obs(result)
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Back-compatible entry points.
+# --------------------------------------------------------------------- #
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
-    rules: Optional[Iterable[Rule]] = None,
+    rules: Optional[Iterable[AnyRule]] = None,
 ) -> list[Diagnostic]:
-    """Lint a source string (the unit-test entry point)."""
-    rules = list(rules) if rules is not None else all_rules()
+    """Lint a source string with the file rules (the unit-test entry point).
+
+    Graph rules need a whole project; use
+    :func:`tools.repro_lint.graph.build_project_from_sources` plus
+    :class:`GraphContext` to exercise them against in-memory modules.
+    """
+    chosen = list(rules) if rules is not None else all_rules()
+    file_rules = [r for r in chosen if not is_graph_rule(r)]
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -129,15 +393,15 @@ def lint_source(
         imports=ImportTable(tree), waivers=waivers,
     )
     diags: list[Diagnostic] = list(waivers.errors)
-    for rule in rules:
+    for rule in file_rules:
         for diag in rule.check(ctx):
             if not waivers.is_waived(diag.code, diag.line):
                 diags.append(diag)
     return sort_diagnostics(diags)
 
 
-def lint_file(path: Path, rules: Optional[Iterable[Rule]] = None) -> list[Diagnostic]:
-    """Lint one file from disk."""
+def lint_file(path: Path, rules: Optional[Iterable[AnyRule]] = None) -> list[Diagnostic]:
+    """Lint one file from disk with the file rules."""
     source = path.read_text(encoding="utf-8")
     return lint_source(source, path=_display_path(path), rules=rules)
 
@@ -147,15 +411,5 @@ def lint_paths(
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
 ) -> list[Diagnostic]:
-    """Lint files/directories; optionally filter the rule set by code."""
-    rules = all_rules()
-    if select is not None:
-        wanted = set(select)
-        rules = [r for r in rules if r.code in wanted]
-    if ignore is not None:
-        unwanted = set(ignore)
-        rules = [r for r in rules if r.code not in unwanted]
-    diags: list[Diagnostic] = []
-    for path in iter_python_files(paths):
-        diags.extend(lint_file(path, rules=rules))
-    return sort_diagnostics(diags)
+    """Lint files/directories with the full two-pass analysis."""
+    return run_lint(paths, select=select, ignore=ignore).diagnostics

@@ -1,0 +1,334 @@
+"""The project model: modules, import graph and intra-project call graph.
+
+Pass 1 of the whole-program analyzer assembles one :class:`ProjectModel`
+from the per-file :class:`~tools.repro_lint.symbols.ModuleInfo` records.
+The model then offers the queries the graph rules are written against:
+
+* ``import_edges()`` — every module-to-module import with its source
+  location (package-level aggregation is the layering rule's job);
+* ``resolve(dotted)`` — canonicalize a provisional dotted call target to a
+  known project function, following ``from x import y`` re-export chains
+  (package ``__init__`` facades) up to a fixed depth;
+* ``callers_of`` / reverse-BFS helpers — interprocedural reachability for
+  the taint and async-blocking rules.
+
+The model is plain data end to end, so :meth:`to_dict`/:meth:`from_dict`
+round-trip through JSON and the whole pass-1 product can be cached on disk
+keyed by source content (see ``engine.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+from tools.repro_lint.symbols import (
+    FunctionInfo,
+    ImportEdge,
+    ModuleInfo,
+    extract_module,
+)
+
+MODEL_FORMAT_VERSION = 1
+
+#: How many ``from x import y`` re-export hops to follow when
+#: canonicalizing a call target (guards against pathological chains).
+_MAX_REEXPORT_HOPS = 8
+
+
+@dataclass
+class ResolvedImport:
+    """One import edge with both endpoints known to the model."""
+
+    src_module: str
+    dst_module: str
+    line: int
+    col: int
+    typing_only: bool
+
+
+@dataclass
+class ProjectModel:
+    """Whole-program view assembled from per-module symbol tables."""
+
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+    #: qualname -> FunctionInfo, across every module.
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: qualname -> qualnames of project functions calling it.
+    _reverse_calls: dict[str, list[str]] = field(default_factory=dict)
+    _module_names_sorted: list[str] = field(default_factory=list)
+    finalized: bool = False
+
+    # -- construction --------------------------------------------------- #
+
+    def add_module(self, mod: ModuleInfo) -> None:
+        self.modules[mod.name] = mod
+        self.finalized = False
+
+    def finalize(self) -> None:
+        """Index functions and resolve call edges; idempotent."""
+        self.functions = {}
+        for mod in self.modules.values():
+            self.functions.update(mod.function_infos)
+        self._module_names_sorted = sorted(self.modules)
+        for fn in self.functions.values():
+            seen: set[str] = set()
+            fn.resolved_callees = []
+            for call in fn.calls:
+                if call.target is None:
+                    continue
+                resolved = self.resolve(call.target)
+                if resolved is not None and resolved.qualname not in seen:
+                    seen.add(resolved.qualname)
+                    fn.resolved_callees.append(resolved.qualname)
+        self._reverse_calls = {}
+        for fn in self.functions.values():
+            for callee in fn.resolved_callees:
+                self._reverse_calls.setdefault(callee, []).append(fn.qualname)
+        self.finalized = True
+
+    # -- module / symbol queries ---------------------------------------- #
+
+    def module_of_path(self, path: str) -> Optional[ModuleInfo]:
+        for mod in self.modules.values():
+            if mod.path == path:
+                return mod
+        return None
+
+    def _longest_module_prefix(
+        self, parts: list[str]
+    ) -> tuple[Optional[ModuleInfo], list[str]]:
+        for cut in range(len(parts), 0, -1):
+            name = ".".join(parts[:cut])
+            mod = self.modules.get(name)
+            if mod is not None:
+                return mod, parts[cut:]
+        return None, parts
+
+    def resolve(
+        self, dotted: str, _depth: int = 0
+    ) -> Optional[FunctionInfo]:
+        """Canonical project function for a provisional dotted target.
+
+        Follows module ``__init__`` re-exports (``from repro.mining.rules
+        import generate_rules`` makes ``repro.mining.generate_rules``
+        resolve to the real definition).  Anything that does not land on a
+        known project function — external libraries, dynamic attributes —
+        returns ``None``.
+        """
+        if _depth > _MAX_REEXPORT_HOPS:
+            return None
+        direct = self.functions.get(dotted)
+        if direct is not None:
+            return direct
+        parts = dotted.split(".")
+        mod, rest = self._longest_module_prefix(parts)
+        if mod is None or not rest:
+            return None
+        if len(rest) == 1:
+            sym = rest[0]
+            q = mod.functions.get(sym)
+            if q is not None:
+                return self.functions.get(q)
+            if sym in mod.classes:
+                init = mod.classes[sym].get("__init__")
+                return self.functions.get(init) if init else None
+            bound = mod.bindings.get(sym) or mod.aliases.get(sym)
+            if bound is not None and bound != dotted:
+                return self.resolve(bound, _depth + 1)
+            return None
+        if len(rest) == 2:
+            cls, meth = rest
+            if cls in mod.classes:
+                q = mod.classes[cls].get(meth)
+                return self.functions.get(q) if q else None
+            bound = mod.bindings.get(cls) or mod.aliases.get(cls)
+            if bound is not None:
+                return self.resolve(f"{bound}.{meth}", _depth + 1)
+        return None
+
+    # -- import graph --------------------------------------------------- #
+
+    def import_edges(self) -> Iterator[tuple[ModuleInfo, ImportEdge]]:
+        """Every raw import edge with its owning module, sorted."""
+        for name in self._module_names_sorted or sorted(self.modules):
+            mod = self.modules[name]
+            for edge in mod.imports:
+                yield mod, edge
+
+    def project_import_edges(self) -> Iterator[ResolvedImport]:
+        """Import edges whose *target* is (a prefix of) a project module.
+
+        ``from repro.bgl import cmcs`` resolves to target module
+        ``repro.bgl`` — package-level rules aggregate further themselves.
+        """
+        for mod, edge in self.import_edges():
+            target = self._known_module_prefix(edge.target)
+            if target is None or target == mod.name:
+                continue
+            yield ResolvedImport(
+                src_module=mod.name, dst_module=target,
+                line=edge.line, col=edge.col, typing_only=edge.typing_only,
+            )
+
+    def _known_module_prefix(self, dotted: str) -> Optional[str]:
+        parts = dotted.split(".")
+        mod, _rest = self._longest_module_prefix(parts)
+        return mod.name if mod is not None else None
+
+    # -- call graph ----------------------------------------------------- #
+
+    def callers_of(self, qualname: str) -> list[str]:
+        return self._reverse_calls.get(qualname, [])
+
+    def reverse_reachable(
+        self, roots: Iterable[str], *, max_depth: int = 64
+    ) -> dict[str, tuple[str, ...]]:
+        """Map of function -> witness path (root-first) for every function
+        from which any ``root`` is reachable through resolved calls."""
+        paths: dict[str, tuple[str, ...]] = {}
+        frontier: list[tuple[str, tuple[str, ...]]] = [
+            (r, (r,)) for r in roots if r in self.functions
+        ]
+        depth = 0
+        seen: set[str] = {r for r, _ in frontier}
+        while frontier and depth < max_depth:
+            nxt: list[tuple[str, tuple[str, ...]]] = []
+            for qual, path in frontier:
+                paths.setdefault(qual, path)
+                for caller in self.callers_of(qual):
+                    if caller not in seen:
+                        seen.add(caller)
+                        nxt.append((caller, (caller,) + path))
+            frontier = nxt
+            depth += 1
+        return paths
+
+    def forward_reach(
+        self, root: str, *, through: Optional[set[str]] = None,
+        max_depth: int = 64,
+    ) -> dict[str, tuple[str, ...]]:
+        """Map of reachable function -> call path from ``root`` (inclusive).
+
+        ``through`` restricts which *intermediate* functions may be
+        traversed (e.g. "sync functions only" for the async rule); the
+        root and terminal nodes are always admitted.
+        """
+        out: dict[str, tuple[str, ...]] = {root: (root,)}
+        frontier = [root]
+        depth = 0
+        while frontier and depth < max_depth:
+            nxt: list[str] = []
+            for qual in frontier:
+                fn = self.functions.get(qual)
+                if fn is None:
+                    continue
+                if qual != root and through is not None and qual not in through:
+                    continue  # terminal: do not traverse further
+                for callee in fn.resolved_callees:
+                    if callee not in out:
+                        out[callee] = out[qual] + (callee,)
+                        nxt.append(callee)
+            frontier = nxt
+            depth += 1
+        return out
+
+    # -- stats / serialization ------------------------------------------ #
+
+    def stats(self) -> dict[str, int]:
+        import_edges = sum(len(m.imports) for m in self.modules.values())
+        call_edges = sum(
+            len(f.resolved_callees) for f in self.functions.values()
+        )
+        return {
+            "modules": len(self.modules),
+            "functions": len(self.functions),
+            "import_edges": import_edges,
+            "call_edges": call_edges,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": MODEL_FORMAT_VERSION,
+            "modules": {
+                name: mod.to_dict() for name, mod in sorted(self.modules.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProjectModel":
+        if data.get("format_version") != MODEL_FORMAT_VERSION:
+            raise ValueError(
+                f"project-model format {data.get('format_version')!r} "
+                f"!= {MODEL_FORMAT_VERSION}"
+            )
+        model = cls()
+        for name, mod in data["modules"].items():
+            info = ModuleInfo.from_dict(mod)
+            assert info.name == name
+            model.add_module(info)
+        model.finalize()
+        return model
+
+
+def build_project(
+    files: Iterable[tuple[str, ast.Module, Optional[Path]]],
+) -> ProjectModel:
+    """Assemble and finalize a model from (display_path, tree, abs_path)."""
+    model = ProjectModel()
+    for display_path, tree, abs_path in files:
+        model.add_module(
+            extract_module(display_path, tree, abs_path=abs_path)
+        )
+    model.finalize()
+    return model
+
+
+def build_project_from_sources(sources: dict[str, str]) -> ProjectModel:
+    """Test/entry helper: {module_name: source} -> finalized model.
+
+    Module names are taken verbatim (no filesystem walk), with paths
+    synthesized as ``<name>.py``.
+    """
+    model = ProjectModel()
+    for name, source in sources.items():
+        tree = ast.parse(source, filename=f"{name}.py")
+        path = name.replace(".", "/") + ".py"
+        model.add_module(extract_module(path, tree, name=name))
+    model.finalize()
+    return model
+
+
+def content_key(
+    entries: Iterable[tuple[str, str]], *, salt: str = ""
+) -> str:
+    """Cache key over (display_path, source) pairs plus a salt string."""
+    h = hashlib.sha256()
+    h.update(f"v{MODEL_FORMAT_VERSION}|{salt}|".encode())
+    for path, source in sorted(entries):
+        h.update(path.encode())
+        h.update(b"\x00")
+        h.update(hashlib.sha256(source.encode()).digest())
+    return h.hexdigest()
+
+
+def load_cached_model(cache_dir: Path, key: str) -> Optional[ProjectModel]:
+    path = cache_dir / f"model-{key}.json"
+    if not path.is_file():
+        return None
+    try:
+        return ProjectModel.from_dict(json.loads(path.read_text("utf-8")))
+    except (ValueError, KeyError, json.JSONDecodeError):
+        return None  # stale/corrupt cache entries are rebuilt, not fatal
+
+
+def store_cached_model(cache_dir: Path, key: str, model: ProjectModel) -> None:
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    path = cache_dir / f"model-{key}.json"
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(model.to_dict(), sort_keys=True), "utf-8")
+    tmp.replace(path)

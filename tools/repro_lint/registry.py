@@ -1,7 +1,15 @@
 """Plugin-style rule registry.
 
-A rule is a class with ``code``/``name``/``description``/``hint`` attributes
-and a ``check(ctx)`` generator; decorating it with :func:`register` makes it
+Two kinds of checker live here:
+
+*File rules* (RL001–RL009) implement ``check(ctx)`` against one parsed
+file.  *Graph rules* (RL010+) implement ``check_project(gctx)`` against
+the whole-program model built in pass 1 — import graph, call graph and
+per-function facts — and cannot see raw ASTs at all, which is what makes
+the model cacheable.
+
+Either kind is a class with ``code``/``name``/``description``/``hint``/
+``severity`` attributes; decorating it with :func:`register` makes it
 discoverable by the engine and the CLI.  Rules live one-per-module under
 ``tools/repro_lint/rules`` and registration happens on import, so adding a
 checker is: drop a module in ``rules/``, import it from ``rules/__init__``.
@@ -9,15 +17,16 @@ checker is: drop a module in ``rules/``, import it from ``rules/__init__``.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator, Protocol, Type
+from typing import TYPE_CHECKING, Iterator, Protocol, Type, Union, runtime_checkable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from tools.repro_lint.diagnostics import Diagnostic
-    from tools.repro_lint.engine import LintContext
+    from tools.repro_lint.engine import GraphContext, LintContext
 
 
+@runtime_checkable
 class Rule(Protocol):
-    """Interface every registered checker implements."""
+    """Interface every registered per-file checker implements."""
 
     code: str
     name: str
@@ -27,10 +36,24 @@ class Rule(Protocol):
     def check(self, ctx: "LintContext") -> Iterator["Diagnostic"]: ...
 
 
-_REGISTRY: dict[str, Rule] = {}
+@runtime_checkable
+class GraphRule(Protocol):
+    """Interface every whole-program checker implements."""
+
+    code: str
+    name: str
+    description: str
+    hint: str
+
+    def check_project(self, gctx: "GraphContext") -> Iterator["Diagnostic"]: ...
 
 
-def register(cls: Type[Rule]) -> Type[Rule]:
+AnyRule = Union[Rule, GraphRule]
+
+_REGISTRY: dict[str, AnyRule] = {}
+
+
+def register(cls: Type[AnyRule]) -> Type[AnyRule]:
     """Class decorator: instantiate and register a rule by its code."""
     rule = cls()
     if rule.code in _REGISTRY:
@@ -39,7 +62,16 @@ def register(cls: Type[Rule]) -> Type[Rule]:
     return cls
 
 
-def all_rules() -> list[Rule]:
+def is_graph_rule(rule: AnyRule) -> bool:
+    return hasattr(rule, "check_project")
+
+
+def rule_severity(rule: AnyRule) -> str:
+    """Default severity tier a rule emits at (rules may emit lower)."""
+    return getattr(rule, "severity", "error")
+
+
+def all_rules() -> list[AnyRule]:
     """Registered rules in code order (imports the bundled rule modules)."""
     # Importing the package triggers @register for every bundled rule.
     import tools.repro_lint.rules  # noqa: F401
@@ -47,7 +79,15 @@ def all_rules() -> list[Rule]:
     return [_REGISTRY[code] for code in sorted(_REGISTRY)]
 
 
-def get_rule(code: str) -> Rule:
+def file_rules() -> list[Rule]:
+    return [r for r in all_rules() if not is_graph_rule(r)]
+
+
+def graph_rules() -> list[GraphRule]:
+    return [r for r in all_rules() if is_graph_rule(r)]
+
+
+def get_rule(code: str) -> AnyRule:
     import tools.repro_lint.rules  # noqa: F401
 
     try:

@@ -14,4 +14,8 @@ from tools.repro_lint.rules import (  # noqa: F401
     rl007_factory_closure,
     rl008_per_event_rebuild,
     rl009_model_persistence,
+    rl010_layering,
+    rl011_determinism_taint,
+    rl012_process_boundary,
+    rl013_async_blocking,
 )

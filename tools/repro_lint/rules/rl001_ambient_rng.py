@@ -34,6 +34,7 @@ if TYPE_CHECKING:
 @register
 class AmbientRandomnessRule:
     code = "RL001"
+    severity = "error"
     name = "no-ambient-randomness"
     description = "ambient RNG call"
     hint = (

@@ -40,6 +40,7 @@ WALL_CLOCK_CALLS = frozenset(
 @register
 class WallClockRule:
     code = "RL002"
+    severity = "error"
     name = "no-wall-clock"
     description = "wall-clock read in library code"
     hint = (

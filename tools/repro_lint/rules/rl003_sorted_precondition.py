@@ -59,6 +59,7 @@ def _sink_array_operand(call: ast.Call, ctx: "LintContext") -> Optional[ast.expr
 @register
 class SortedPreconditionRule:
     code = "RL003"
+    severity = "error"
     name = "sorted-precondition"
     description = "binary search on an unguarded parameter"
     hint = (

@@ -42,6 +42,7 @@ def _is_window_kwarg(name: str) -> bool:
 @register
 class MinuteLiteralRule:
     code = "RL004"
+    severity = "error"
     name = "seconds-only-windows"
     description = "minute-valued literal passed where seconds are expected"
     hint = "window arguments are in seconds; write N * MINUTE (repro.util.timeutil)"

@@ -47,6 +47,7 @@ def _is_fraction_param(name: str) -> bool:
 @register
 class FractionValidationRule:
     code = "RL005"
+    severity = "error"
     name = "public-api-validation"
     description = "fraction-like parameter not validated"
     hint = (

@@ -41,6 +41,7 @@ STREAM_WRITE_CALLS = frozenset(
 @register
 class NoDirectOutputRule:
     code = "RL006"
+    severity = "error"
     name = "no-direct-output"
     description = "direct stdout/stderr write in library code"
     hint = (

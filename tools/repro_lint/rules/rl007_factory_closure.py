@@ -60,6 +60,7 @@ def _called_name(call: ast.Call, ctx: "LintContext") -> Optional[str]:
 @register
 class FactoryClosureRule:
     code = "RL007"
+    severity = "error"
     name = "no-factory-closure"
     description = "factory closure passed to an evaluation entry point"
     hint = (

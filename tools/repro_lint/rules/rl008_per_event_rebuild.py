@@ -77,6 +77,7 @@ def _rebuild_kind(call: ast.Call, ctx: "LintContext") -> Optional[str]:
 @register
 class PerEventRebuildRule:
     code = "RL008"
+    severity = "error"
     name = "no-per-event-rebuild"
     description = "container rebuild inside a per-event serving method"
     hint = (

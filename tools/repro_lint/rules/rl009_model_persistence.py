@@ -71,6 +71,7 @@ def _mentions_predictor(node: ast.AST) -> bool:
 @register
 class ModelPersistenceRule:
     code = "RL009"
+    severity = "error"
     name = "model-persistence"
     description = "predictor persistence outside the serialization layer"
     hint = (

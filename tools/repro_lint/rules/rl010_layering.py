@@ -1,0 +1,159 @@
+"""RL010 — layering contract.
+
+``tools/repro_lint/contracts.toml`` declares the package layers of the
+``repro`` tree as an ordered DAG (foundation → data → domain → transform →
+models → assembly → evaluation → online → app).  This rule checks every
+import edge of the whole-program model against it:
+
+* a package importing a package in a **later** (higher) layer is an error
+  — that is an upward dependency, the thing layering exists to forbid;
+* two packages importing **each other** (directly or via any intra-layer
+  chain) is a package cycle and an error regardless of layers — cycles are
+  what make refactors and incremental loading impossible;
+* a typing-only upward import (inside ``if TYPE_CHECKING:``) demotes to
+  warn: it is coupling worth seeing, but carries no runtime dependency.
+
+Imports within one package, imports into lower layers, and modules outside
+the contract root (tests, tools, scripts) are all fine.  Packages the
+contract does not assign are skipped here — contract *totality* over
+``src/repro`` is asserted by a pytest gate instead, so a freshly added
+package cannot silently dodge the contract.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from tools.repro_lint.diagnostics import Diagnostic
+from tools.repro_lint.registry import register
+
+if TYPE_CHECKING:
+    from tools.repro_lint.engine import GraphContext
+
+
+def _package_sccs(edges: dict[str, set[str]]) -> list[set[str]]:
+    """Strongly connected components (iterative Tarjan) of ≥ 2 packages."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[set[str]] = []
+    counter = [0]
+
+    for root in sorted(edges):
+        if root in index:
+            continue
+        work: list[tuple[str, Iterator[str]]] = [
+            (root, iter(sorted(edges.get(root, ()))))
+        ]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(edges.get(nxt, ())))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc: set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.add(member)
+                    if member == node:
+                        break
+                if len(scc) > 1:
+                    sccs.append(scc)
+    return sccs
+
+
+@register
+class LayeringContractRule:
+    code = "RL010"
+    name = "layering-contract"
+    description = "package import violates the declared layer DAG"
+    severity = "error"
+    hint = (
+        "depend downward only: move the shared code below both packages, "
+        "invert the dependency (callback/protocol), or relocate the module "
+        "to the layer it actually belongs to (contract: "
+        "tools/repro_lint/contracts.toml)"
+    )
+
+    def check_project(self, gctx: "GraphContext") -> Iterator[Diagnostic]:
+        contract = gctx.contract
+        # Package-level digraph over assigned packages, for cycle detection.
+        pkg_edges: dict[str, set[str]] = {}
+        resolved = list(gctx.project.project_import_edges())
+        for edge in resolved:
+            src_pkg = contract.package_of_module(edge.src_module)
+            dst_pkg = contract.package_of_module(edge.dst_module)
+            if src_pkg is None or dst_pkg is None or src_pkg == dst_pkg:
+                continue
+            if contract.layer_of(src_pkg) is None or contract.layer_of(dst_pkg) is None:
+                continue
+            if not edge.typing_only:
+                pkg_edges.setdefault(src_pkg, set()).add(dst_pkg)
+        cyclic_pkgs = _package_sccs(pkg_edges)
+        in_cycle: dict[str, set[str]] = {}
+        for scc in cyclic_pkgs:
+            for pkg in scc:
+                in_cycle[pkg] = scc
+
+        for edge in resolved:
+            src_pkg = contract.package_of_module(edge.src_module)
+            dst_pkg = contract.package_of_module(edge.dst_module)
+            if src_pkg is None or dst_pkg is None or src_pkg == dst_pkg:
+                continue
+            src_layer = contract.layer_of(src_pkg)
+            dst_layer = contract.layer_of(dst_pkg)
+            if src_layer is None or dst_layer is None:
+                continue
+            src_mod = gctx.project.modules[edge.src_module]
+            if dst_layer.index > src_layer.index:
+                severity = "warn" if edge.typing_only else "error"
+                qualifier = "typing-only " if edge.typing_only else ""
+                yield gctx.diagnostic(
+                    self,
+                    path=src_mod.path,
+                    line=edge.line,
+                    col=edge.col,
+                    message=(
+                        f"upward {qualifier}import: {src_pkg} "
+                        f"(layer '{src_layer.name}') imports {dst_pkg} "
+                        f"(layer '{dst_layer.name}')"
+                    ),
+                    severity=severity,
+                )
+            elif (
+                not edge.typing_only
+                and src_pkg in in_cycle
+                and dst_pkg in in_cycle[src_pkg]
+            ):
+                cycle = " <-> ".join(sorted(in_cycle[src_pkg]))
+                yield gctx.diagnostic(
+                    self,
+                    path=src_mod.path,
+                    line=edge.line,
+                    col=edge.col,
+                    message=(
+                        f"package cycle: {src_pkg} imports {dst_pkg} "
+                        f"inside cycle [{cycle}]"
+                    ),
+                )

@@ -1,0 +1,97 @@
+"""RL011 — interprocedural determinism taint.
+
+RL001 already bans *ambient* RNG call sites file-by-file.  What it cannot
+see is a helper three calls deep that draws fresh entropy — e.g.
+``as_generator()`` with no seed — while the public entry point above it
+(``fit``/``predict``/``expand``/``generate``/…) advertises reproducibility.
+This rule closes that gap with the call graph: collect every RNG taint
+site recorded in pass 1, walk *callers* backwards, and report each taint
+that is reachable from a public entry-point function (names declared in
+``contracts.toml`` under ``[rules.RL011]``), quoting the witness path.
+
+Taint origins (see ``symbols.py``):
+
+* ``ambient`` — ``numpy.random.*`` module-level draws or stdlib
+  ``random`` functions;
+* ``fresh-entropy`` — ``repro.util.rng.as_generator()`` called without a
+  seed (or with an explicit ``None``), which pulls OS entropy.
+
+``repro.util.rng`` itself is exempt: it is the sanctioned seam where
+fresh entropy is allowed to enter.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from tools.repro_lint.diagnostics import Diagnostic
+from tools.repro_lint.registry import register
+
+if TYPE_CHECKING:
+    from tools.repro_lint.engine import GraphContext
+
+
+@register
+class DeterminismTaintRule:
+    code = "RL011"
+    name = "determinism-taint"
+    description = "entry point transitively draws unseeded randomness"
+    severity = "error"
+    hint = (
+        "thread an explicit rng/seed parameter from the entry point down "
+        "to this call (repro.util.rng.as_generator(seed) / spawn_child) so "
+        "runs are reproducible end to end"
+    )
+
+    def check_project(self, gctx: "GraphContext") -> Iterator[Diagnostic]:
+        project = gctx.project
+        entry_names = set(gctx.contract.rl011_entry_points)
+        if not entry_names:
+            return
+
+        # Entry points: public functions/methods in the contract root whose
+        # terminal name is declared in the contract.
+        entry_points = {
+            qualname
+            for qualname, fn in project.functions.items()
+            if fn.is_public
+            and fn.name in entry_names
+            and gctx.contract.package_of_module(fn.module) is not None
+        }
+        if not entry_points:
+            return
+
+        for qualname, fn in sorted(project.functions.items()):
+            if not fn.rng_taints:
+                continue
+            if gctx.contract.package_of_module(fn.module) is None:
+                continue
+            # Who can reach this tainted function?  ``reverse_reachable``
+            # walks caller edges backwards from the taint and hands each
+            # caller its witness path (caller first, taint last).
+            reachers = project.reverse_reachable({qualname})
+            entry = next(
+                (e for e in sorted(entry_points) if e in reachers), None
+            )
+            if entry is None:
+                continue
+            witness = " -> ".join(reachers[entry])
+            module = project.modules.get(fn.module)
+            if module is None:
+                continue
+            for taint in fn.rng_taints:
+                origin = (
+                    "draws fresh entropy"
+                    if taint.what == "fresh-entropy"
+                    else "uses ambient RNG"
+                )
+                yield gctx.diagnostic(
+                    self,
+                    path=module.path,
+                    line=taint.line,
+                    col=taint.col,
+                    message=(
+                        f"{qualname} {origin} ({taint.detail}) and is "
+                        f"reachable from entry point via {witness}"
+                    ),
+                )

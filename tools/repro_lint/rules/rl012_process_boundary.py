@@ -1,0 +1,80 @@
+"""RL012 — process-boundary pickling safety.
+
+Everything handed to a ``ProcessPoolExecutor`` — the ``submit``/``map``
+callable, its arguments, and the pool's ``initializer`` — crosses a
+process boundary and must pickle.  Lambdas and closures *never* pickle;
+bound methods drag their whole instance across the wire (they pickle, but
+ship the object and silently fork its state).  The evaluation engine
+already learned this the hard way, which is why its workers are
+module-level functions fed by specs.
+
+Pass 1 records every submit-like site whose receiver is provably a
+``concurrent.futures.ProcessPoolExecutor`` (tracked through ``with``
+targets and local assignments; ``functools.partial`` is unwrapped).  This
+rule reports them:
+
+* ``lambda`` or closure (a function defined inside another function)
+  → **error**: will raise ``PicklingError`` at runtime;
+* bound method (``self.f`` / ``obj.f``) → **warn**: legal but ships the
+  instance — usually wants to be a module-level function + args.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from tools.repro_lint.diagnostics import Diagnostic
+from tools.repro_lint.registry import register
+
+if TYPE_CHECKING:
+    from tools.repro_lint.engine import GraphContext
+
+_EXPLANATION = {
+    "lambda": "a lambda cannot be pickled across the process boundary",
+    "closure": (
+        "a nested function cannot be pickled across the process boundary"
+    ),
+    "bound_method": (
+        "a bound method pickles its whole instance across the process "
+        "boundary"
+    ),
+}
+
+
+@register
+class ProcessBoundaryRule:
+    code = "RL012"
+    name = "process-boundary"
+    description = "unpicklable or state-carrying callable crosses a process pool"
+    severity = "error"
+    hint = (
+        "pass a module-level function plus plain-data arguments to the "
+        "pool; hoist the lambda/closure to module scope and thread its "
+        "captured state through explicit parameters"
+    )
+
+    def check_project(self, gctx: "GraphContext") -> Iterator[Diagnostic]:
+        project = gctx.project
+        for qualname in sorted(project.functions):
+            fn = project.functions[qualname]
+            if not fn.submits:
+                continue
+            module = project.modules.get(fn.module)
+            if module is None:
+                continue
+            for site in fn.submits:
+                explanation = _EXPLANATION.get(site.what)
+                if explanation is None:
+                    continue
+                severity = "warn" if site.what == "bound_method" else "error"
+                yield gctx.diagnostic(
+                    self,
+                    path=module.path,
+                    line=site.line,
+                    col=site.col,
+                    message=(
+                        f"{qualname} hands {site.detail} to a "
+                        f"ProcessPoolExecutor: {explanation}"
+                    ),
+                    severity=severity,
+                )

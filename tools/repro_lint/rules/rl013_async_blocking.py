@@ -1,0 +1,112 @@
+"""RL013 — blocking call reachable from an async function.
+
+A blocking call inside ``async def`` stalls the whole event loop: every
+other coroutine — heartbeats, warning resolution, the serving loop —
+freezes until it returns.  The per-file view catches ``time.sleep`` typed
+directly into a coroutine; it cannot catch the same call hiding two
+layers down in a sync helper the coroutine awaits nothing to reach.
+
+Pass 1 records the blocking call sites of every function (``time.sleep``,
+``subprocess.run`` and friends, ``os.system``, bare ``open``, argless
+``.acquire()``, ``urllib.request.urlopen``, …).  This rule takes each
+``async def`` in the contract root and walks its *sync* callees
+transitively (``forward_reach`` with sync-only traversal — crossing into
+another coroutine is fine, it yields); any blocking site found on the way
+is reported.  Direct hits anchor at the blocking call; transitive hits
+anchor at the call site too, with the call path quoted so the fix target
+is obvious.
+
+The roadmap's asyncio ingestion daemon lands after this rule, so the
+event-loop invariant is enforced from the first coroutine committed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from tools.repro_lint.diagnostics import Diagnostic
+from tools.repro_lint.registry import register
+
+if TYPE_CHECKING:
+    from tools.repro_lint.engine import GraphContext
+
+
+@register
+class AsyncBlockingRule:
+    code = "RL013"
+    name = "async-blocking"
+    description = "blocking call reachable from an async function"
+    severity = "error"
+    hint = (
+        "inside a coroutine use the async equivalent (asyncio.sleep, "
+        "loop.run_in_executor, asyncio.create_subprocess_exec) or push the "
+        "blocking work behind an executor boundary"
+    )
+
+    def check_project(self, gctx: "GraphContext") -> Iterator[Diagnostic]:
+        project = gctx.project
+        sync_only = {
+            qualname
+            for qualname, fn in project.functions.items()
+            if not fn.is_async
+        }
+        for qualname in sorted(project.functions):
+            fn = project.functions[qualname]
+            if not fn.is_async:
+                continue
+            if gctx.contract.package_of_module(fn.module) is None:
+                continue
+            module = project.modules.get(fn.module)
+            if module is None:
+                continue
+
+            # Direct blocking calls in the coroutine body.
+            for site in fn.blocking:
+                yield gctx.diagnostic(
+                    self,
+                    path=module.path,
+                    line=site.line,
+                    col=site.col,
+                    message=(
+                        f"async {qualname} calls blocking {site.detail} "
+                        f"directly"
+                    ),
+                )
+
+            # Blocking calls buried in sync helpers reachable from here.
+            # Traversal is restricted to sync intermediates: entering
+            # another coroutine is not blocking (it must be awaited).
+            reach = project.forward_reach(qualname, through=sync_only)
+            for callee_qual in sorted(reach):
+                if callee_qual == qualname:
+                    continue
+                callee = project.functions.get(callee_qual)
+                if callee is None or callee.is_async or not callee.blocking:
+                    continue
+                path = reach[callee_qual]
+                site = callee.blocking[0]
+                line, col = self._anchor(fn, path, project)
+                yield gctx.diagnostic(
+                    self,
+                    path=module.path,
+                    line=line,
+                    col=col,
+                    message=(
+                        f"async {qualname} reaches blocking {site.detail} "
+                        f"in {callee_qual} (line {site.line}) via "
+                        f"{' -> '.join(path)}"
+                    ),
+                )
+
+    @staticmethod
+    def _anchor(fn, path, project) -> tuple[int, int]:
+        """Call site of the first hop inside the async function body."""
+        if len(path) >= 2:
+            first_hop = path[1]
+            for call in fn.calls:
+                if call.target is None:
+                    continue
+                resolved = project.resolve(call.target)
+                if resolved is not None and resolved.qualname == first_hop:
+                    return call.line, call.col
+        return fn.line, fn.col

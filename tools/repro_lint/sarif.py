@@ -1,0 +1,98 @@
+"""SARIF 2.1.0 output for GitHub code scanning.
+
+Renders a lint run as one SARIF ``run`` with the registered rules in
+``tool.driver.rules`` and one ``result`` per diagnostic, shaped the way
+GitHub's code-scanning upload expects: ``ruleId``, ``level``
+(error/warning/note), ``message.text`` and a ``physicalLocation`` with a
+relative ``artifactLocation.uri`` plus a ``region``.  Only the schema
+subset GitHub consumes is emitted — no taxonomies, no graphs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from tools.repro_lint.diagnostics import SARIF_LEVELS, Diagnostic
+from tools.repro_lint.registry import AnyRule, rule_severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptor(rule: AnyRule) -> dict:
+    descriptor = {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.description},
+        "defaultConfiguration": {
+            "level": SARIF_LEVELS[rule_severity(rule)],
+        },
+    }
+    if rule.hint:
+        descriptor["help"] = {"text": rule.hint}
+    return descriptor
+
+
+def _result(diag: Diagnostic) -> dict:
+    return {
+        "ruleId": diag.code,
+        "level": SARIF_LEVELS[diag.severity],
+        "message": {"text": diag.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": diag.path.replace("\\", "/"),
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": max(diag.line, 1),
+                        "startColumn": diag.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def to_sarif(
+    diags: Sequence[Diagnostic],
+    rules: Sequence[AnyRule],
+    *,
+    tool_version: str,
+) -> dict:
+    """Build the SARIF document as a plain dict."""
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "version": tool_version,
+                        "rules": [_rule_descriptor(r) for r in rules],
+                    }
+                },
+                "results": [_result(d) for d in diags],
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def to_sarif_json(
+    diags: Sequence[Diagnostic],
+    rules: Sequence[AnyRule],
+    *,
+    tool_version: str,
+) -> str:
+    return json.dumps(
+        to_sarif(diags, rules, tool_version=tool_version),
+        indent=2,
+        sort_keys=True,
+    )

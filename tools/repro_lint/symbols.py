@@ -1,0 +1,653 @@
+"""Pass 1 of the whole-program analyzer: per-module symbol extraction.
+
+For every source file this module derives a :class:`ModuleInfo` — the
+module's dotted name, its import edges (absolute *and* relative forms
+resolved against the package context), a symbol table of top-level
+functions/classes/aliases, and one :class:`FunctionInfo` per function or
+method carrying the *facts* the graph rules consume: best-effort resolved
+call sites, RNG-taint sites, blocking-call sites and process-pool submit
+sites.
+
+Everything extracted here is plain data (strings/ints/bools), so the
+assembled project model serializes to JSON and can be cached between runs
+(see :mod:`tools.repro_lint.graph`).  Resolution is deliberately
+best-effort: anything dynamic (``getattr`` chains, call results, locals of
+unknown type) degrades to ``kind="unknown"`` or ``kind="dynamic"`` and is
+never an error — the graph rules treat unknown as "not provably bad".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+#: Resolved dotted names whose call makes ambient-RNG taint (lowercase
+#: ``numpy.random.*`` is matched by prefix; these are the exact extras).
+_SANCTIONED_RNG_MODULE = "repro.util.rng"
+
+#: Resolved dotted names considered blocking inside ``async def`` bodies.
+BLOCKING_CALLS = {
+    "time.sleep": "time.sleep() blocks the event loop",
+    "subprocess.run": "synchronous subprocess.run()",
+    "subprocess.call": "synchronous subprocess.call()",
+    "subprocess.check_call": "synchronous subprocess.check_call()",
+    "subprocess.check_output": "synchronous subprocess.check_output()",
+    "subprocess.Popen": "synchronous subprocess.Popen()",
+    "os.system": "synchronous os.system()",
+    "os.waitpid": "synchronous os.waitpid()",
+    "socket.create_connection": "synchronous socket.create_connection()",
+    "urllib.request.urlopen": "synchronous urllib.request.urlopen()",
+}
+
+_POOL_DOTTED = "concurrent.futures.ProcessPoolExecutor"
+_PARTIAL_DOTTED = "functools.partial"
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    line: int
+    col: int
+    #: Provisional dotted target ("repro.mining.rules.generate_rules",
+    #: "numpy.searchsorted", ...) or None when unresolvable.
+    target: Optional[str]
+    #: "project-ish" (rooted in a local symbol or import), "dynamic"
+    #: (getattr/call-result receiver), "lambda", or "unknown".
+    kind: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"line": self.line, "col": self.col,
+                "target": self.target, "kind": self.kind}
+
+
+@dataclass
+class FactSite:
+    """One rule-relevant site (taint / blocking / submit) with a reason."""
+
+    line: int
+    col: int
+    what: str
+    detail: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"line": self.line, "col": self.col,
+                "what": self.what, "detail": self.detail}
+
+
+@dataclass
+class FunctionInfo:
+    """Facts about one function, method or nested function."""
+
+    qualname: str
+    name: str
+    module: str
+    cls: Optional[str]
+    line: int
+    col: int
+    end_line: int
+    is_async: bool
+    is_public: bool
+    calls: list[CallSite] = field(default_factory=list)
+    rng_taints: list[FactSite] = field(default_factory=list)
+    blocking: list[FactSite] = field(default_factory=list)
+    submits: list[FactSite] = field(default_factory=list)
+    #: Filled in by ProjectModel.finalize(): qualnames of project functions
+    #: this function provably calls.
+    resolved_callees: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "qualname": self.qualname, "name": self.name,
+            "module": self.module, "cls": self.cls,
+            "line": self.line, "col": self.col, "end_line": self.end_line,
+            "is_async": self.is_async, "is_public": self.is_public,
+            "calls": [c.to_dict() for c in self.calls],
+            "rng_taints": [s.to_dict() for s in self.rng_taints],
+            "blocking": [s.to_dict() for s in self.blocking],
+            "submits": [s.to_dict() for s in self.submits],
+            "resolved_callees": list(self.resolved_callees),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "FunctionInfo":
+        fn = cls(
+            qualname=d["qualname"], name=d["name"], module=d["module"],
+            cls=d["cls"], line=d["line"], col=d["col"],
+            end_line=d["end_line"], is_async=d["is_async"],
+            is_public=d["is_public"],
+        )
+        fn.calls = [CallSite(**c) for c in d["calls"]]
+        fn.rng_taints = [FactSite(**s) for s in d["rng_taints"]]
+        fn.blocking = [FactSite(**s) for s in d["blocking"]]
+        fn.submits = [FactSite(**s) for s in d["submits"]]
+        fn.resolved_callees = list(d["resolved_callees"])
+        return fn
+
+
+@dataclass
+class ImportEdge:
+    """One import statement binding this module to another."""
+
+    target: str  # absolute dotted module (best effort)
+    line: int
+    col: int
+    typing_only: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"target": self.target, "line": self.line,
+                "col": self.col, "typing_only": self.typing_only}
+
+
+@dataclass
+class ModuleInfo:
+    """Symbol table + facts for one source file."""
+
+    name: str
+    path: str
+    package: str  # top-level package ("repro", "tools", "tests", ...)
+    imports: list[ImportEdge] = field(default_factory=list)
+    #: local name -> absolute dotted target, from import statements.
+    bindings: dict[str, str] = field(default_factory=dict)
+    #: module-level ``alias = other`` assignments (dotted or local target).
+    aliases: dict[str, str] = field(default_factory=dict)
+    #: top-level function name -> qualname.
+    functions: dict[str, str] = field(default_factory=dict)
+    #: class name -> {method name -> qualname}.
+    classes: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: every FunctionInfo in the module, keyed by qualname.
+    function_infos: dict[str, FunctionInfo] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name, "path": self.path, "package": self.package,
+            "imports": [e.to_dict() for e in self.imports],
+            "bindings": dict(self.bindings),
+            "aliases": dict(self.aliases),
+            "functions": dict(self.functions),
+            "classes": {k: dict(v) for k, v in self.classes.items()},
+            "function_infos": {
+                q: f.to_dict() for q, f in self.function_infos.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "ModuleInfo":
+        mod = cls(name=d["name"], path=d["path"], package=d["package"])
+        mod.imports = [ImportEdge(**e) for e in d["imports"]]
+        mod.bindings = dict(d["bindings"])
+        mod.aliases = dict(d["aliases"])
+        mod.functions = dict(d["functions"])
+        mod.classes = {k: dict(v) for k, v in d["classes"].items()}
+        mod.function_infos = {
+            q: FunctionInfo.from_dict(f)
+            for q, f in d["function_infos"].items()
+        }
+        return mod
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name, found by walking up through ``__init__.py``s.
+
+    ``src/repro/bgl/cmcs.py`` -> ``repro.bgl.cmcs`` (``src`` has no
+    ``__init__.py``, so the walk stops there); a loose script resolves to
+    its bare stem.  This handles the src layout, ``tools``/``tests``
+    packages and throwaway temp trees uniformly.
+    """
+    resolved = path if path.is_absolute() else Path.cwd() / path
+    parts: list[str] = [] if path.stem == "__init__" else [path.stem]
+    d = resolved.parent
+    while (d / "__init__.py").exists() and d.name:
+        parts.insert(0, d.name)
+        parent = d.parent
+        if parent == d:
+            break
+        d = parent
+    return ".".join(parts) if parts else path.stem
+
+
+def _is_typing_guard(test: ast.expr) -> bool:
+    """True for ``if TYPE_CHECKING:`` / ``if typing.TYPE_CHECKING:``."""
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+class _ModuleExtractor(ast.NodeVisitor):
+    """Single AST walk populating a :class:`ModuleInfo`."""
+
+    def __init__(self, mod: ModuleInfo) -> None:
+        self.mod = mod
+        self._typing_depth = 0
+        # Stack of (FunctionInfo | None, nested-def-name set, class name).
+        self._func_stack: list[FunctionInfo] = []
+        self._class_stack: list[str] = []
+        # Names of process-pool locals inside the current function.
+        self._pool_names: list[set[str]] = []
+        self._import_seen: set[tuple[str, int, int, bool]] = set()
+
+    # -- imports ------------------------------------------------------- #
+
+    def _add_import(self, target: str, node: ast.stmt) -> None:
+        """Record one import edge, deduping multi-alias statements
+        (``from x import a, b`` is one edge to ``x``, not two)."""
+        typing_only = self._typing_depth > 0
+        key = (target, node.lineno, node.col_offset, typing_only)
+        if key in self._import_seen:
+            return
+        self._import_seen.add(key)
+        self.mod.imports.append(ImportEdge(
+            target=target, line=node.lineno, col=node.col_offset,
+            typing_only=typing_only,
+        ))
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            self.mod.bindings.setdefault(local, target)
+            self._add_import(alias.name, node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        base = self._resolve_from_base(node)
+        if base is None:
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                self._add_import(base, node)
+                continue
+            local = alias.asname or alias.name
+            self.mod.bindings.setdefault(local, f"{base}.{alias.name}")
+            self._add_import(base, node)
+        self.generic_visit(node)
+
+    def _resolve_from_base(self, node: ast.ImportFrom) -> Optional[str]:
+        """Absolute dotted base of a ``from X import ...`` statement."""
+        if node.level == 0:
+            return node.module
+        # Relative import: climb from this module's own package.
+        own = self.mod.name.split(".")
+        # A module's package is itself for __init__ files; ModuleInfo.name
+        # already encodes that ("repro.bgl" for bgl/__init__.py), so climb
+        # ``level`` steps from the containing package.
+        if self.mod.path.endswith("__init__.py"):
+            pkg_parts = own
+        else:
+            pkg_parts = own[:-1]
+        up = node.level - 1
+        if up > len(pkg_parts):
+            return None  # escapes the known tree; degrade to unknown
+        base_parts = pkg_parts[: len(pkg_parts) - up]
+        if node.module:
+            base_parts = base_parts + node.module.split(".")
+        return ".".join(base_parts) if base_parts else None
+
+    # -- structure ----------------------------------------------------- #
+
+    def visit_If(self, node: ast.If) -> None:
+        if _is_typing_guard(node.test):
+            self._typing_depth += 1
+            for child in node.body:
+                self.visit(child)
+            self._typing_depth -= 1
+            for child in node.orelse:
+                self.visit(child)
+        else:
+            self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if not self._func_stack and not self._class_stack:
+            self.mod.classes.setdefault(node.name, {})
+        self._class_stack.append(node.name)
+        for child in node.body:
+            self.visit(child)
+        self._class_stack.pop()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # Module-level ``alias = name_or_dotted`` (callable re-binding).
+        if not self._func_stack and not self._class_stack:
+            target_dotted = _dotted_of(node.value)
+            if target_dotted is not None:
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name):
+                        self.mod.aliases[tgt.id] = target_dotted
+        self._track_pool_assign(node)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node, is_async=False)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node, is_async=True)
+
+    def _enter_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef, *, is_async: bool
+    ) -> None:
+        cls = self._class_stack[-1] if self._class_stack else None
+        if self._func_stack:
+            parent = self._func_stack[-1]
+            qualname = f"{parent.qualname}.{node.name}"
+        elif cls is not None:
+            qualname = f"{self.mod.name}.{cls}.{node.name}"
+        else:
+            qualname = f"{self.mod.name}.{node.name}"
+        info = FunctionInfo(
+            qualname=qualname, name=node.name, module=self.mod.name,
+            cls=cls if not self._func_stack else None,
+            line=node.lineno, col=node.col_offset,
+            end_line=getattr(node, "end_lineno", node.lineno) or node.lineno,
+            is_async=is_async,
+            is_public=not node.name.startswith("_") or node.name == "__init__",
+        )
+        self.mod.function_infos[qualname] = info
+        if not self._func_stack:
+            if cls is not None:
+                self.mod.classes.setdefault(cls, {})[node.name] = qualname
+            else:
+                self.mod.functions.setdefault(node.name, qualname)
+        self._func_stack.append(info)
+        self._pool_names.append(set())
+        for child in node.body:
+            self.visit(child)
+        self._pool_names.pop()
+        self._func_stack.pop()
+
+    # -- calls and facts ----------------------------------------------- #
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            call = item.context_expr
+            if (
+                isinstance(call, ast.Call)
+                and self._resolve_dotted(call.func) == _POOL_DOTTED
+                and isinstance(item.optional_vars, ast.Name)
+                and self._pool_names
+            ):
+                self._pool_names[-1].add(item.optional_vars.id)
+        self.generic_visit(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self.generic_visit(node)
+
+    def _track_pool_assign(self, node: ast.Assign) -> None:
+        if (
+            self._pool_names
+            and isinstance(node.value, ast.Call)
+            and self._resolve_dotted(node.value.func) == _POOL_DOTTED
+        ):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    self._pool_names[-1].add(tgt.id)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        fn = self._func_stack[-1] if self._func_stack else None
+        dotted = self._resolve_dotted(node.func)
+        kind = self._call_kind(node.func, dotted)
+        if fn is not None:
+            fn.calls.append(CallSite(
+                line=node.lineno, col=node.col_offset,
+                target=dotted, kind=kind,
+            ))
+            self._extract_rng_taint(fn, node, dotted)
+            self._extract_blocking(fn, node, dotted)
+            self._extract_submit(fn, node, dotted)
+        self.generic_visit(node)
+
+    def _call_kind(self, func: ast.expr, dotted: Optional[str]) -> str:
+        if dotted is not None:
+            return "resolved"
+        if isinstance(func, ast.Lambda):
+            return "lambda"
+        if isinstance(func, ast.Call):
+            # ``getattr(obj, name)(...)`` and friends: dynamic dispatch.
+            return "dynamic"
+        return "unknown"
+
+    def _resolve_dotted(self, node: ast.expr) -> Optional[str]:
+        """Flatten ``a.b.c`` to an absolute dotted name (best effort).
+
+        Resolution order for the root name: enclosing nested defs, the
+        ``self`` receiver (one level), module functions/classes/aliases,
+        then import bindings.  Unresolvable roots yield ``None``.
+        """
+        parts: list[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        root = cur.id
+        parts.reverse()
+
+        # self.method() inside a class body -> module.Class.method.
+        if root == "self" and self._class_stack and len(parts) == 1:
+            cls = self._class_stack[-1]
+            return f"{self.mod.name}.{cls}.{parts[0]}"
+        if root == "self":
+            return None
+
+        base = self._lookup_root(root)
+        if base is None:
+            return None
+        return ".".join([base] + parts) if parts else base
+
+    def _lookup_root(self, root: str) -> Optional[str]:
+        # Nested function defined in an enclosing scope of this function.
+        for fn in reversed(self._func_stack):
+            nested = f"{fn.qualname}.{root}"
+            if nested in self.mod.function_infos:
+                return nested
+        if root in self.mod.functions:
+            return self.mod.functions[root]
+        if root in self.mod.classes:
+            return f"{self.mod.name}.{root}"
+        if root in self.mod.aliases:
+            alias_target = self.mod.aliases[root]
+            return self._chase_alias(alias_target)
+        if root in self.mod.bindings:
+            return self.mod.bindings[root]
+        return None
+
+    def _chase_alias(self, dotted: str) -> str:
+        head, _, rest = dotted.partition(".")
+        base = (
+            self.mod.functions.get(head)
+            or (f"{self.mod.name}.{head}" if head in self.mod.classes else None)
+            or self.mod.bindings.get(head)
+        )
+        if base is None:
+            return dotted
+        return f"{base}.{rest}" if rest else base
+
+    # RL011 facts: un-threaded RNG creation / ambient randomness.
+    def _extract_rng_taint(
+        self, fn: FunctionInfo, node: ast.Call, dotted: Optional[str]
+    ) -> None:
+        if self.mod.name.startswith(_SANCTIONED_RNG_MODULE):
+            return  # the sanctioned wrapper's own internals are exempt
+        if dotted is None:
+            return
+        if dotted.startswith("numpy.random."):
+            leaf = dotted.rsplit(".", 1)[1]
+            if leaf[:1].islower():
+                fn.rng_taints.append(FactSite(
+                    line=node.lineno, col=node.col_offset,
+                    what="ambient", detail=f"{dotted}()",
+                ))
+            return
+        if dotted == "random" or dotted.startswith("random."):
+            fn.rng_taints.append(FactSite(
+                line=node.lineno, col=node.col_offset,
+                what="ambient", detail=f"{dotted}()",
+            ))
+            return
+        if dotted == f"{_SANCTIONED_RNG_MODULE}.as_generator":
+            if self._seed_arg_is_fresh(node):
+                fn.rng_taints.append(FactSite(
+                    line=node.lineno, col=node.col_offset,
+                    what="fresh-entropy",
+                    detail="as_generator() without seed material",
+                ))
+
+    @staticmethod
+    def _seed_arg_is_fresh(node: ast.Call) -> bool:
+        for kw in node.keywords:
+            if kw.arg == "seed":
+                return (
+                    isinstance(kw.value, ast.Constant)
+                    and kw.value.value is None
+                )
+            if kw.arg is None:
+                return False  # **kwargs: cannot tell, assume threaded
+        if not node.args:
+            return True
+        first = node.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+
+    # RL013 facts: blocking calls (resolved + heuristic .acquire()).
+    def _extract_blocking(
+        self, fn: FunctionInfo, node: ast.Call, dotted: Optional[str]
+    ) -> None:
+        if dotted in BLOCKING_CALLS:
+            fn.blocking.append(FactSite(
+                line=node.lineno, col=node.col_offset,
+                what=dotted or "", detail=BLOCKING_CALLS[dotted],
+            ))
+            return
+        if dotted is None and isinstance(node.func, ast.Attribute):
+            if node.func.attr == "acquire" and not node.args and not node.keywords:
+                fn.blocking.append(FactSite(
+                    line=node.lineno, col=node.col_offset,
+                    what="lock.acquire",
+                    detail=".acquire() without a timeout",
+                ))
+            return
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "open"
+            and "open" not in self.mod.bindings
+            and self._lookup_root("open") is None
+        ):
+            fn.blocking.append(FactSite(
+                line=node.lineno, col=node.col_offset,
+                what="open", detail="synchronous file I/O via open()",
+            ))
+
+    # RL012 facts: callables crossing a process boundary.
+    def _extract_submit(
+        self, fn: FunctionInfo, node: ast.Call, dotted: Optional[str]
+    ) -> None:
+        # (expr, role, is_callable_position): data positions (initargs,
+        # submit arguments) may legitimately carry instance attributes —
+        # only genuinely unpicklable lambdas/closures are flagged there.
+        candidates: list[tuple[ast.expr, str, bool]] = []
+        if dotted == _POOL_DOTTED:
+            for kw in node.keywords:
+                if kw.arg == "initializer":
+                    candidates.append((kw.value, "initializer", True))
+                elif kw.arg == "initargs" and isinstance(
+                    kw.value, (ast.Tuple, ast.List)
+                ):
+                    for elt in kw.value.elts:
+                        candidates.append((elt, "initargs element", False))
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "submit"
+            and isinstance(node.func.value, ast.Name)
+            and self._pool_names
+            and node.func.value.id in self._pool_names[-1]
+        ):
+            if node.args:
+                candidates.append((node.args[0], "submit callable", True))
+            for arg in node.args[1:]:
+                if isinstance(arg, ast.Lambda):
+                    candidates.append((arg, "submit argument", False))
+        for expr, role, callable_position in candidates:
+            what = self._classify_boundary_callable(expr)
+            if what == "bound_method" and not callable_position:
+                continue
+            if what is not None:
+                fn.submits.append(FactSite(
+                    line=expr.lineno, col=expr.col_offset,
+                    what=what, detail=role,
+                ))
+
+    def _classify_boundary_callable(self, expr: ast.expr) -> Optional[str]:
+        """"lambda" / "closure" / "bound_method" when provably unsafe."""
+        if isinstance(expr, ast.Lambda):
+            return "lambda"
+        if (
+            isinstance(expr, ast.Call)
+            and self._resolve_dotted(expr.func) == _PARTIAL_DOTTED
+            and expr.args
+        ):
+            return self._classify_boundary_callable(expr.args[0])
+        if isinstance(expr, ast.Name):
+            for fn in reversed(self._func_stack):
+                if f"{fn.qualname}.{expr.id}" in self.mod.function_infos:
+                    return "closure"
+            return None  # module-level def, import or unknown: fine/unknown
+        if isinstance(expr, ast.Attribute):
+            base = expr.value
+            if isinstance(base, ast.Name):
+                if base.id == "self":
+                    return "bound_method"
+                # Module attribute (import-rooted) is a module-level
+                # function; an instance attribute is a bound method.
+                if base.id in self.mod.bindings:
+                    return None
+                return "bound_method"
+            return None
+        return None
+
+
+def extract_module(path: str, tree: ast.Module, *, name: Optional[str] = None,
+                   abs_path: Optional[Path] = None) -> ModuleInfo:
+    """Build the :class:`ModuleInfo` for one parsed source file."""
+    mod_name = name or module_name_for(abs_path or Path(path))
+    package = mod_name.split(".")[0] if "." in mod_name else mod_name
+    mod = ModuleInfo(name=mod_name, path=path, package=package)
+    # Two passes over the body: symbols first so forward references inside
+    # function bodies resolve, then facts.
+    _SymbolPrepass(mod).visit(tree)
+    _ModuleExtractor(mod).visit(tree)
+    return mod
+
+
+class _SymbolPrepass(ast.NodeVisitor):
+    """Record top-level defs/classes before the fact-extraction walk."""
+
+    def __init__(self, mod: ModuleInfo) -> None:
+        self.mod = mod
+
+    def visit_Module(self, node: ast.Module) -> None:
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.mod.functions.setdefault(
+                    child.name, f"{self.mod.name}.{child.name}"
+                )
+            elif isinstance(child, ast.ClassDef):
+                methods = self.mod.classes.setdefault(child.name, {})
+                for sub in child.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        methods[sub.name] = (
+                            f"{self.mod.name}.{child.name}.{sub.name}"
+                        )
+
+
+def _dotted_of(node: ast.expr) -> Optional[str]:
+    """Plain dotted spelling of a Name/Attribute chain (no resolution)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
