@@ -1,0 +1,180 @@
+"""Ingestion-daemon soak: concurrent streams, bounded memory, lossless restart.
+
+Three properties of :class:`repro.serve.daemon.IngestDaemon`, each asserted
+(not just reported), on a bench-scale synthetic stream:
+
+- **Sustained throughput** — four concurrent producers drive the full load
+  over loopback TCP; the end-to-end wire rate must clear a conservative
+  floor (the wire, not the detector, is the bottleneck: the columnar feed
+  path alone clears two orders of magnitude more, see
+  ``bench_serve_throughput.py``).
+- **Fixed memory budget** — queue depth is sampled from the live metrics
+  gauges throughout the run and must never exceed the configured bound;
+  peak-RSS growth across the whole soak must stay under a fixed ceiling.
+- **Kill/restart loses nothing** — the same traffic split across two daemon
+  lives (drain -> state doc -> restart with baseline) must produce exactly
+  the lifetime counters of one uninterrupted life.
+
+Measured numbers are printed for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import resource
+
+from benchmarks.conftest import report
+from repro.meta.stacked import MetaLearner
+from repro.serve.client import emit_events
+from repro.serve.daemon import (
+    DaemonConfig,
+    IngestDaemon,
+    state_from_dict,
+    state_to_dict,
+)
+from repro.util.timeutil import MINUTE
+
+#: Soak shape: 4 producers, bounded queues well below the traffic volume.
+STREAMS = ("rack-a", "rack-b", "rack-c", "rack-d")
+QUEUE_BOUND = 1024
+CHUNK_EVENTS = 512
+MIN_EVENTS = 20_000
+#: Wire-throughput floor (events/sec), deliberately conservative for CI.
+THROUGHPUT_FLOOR = 1_000
+#: Peak-RSS growth ceiling across the soak (MiB).
+RSS_CEILING_MIB = 768
+
+CONFIG = DaemonConfig(
+    port=0,
+    queue_bound=QUEUE_BOUND,
+    shards=4,
+    chunk_events=CHUNK_EVENTS,
+    max_streams=len(STREAMS),
+)
+
+
+def _traffic(events):
+    """Replicate the store time-shifted until the soak volume is reached."""
+    base = list(events)
+    span = base[-1].time + 1
+    out = list(base)
+    k = 1
+    while len(out) < MIN_EVENTS:
+        out.extend(ev.with_time(ev.time + k * span) for ev in base)
+        k += 1
+    # Trim to a multiple of the stream count so round-robin halves compose.
+    cut = len(out) - (len(out) % len(STREAMS))
+    return out[:cut]
+
+
+async def _soak(meta, events, samples):
+    async with IngestDaemon(meta, CONFIG) as daemon:
+        stop = asyncio.Event()
+
+        async def sampler():
+            while not stop.is_set():
+                doc = daemon.metrics_doc()
+                depths = [
+                    v
+                    for k, v in doc.get("gauges", {}).items()
+                    if k.startswith("serve.daemon.queue_depth")
+                ]
+                if depths:
+                    samples.append(max(depths))
+                await asyncio.sleep(0.02)
+
+        task = asyncio.get_running_loop().create_task(sampler())
+        emit = await emit_events(
+            events, port=daemon.port, streams=STREAMS, batch=512
+        )
+        stop.set()
+        await task
+        drain = await daemon.drain()
+        return emit, drain
+
+
+async def _one_life(meta, events, baseline):
+    daemon = IngestDaemon(meta, CONFIG, baseline=baseline)
+    async with daemon:
+        emit = await emit_events(
+            events, port=daemon.port, streams=STREAMS, batch=512
+        )
+        assert not emit.errors
+        return await daemon.drain()
+
+
+def test_daemon_soak_throughput_memory_and_restart(anl_bench_events):
+    cut = int(len(anl_bench_events) * 0.5)
+    meta = MetaLearner(
+        prediction_window=30 * MINUTE, rule_window=15 * MINUTE
+    ).fit(anl_bench_events.select(slice(0, cut)))
+    events = _traffic(anl_bench_events.select(slice(cut, len(anl_bench_events))))
+    rss_before_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+    # --- soak: concurrent streams under sampled queue-depth telemetry ----
+    samples: list[float] = []
+    emit, drain = asyncio.run(_soak(meta, events, samples))
+    rss_after_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    rss_delta_mib = (rss_after_kib - rss_before_kib) / 1024.0
+    max_depth = max(samples, default=0.0)
+
+    assert not emit.errors
+    assert emit.sent == len(events)
+    assert len(drain.streams) == len(STREAMS)
+    assert drain.events == len(events)
+    assert max_depth <= QUEUE_BOUND, "queue depth escaped its bound"
+    assert emit.events_per_sec >= THROUGHPUT_FLOOR, (
+        f"sustained wire throughput {emit.events_per_sec:,.0f} events/sec "
+        f"below the {THROUGHPUT_FLOOR:,} floor"
+    )
+    assert rss_delta_mib < RSS_CEILING_MIB, (
+        f"peak RSS grew {rss_delta_mib:.0f} MiB during the soak "
+        f"(ceiling {RSS_CEILING_MIB} MiB)"
+    )
+
+    # --- kill/restart: two lives must equal one uninterrupted life -------
+    half = (len(events) // 2) - ((len(events) // 2) % len(STREAMS))
+    life1 = asyncio.run(_one_life(meta, events[:half], None))
+    restored = state_from_dict(state_to_dict(life1))
+    life2 = asyncio.run(_one_life(meta, events[half:], restored))
+    uninterrupted = asyncio.run(_one_life(meta, events, None))
+
+    total = life2.total()
+    reference = uninterrupted.combined
+    # Per-stream lead lists merge in a different interleaving across two
+    # lives; the conserved object is the counter set + the lead multiset.
+    assert (
+        total.events,
+        total.failures,
+        total.warnings,
+        total.hits,
+        total.false_alarms,
+        total.caught_failures,
+        total.missed_failures,
+        sorted(map(float, total.lead_seconds)),
+    ) == (
+        reference.events,
+        reference.failures,
+        reference.warnings,
+        reference.hits,
+        reference.false_alarms,
+        reference.caught_failures,
+        reference.missed_failures,
+        sorted(map(float, reference.lead_seconds)),
+    ), "kill/restart cycle lost resolved warnings"
+
+    report(
+        "daemon soak (4 streams over loopback TCP)",
+        [
+            ("events delivered", f"{emit.sent:,}"),
+            ("wall time", f"{emit.seconds:.2f}s"),
+            ("wire throughput", f"{emit.events_per_sec:,.0f} events/sec"),
+            ("busy retries", emit.busy_retries),
+            ("max queue depth seen", f"{max_depth:.0f} (bound {QUEUE_BOUND})"),
+            ("peak RSS growth", f"{rss_delta_mib:.0f} MiB "
+                                f"(ceiling {RSS_CEILING_MIB} MiB)"),
+            ("warnings resolved", reference.warnings),
+            ("restart conservation",
+             f"{total.events:,} events, {total.warnings} warnings — exact"),
+        ],
+    )

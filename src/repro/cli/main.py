@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Optional, Sequence
@@ -191,6 +192,115 @@ def _build_parser() -> argparse.ArgumentParser:
         "--chunk", type=int, default=2048, metavar="N",
         help="lifecycle serving chunk — the hot-swap barrier granularity "
              "(default 2048)",
+    )
+
+    d = sub.add_parser(
+        "serve-daemon",
+        help="run the live ingestion daemon (NDJSON line protocol + "
+             "/metrics and /health)",
+    )
+    d.add_argument(
+        "--model", "-m", default=None,
+        help="model JSON to load (or use --registry)",
+    )
+    d.add_argument("--host", default="127.0.0.1", help="bind address")
+    d.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0: OS-assigned, printed at startup)",
+    )
+    d.add_argument(
+        "--queue-bound", type=int, default=4096, metavar="N",
+        help="per-stream ingest queue bound; a full queue answers BUSY "
+             "(default 4096)",
+    )
+    d.add_argument(
+        "--shards", type=int, default=4,
+        help="detector shards per stream pool (default 4)",
+    )
+    d.add_argument(
+        "--key", choices=["midplane", "job"], default="midplane",
+        help="shard partition key (default midplane)",
+    )
+    d.add_argument(
+        "--chunk", type=int, default=512, metavar="N",
+        help="worker feed chunk in events; in lifecycle mode also the "
+             "hot-swap barrier granularity (default 512)",
+    )
+    d.add_argument(
+        "--max-streams", type=int, default=64, metavar="N",
+        help="refuse new stream ids beyond this count (default 64)",
+    )
+    d.add_argument(
+        "--state", default=None, metavar="PATH",
+        help="resolved-counter state file: restored at startup (if present) "
+             "and rewritten after a clean drain — a kill/restart cycle "
+             "loses no resolved warnings",
+    )
+    d.add_argument(
+        "--registry", default=None, metavar="DIR",
+        help="model registry directory; serves --model-ref instead of "
+             "--model and receives retrained snapshots",
+    )
+    d.add_argument(
+        "--model-ref", default="latest", metavar="REF",
+        help="registry ref to serve (default latest)",
+    )
+    d.add_argument(
+        "--retrain-every", type=int, default=None, metavar="N",
+        help="lifecycle mode: refit each stream's model every N events "
+             "(requires --registry)",
+    )
+    d.add_argument(
+        "--drift-threshold", type=float, default=None, metavar="PSI",
+        help="lifecycle mode: refit when the windowed subcategory PSI "
+             "reaches this level (requires --registry)",
+    )
+    d.add_argument(
+        "--drift-window", type=int, default=1024, metavar="N",
+        help="drift monitor window in events; each stream's first window "
+             "seeds its reference histogram (default 1024)",
+    )
+    d.add_argument(
+        "--retrain-window", type=int, default=50_000, metavar="N",
+        help="sliding training window for refits, in events (default 50000)",
+    )
+    d.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for lifecycle refits "
+             "(default: $REPRO_JOBS, else serial)",
+    )
+
+    em = sub.add_parser(
+        "emit",
+        help="drive a log at a running serve-daemon as synthetic load",
+    )
+    em.add_argument("log", help="raw log file to emit")
+    em.add_argument("--host", default="127.0.0.1", help="daemon address")
+    em.add_argument("--port", type=int, required=True, help="daemon port")
+    em.add_argument(
+        "--streams", type=int, default=3,
+        help="concurrent stream ids to emit on (default 3)",
+    )
+    em.add_argument(
+        "--batch", type=int, default=256, metavar="N",
+        help="events per wire batch frame (default 256)",
+    )
+    em.add_argument(
+        "--repeat", type=int, default=1, metavar="K",
+        help="replay the log K times, each copy time-shifted past the "
+             "last (default 1)",
+    )
+    em.add_argument(
+        "--retry-delay", type=float, default=0.02, metavar="SEC",
+        help="backoff before resending after BUSY (default 0.02)",
+    )
+    em.add_argument(
+        "--max-retries", type=int, default=200, metavar="N",
+        help="consecutive BUSY retries before giving up (default 200)",
+    )
+    em.add_argument(
+        "--drain", action="store_true",
+        help="ask the daemon to drain and exit once the load is delivered",
     )
 
     mo = sub.add_parser(
@@ -627,6 +737,226 @@ def _serve_lifecycle(args, pool, model_registry, snapshot, events) -> int:
     return 0
 
 
+def _daemon_manager_factory(args, model_registry, snapshot):
+    """Per-stream lifecycle factory the daemon hands to new channels.
+
+    Built here — not in :mod:`repro.serve` — so the serve package never
+    imports lifecycle (the layer DAG stays acyclic; lifecycle already
+    imports ``serve.pool``).  Each stream gets its own monitor/policy/
+    retrainer; the reference store is the stream's first drift window.
+    """
+    from repro.lifecycle import (
+        DriftMonitor,
+        LifecycleManager,
+        Retrainer,
+        RetrainPolicy,
+    )
+
+    spec = snapshot.spec if snapshot.spec is not None else PredictorSpec.meta()
+
+    def factory(pool, reference_store):
+        monitor = DriftMonitor(
+            reference_store,
+            window=args.drift_window,
+            threshold=args.drift_threshold if args.drift_threshold else 0.25,
+        )
+        policy = RetrainPolicy(
+            args.retrain_every,
+            on_drift=args.drift_threshold is not None,
+            cooldown_events=max(args.chunk, 1024),
+        )
+        retrainer = Retrainer(
+            spec,
+            model_registry,
+            window_events=args.retrain_window,
+            jobs=args.jobs,
+            seed=0,
+        )
+        return LifecycleManager(
+            pool, monitor, policy, retrainer,
+            serving_snapshot=snapshot.snapshot_id,
+        )
+
+    return factory
+
+
+def cmd_serve_daemon(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.lifecycle import ModelRegistry, RegistryError
+    from repro.online.resolution import SessionStats
+    from repro.serve.daemon import (
+        DaemonConfig,
+        IngestDaemon,
+        state_from_dict,
+        state_to_dict,
+    )
+
+    lifecycle_mode = (
+        args.retrain_every is not None or args.drift_threshold is not None
+    )
+    if args.model is None and args.registry is None:
+        return _fail("provide a model: --model FILE or --registry DIR")
+    if lifecycle_mode and args.registry is None:
+        return _fail(
+            "--retrain-every/--drift-threshold need --registry "
+            "(retrained snapshots must be registered somewhere)"
+        )
+
+    model_registry = None
+    snapshot = None
+    try:
+        if args.registry is not None:
+            model_registry = ModelRegistry(args.registry)
+            snapshot = model_registry.get(args.model_ref)
+            meta = model_registry.load_meta(args.model_ref)
+        else:
+            model = load_model(args.model)
+            meta = model.meta if isinstance(model, ThreePhasePredictor) else model
+    except (RegistryError, FileNotFoundError) as exc:
+        return _fail(str(exc))
+
+    baseline: Optional[SessionStats] = None
+    if args.state:
+        try:
+            with open(args.state, encoding="utf-8") as fh:
+                baseline = state_from_dict(json.load(fh))
+            print(
+                f"restored state from {args.state}: "
+                f"{baseline.events} events, {baseline.warnings} warnings, "
+                f"{baseline.hits} hits already resolved"
+            )
+        except FileNotFoundError:
+            pass
+        except (json.JSONDecodeError, ValueError, TypeError) as exc:
+            return _fail(f"unreadable state file {args.state}: {exc}")
+
+    manager_factory = None
+    reference_events = 0
+    if lifecycle_mode:
+        manager_factory = _daemon_manager_factory(args, model_registry, snapshot)
+        reference_events = args.drift_window
+
+    try:
+        config = DaemonConfig(
+            host=args.host,
+            port=args.port,
+            queue_bound=args.queue_bound,
+            shards=args.shards,
+            key=args.key,
+            chunk_events=args.chunk,
+            max_streams=args.max_streams,
+        )
+    except ValueError as exc:
+        return _fail(str(exc))
+    daemon = IngestDaemon(
+        meta,
+        config,
+        manager_factory=manager_factory,
+        reference_events=reference_events,
+        baseline=baseline,
+        registry=get_registry(),
+    )
+
+    async def _run():
+        await daemon.start()
+        print(
+            f"serve-daemon listening on {args.host}:{daemon.port} "
+            f"(queue_bound={config.queue_bound}, shards={config.shards}, "
+            f"chunk={config.chunk_events}"
+            + (", lifecycle on" if lifecycle_mode else "")
+            + ") — SIGTERM or GET /drain for a graceful drain",
+            flush=True,
+        )
+        return await daemon.serve_until_drained()
+
+    try:
+        report = asyncio.run(_run())
+    except OSError as exc:  # bind failure: port in use, bad host, ...
+        return _fail(f"cannot bind {args.host}:{args.port}: {exc}")
+
+    for sr in report.streams:
+        s = sr.stats
+        print(
+            f"  stream {sr.stream_id}: {sr.processed} events, "
+            f"{s.failures} failures, {sr.warnings} warnings "
+            f"(precision {s.precision_so_far:.2f}, "
+            f"recall {s.recall_so_far:.2f}, "
+            f"busy_rejects={sr.dropped_busy}, "
+            f"order_rejects={sr.rejected_order})"
+        )
+    total = report.total()
+    print(
+        f"drained in {report.seconds:.3f}s: {report.combined.events} events "
+        f"this run, lifetime {total.events} events / {total.warnings} warnings "
+        f"(precision {total.precision_so_far:.2f}, "
+        f"recall {total.recall_so_far:.2f})"
+    )
+    if args.state:
+        doc = state_to_dict(report)
+        tmp = f"{args.state}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, args.state)
+        print(f"state written to {args.state}")
+    return 0
+
+
+def cmd_emit(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.client import emit_events
+
+    if args.streams < 1:
+        return _fail("--streams must be >= 1")
+    _, result = _load_events(args.log)
+    events = list(result.events)
+    if not events:
+        return _fail(f"no events parsed from {args.log}; nothing to emit")
+    if args.repeat > 1:
+        span = events[-1].time + 1
+        base = list(events)
+        for k in range(1, args.repeat):
+            events.extend(ev.with_time(ev.time + k * span) for ev in base)
+    stream_ids = [f"stream-{i}" for i in range(args.streams)]
+    report = asyncio.run(
+        emit_events(
+            events,
+            host=args.host,
+            port=args.port,
+            streams=stream_ids,
+            batch=args.batch,
+            retry_delay=args.retry_delay,
+            max_retries=args.max_retries,
+            drain_after=args.drain,
+        )
+    )
+    print(
+        f"emit: {report.sent}/{len(events)} events over "
+        f"{len(stream_ids)} stream(s) in {report.seconds:.3f}s "
+        f"-> {report.events_per_sec:,.0f} events/sec "
+        f"({report.busy_retries} busy retries)"
+    )
+    for tally in report.tallies:
+        line = f"  {tally.stream_id}: sent={tally.sent}"
+        if tally.final_stats:
+            counters = tally.final_stats.get("counters", {})
+            session = tally.final_stats.get("session", {})
+            line += (
+                f" processed={counters.get('processed', '?')}"
+                f" warnings={session.get('warnings', '?')}"
+                f" pending={tally.final_stats.get('pending_warnings', '?')}"
+            )
+        print(line)
+    if report.errors:
+        for err in report.errors:
+            print(f"error: {err}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_model(args: argparse.Namespace) -> int:
     from repro.core.serialize import SerializationError
     from repro.lifecycle import ModelRegistry, RegistryError
@@ -784,6 +1114,8 @@ _COMMANDS = {
     "train": cmd_train,
     "watch": cmd_watch,
     "serve-replay": cmd_serve_replay,
+    "serve-daemon": cmd_serve_daemon,
+    "emit": cmd_emit,
     "model": cmd_model,
     "report": cmd_report,
     "export": cmd_export,

@@ -1,0 +1,184 @@
+"""Synthetic-load client for the ingestion daemon (the CLI ``emit`` verb).
+
+:func:`emit_events` partitions a time-sorted event list round-robin across
+``streams`` stream ids (round-robin over a sorted list keeps every
+sub-stream individually time-ordered), opens one connection per stream and
+pushes ``batch`` frames concurrently.  A ``BUSY`` response is the
+daemon's backpressure contract — the client backs off and resends the
+unsent tail, so the tally distinguishes throughput limited by the wire
+from events genuinely rejected.
+
+This is the reference producer implementation: anything that speaks the
+protocol the same way (batch, watch for ``busy``, retry the tail) will
+interoperate; see docs/operations.md.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Optional, Sequence
+
+from repro.ras.events import RasEvent
+from repro.serve.protocol import decode_frame, encode_frame, event_to_dict
+
+
+@dataclass
+class StreamTally:
+    """What one emitter coroutine managed to deliver."""
+
+    stream_id: str
+    sent: int = 0
+    busy_retries: int = 0
+    errors: list[str] = field(default_factory=list)
+    final_stats: Optional[dict[str, Any]] = None
+
+
+@dataclass
+class EmitReport:
+    """Aggregate outcome of one synthetic-load run."""
+
+    tallies: list[StreamTally]
+    seconds: float
+
+    @property
+    def sent(self) -> int:
+        return sum(t.sent for t in self.tallies)
+
+    @property
+    def busy_retries(self) -> int:
+        return sum(t.busy_retries for t in self.tallies)
+
+    @property
+    def errors(self) -> list[str]:
+        return [e for t in self.tallies for e in t.errors]
+
+    @property
+    def events_per_sec(self) -> float:
+        if self.seconds <= 0.0:
+            return float("inf") if self.sent else 0.0
+        return self.sent / self.seconds
+
+
+def partition_round_robin(
+    events: Sequence[RasEvent], streams: Sequence[str]
+) -> dict[str, list[RasEvent]]:
+    """Deal a time-sorted event sequence across stream ids, round-robin."""
+    parts: dict[str, list[RasEvent]] = {s: [] for s in streams}
+    n = len(streams)
+    for i, event in enumerate(events):
+        parts[streams[i % n]].append(event)
+    return parts
+
+
+async def _emit_stream(
+    host: str,
+    port: int,
+    stream_id: str,
+    events: list[RasEvent],
+    *,
+    batch: int,
+    retry_delay: float,
+    max_retries: int,
+    fetch_stats: bool,
+) -> StreamTally:
+    tally = StreamTally(stream_id=stream_id)
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        position = 0
+        retries_left = max_retries
+        while position < len(events):
+            chunk = events[position : position + batch]
+            frame = {
+                "op": "batch",
+                "stream": stream_id,
+                "events": [event_to_dict(ev) for ev in chunk],
+            }
+            writer.write(encode_frame(frame))
+            await writer.drain()
+            response = decode_frame(await reader.readline())
+            if response.get("ok"):
+                accepted = int(response.get("accepted", len(chunk)))
+                tally.sent += accepted
+                position += accepted
+                retries_left = max_retries
+            elif response.get("busy"):
+                accepted = int(response.get("accepted", 0))
+                tally.sent += accepted
+                position += accepted
+                tally.busy_retries += 1
+                retries_left -= 1
+                if retries_left <= 0:
+                    tally.errors.append(
+                        f"{stream_id}: gave up after {max_retries} busy retries"
+                    )
+                    break
+                await asyncio.sleep(retry_delay)
+            else:
+                tally.errors.append(
+                    f"{stream_id}: {response.get('error', 'unknown error')}"
+                )
+                break
+        if fetch_stats and not tally.errors:
+            writer.write(encode_frame({"op": "stats", "stream": stream_id}))
+            await writer.drain()
+            response = decode_frame(await reader.readline())
+            if response.get("ok"):
+                tally.final_stats = response
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):
+            pass
+    return tally
+
+
+async def _request_drain(host: str, port: int) -> None:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(encode_frame({"op": "drain"}))
+        await writer.drain()
+        await reader.readline()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):
+            pass
+
+
+async def emit_events(
+    events: Sequence[RasEvent],
+    *,
+    host: str = "127.0.0.1",
+    port: int,
+    streams: Sequence[str] = ("stream-0", "stream-1", "stream-2"),
+    batch: int = 256,
+    retry_delay: float = 0.02,
+    max_retries: int = 200,
+    fetch_stats: bool = True,
+    drain_after: bool = False,
+) -> EmitReport:
+    """Drive ``events`` at the daemon across concurrent per-stream emitters."""
+    parts = partition_round_robin(events, list(streams))
+    t0 = perf_counter()
+    tallies = await asyncio.gather(
+        *(
+            _emit_stream(
+                host,
+                port,
+                stream_id,
+                part,
+                batch=batch,
+                retry_delay=retry_delay,
+                max_retries=max_retries,
+                fetch_stats=fetch_stats,
+            )
+            for stream_id, part in parts.items()
+        )
+    )
+    if drain_after:
+        await _request_drain(host, port)
+    return EmitReport(tallies=list(tallies), seconds=perf_counter() - t0)

@@ -213,6 +213,11 @@ class DetectorPool:
         obs.observe("serve.swap_pending_warnings", float(pending))
         return len(self._sessions)
 
+    @property
+    def pending_count(self) -> int:
+        """Warnings pending across the persistent shard sessions."""
+        return sum(s.pending_count for s in self._sessions.values())
+
     def combined_stats(self) -> SessionStats:
         """Merged counters across the persistent shard sessions."""
         combined = SessionStats()

@@ -1,0 +1,144 @@
+"""Tests for the serve-daemon and emit CLI subcommands."""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.cli.main import main
+
+
+@pytest.fixture(autouse=True)
+def _restore_global_registry():
+    """Two concurrent main() calls (daemon thread + emit) race on the
+    process-global metrics registry's save/restore pairs; make sure no live
+    registry leaks past each test regardless of the exit interleaving."""
+    yield
+    from repro.obs import set_registry
+
+    set_registry(None)
+
+
+@pytest.fixture(scope="module")
+def log_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli_daemon") / "anl.log"
+    assert main([
+        "generate", "--profile", "ANL", "--scale", "0.02",
+        "--seed", "7", "-o", str(path),
+    ]) == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def model_path(log_path, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli_daemon_model") / "model.json"
+    assert main(["train", str(log_path), "-m", str(path)]) == 0
+    return path
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def wait_until_listening(port: int, timeout: float = 30.0) -> None:
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with socket.create_connection(("127.0.0.1", port), timeout=1):
+                return
+        except OSError:
+            time.sleep(0.05)
+    raise TimeoutError(f"daemon never listened on port {port}")
+
+
+def run_daemon_in_thread(argv: list[str]) -> tuple[threading.Thread, list]:
+    """main() in a thread; signal handlers fall back gracefully off-main."""
+    result: list = []
+    thread = threading.Thread(target=lambda: result.append(main(argv)))
+    thread.start()
+    return thread, result
+
+
+def test_daemon_emit_drain_end_to_end(log_path, model_path, tmp_path, capsys):
+    port = free_port()
+    state = tmp_path / "state.json"
+    thread, rc_box = run_daemon_in_thread([
+        "serve-daemon", "-m", str(model_path),
+        "--port", str(port), "--state", str(state),
+    ])
+    try:
+        wait_until_listening(port)
+        rc = main([
+            "emit", str(log_path), "--port", str(port),
+            "--streams", "3", "--drain",
+        ])
+        assert rc == 0
+    finally:
+        thread.join(timeout=60)
+    assert not thread.is_alive(), "daemon did not drain after emit --drain"
+    assert rc_box == [0]
+    out = capsys.readouterr().out
+    assert "serve-daemon listening" in out
+    assert "emit:" in out and "events/sec" in out
+    assert "drained in" in out
+    assert "stream stream-0" in out
+    # The state file captures the resolved counters for the next life.
+    doc = json.loads(state.read_text())
+    assert doc["total"]["events"] > 0
+    assert set(doc["streams"]) == {"stream-0", "stream-1", "stream-2"}
+
+
+def test_daemon_restart_accumulates_state(log_path, model_path, tmp_path, capsys):
+    state = tmp_path / "state.json"
+
+    def one_life() -> None:
+        port = free_port()
+        thread, rc_box = run_daemon_in_thread([
+            "serve-daemon", "-m", str(model_path),
+            "--port", str(port), "--state", str(state),
+        ])
+        try:
+            wait_until_listening(port)
+            assert main([
+                "emit", str(log_path), "--port", str(port),
+                "--streams", "2", "--drain",
+            ]) == 0
+        finally:
+            thread.join(timeout=60)
+        assert rc_box == [0]
+
+    one_life()
+    first = json.loads(state.read_text())["total"]
+    one_life()
+    second = json.loads(state.read_text())["total"]
+    out = capsys.readouterr().out
+    assert "restored state" in out
+    # Same log, same model, twice: every lifetime counter exactly doubles.
+    for key in ("events", "failures", "warnings", "hits", "false_alarms"):
+        assert second[key] == 2 * first[key], key
+    assert len(second["lead_seconds"]) == 2 * len(first["lead_seconds"])
+
+
+def test_serve_daemon_requires_a_model(capsys):
+    assert main(["serve-daemon"]) == 2
+    assert "provide a model" in capsys.readouterr().err
+
+
+def test_serve_daemon_lifecycle_needs_registry(model_path, capsys):
+    rc = main([
+        "serve-daemon", "-m", str(model_path), "--retrain-every", "100",
+    ])
+    assert rc == 2
+    assert "--registry" in capsys.readouterr().err
+
+
+def test_emit_against_dead_port_fails_cleanly(log_path):
+    with pytest.raises(OSError):
+        main(["emit", str(log_path), "--port", str(free_port())])
