@@ -21,6 +21,7 @@ from typing import Union
 
 import numpy as np
 
+from repro.ras.backend import COLUMN_NAMES, TABLE_NAMES
 from repro.ras.store import EventStore
 
 Token = Union[str, int, float, bool, None]
@@ -33,30 +34,22 @@ def store_fingerprint(events: EventStore) -> str:
     collides) and every intern table (with separators, so table boundaries
     cannot alias).  Cost is one pass over the raw bytes — microseconds per
     megabyte, negligible next to a single Apriori run.
+
+    The digest is backend-independent: columns are read through the
+    schema-ordered accessors, so a memory-mapped columnar store and its
+    in-memory twin hash to the same key and the artifact cache never forks
+    on storage layout.
     """
     h = hashlib.sha256()
-    columns = (
-        ("times", events.times),
-        ("severities", events.severities),
-        ("facilities", events.facilities),
-        ("jobs", events.jobs),
-        ("location_ids", events.location_ids),
-        ("entry_ids", events.entry_ids),
-        ("subcat_ids", events.subcat_ids),
-    )
-    for name, col in columns:
-        arr = np.ascontiguousarray(col)
+    for name in COLUMN_NAMES:
+        arr = np.ascontiguousarray(events.column(name))
         h.update(name.encode("utf-8"))
         h.update(str(arr.dtype).encode("utf-8"))
         h.update(arr.tobytes())
         h.update(b"\x00")
-    for table_name, table in (
-        ("locations", events.location_table),
-        ("entries", events.entry_table),
-        ("subcats", events.subcat_table),
-    ):
+    for table_name in TABLE_NAMES:
         h.update(table_name.encode("utf-8"))
-        for s in table:
+        for s in events.table(table_name).strings:
             h.update(s.encode("utf-8"))
             h.update(b"\x1f")
         h.update(b"\x00")

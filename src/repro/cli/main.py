@@ -22,10 +22,15 @@ from repro.preprocess.summary import (
     log_summary,
     severity_breakdown,
 )
-from repro.ras.logfile import LogDialect, read_log, write_log
+from repro.ras.columnar import is_columnar_dir, open_store
+from repro.ras.logfile import LogDialect, iter_log_lines, read_log, write_log
 from repro.synth.generator import LogGenerator
 from repro.synth.profiles import profile_by_name
 from repro.util.timeutil import MINUTE
+
+
+class _CliError(Exception):
+    """Operator-facing CLI error; caught in :func:`main` -> exit code 2."""
 
 
 def _add_emit_metrics_arg(p: argparse.ArgumentParser) -> None:
@@ -64,6 +69,29 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_input_args(p: argparse.ArgumentParser) -> None:
+    """Unified event-source flags: positional log file OR ``--store DIR``.
+
+    The positional also auto-detects columnar store directories, so either
+    spelling works; ``--store`` exists to make scripts explicit about what
+    they expect (it refuses anything that is not a columnar store).
+    """
+    p.add_argument(
+        "log", nargs="?", default=None,
+        help="raw log file, or a columnar store directory (auto-detected)",
+    )
+    p.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="columnar event-store directory to read instead of a log file",
+    )
+    p.add_argument(
+        "--store-backend", choices=["memory", "columnar"], default=None,
+        help="in-process store representation for loaded logs "
+             "(default: $REPRO_STORE_BACKEND, else memory); columnar spills "
+             "sorted stores to disk-backed memory maps",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="bgl-predict",
@@ -76,19 +104,30 @@ def _build_parser() -> argparse.ArgumentParser:
     g.add_argument("--scale", type=float, default=0.1)
     g.add_argument("--noise", type=float, default=1.0, help="noise multiplier")
     g.add_argument("--seed", type=int, default=0)
-    g.add_argument("--output", "-o", required=True, help="log file to write")
+    g.add_argument("--output", "-o", default=None, help="log file to write")
     g.add_argument(
         "--dialect", choices=["repro", "loghub"], default="repro",
         help="output line format",
     )
+    g.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="stream the log into a columnar store directory instead of "
+             "a text file (out-of-core; combine with --segments)",
+    )
+    g.add_argument(
+        "--segments", type=int, default=1, metavar="N",
+        help="with --store: concatenate N independently-seeded generations, "
+             "each time-shifted past the last; peak memory stays one "
+             "segment (default 1)",
+    )
 
     p = sub.add_parser("preprocess", help="run Phase 1 on a log file")
-    p.add_argument("log", help="raw log file")
+    _add_store_input_args(p)
     p.add_argument("--output", "-o", help="write the unique-event log here")
     p.add_argument("--threshold", type=float, default=300.0)
 
     m = sub.add_parser("mine", help="mine association rules")
-    m.add_argument("log", help="raw log file")
+    _add_store_input_args(m)
     m.add_argument("--rule-window", type=float, default=15.0, help="minutes")
     m.add_argument("--min-support", type=float, default=0.04)
     m.add_argument("--min-confidence", type=float, default=0.2)
@@ -96,7 +135,7 @@ def _build_parser() -> argparse.ArgumentParser:
     m.add_argument("--top", type=int, default=20, help="rules to print")
 
     e = sub.add_parser("evaluate", help="cross-validate a predictor")
-    e.add_argument("log", help="raw log file")
+    _add_store_input_args(e)
     e.add_argument(
         "--method", choices=["statistical", "rule", "meta"], default="meta"
     )
@@ -104,7 +143,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_engine_args(e)
 
     s = sub.add_parser("sweep", help="prediction-window sweep")
-    s.add_argument("log", help="raw log file")
+    _add_store_input_args(s)
     s.add_argument(
         "--method", choices=["statistical", "rule", "meta"], default="meta"
     )
@@ -123,14 +162,14 @@ def _build_parser() -> argparse.ArgumentParser:
     t = sub.add_parser(
         "train", help="train the three-phase predictor and save the model"
     )
-    t.add_argument("log", help="raw training log file")
+    _add_store_input_args(t)
     t.add_argument("--model", "-m", required=True, help="model JSON to write")
     _add_common_predictor_args(t)
 
     w = sub.add_parser(
         "watch", help="stream a log through a trained model (online mode)"
     )
-    w.add_argument("log", help="raw log file to replay")
+    _add_store_input_args(w)
     w.add_argument("--model", "-m", required=True, help="model JSON to load")
     w.add_argument(
         "--quiet", action="store_true",
@@ -141,7 +180,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "serve-replay",
         help="replay a log through the sharded serving engine (throughput mode)",
     )
-    v.add_argument("log", help="raw log file to replay")
+    _add_store_input_args(v)
     v.add_argument(
         "--model", "-m", default=None,
         help="model JSON to load (or use --registry)",
@@ -190,8 +229,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     v.add_argument(
         "--chunk", type=int, default=2048, metavar="N",
-        help="lifecycle serving chunk — the hot-swap barrier granularity "
-             "(default 2048)",
+        help="serving chunk in events: the hot-swap barrier granularity in "
+             "lifecycle mode, and the streaming-replay chunk when the input "
+             "is a columnar store (default 2048)",
     )
 
     d = sub.add_parser(
@@ -269,12 +309,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for lifecycle refits "
              "(default: $REPRO_JOBS, else serial)",
     )
+    d.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="archive every accepted event to a columnar store directory "
+             "(append-only; resumes across restarts; replayable with "
+             "'serve-replay DIR')",
+    )
 
     em = sub.add_parser(
         "emit",
         help="drive a log at a running serve-daemon as synthetic load",
     )
-    em.add_argument("log", help="raw log file to emit")
+    _add_store_input_args(em)
     em.add_argument("--host", default="127.0.0.1", help="daemon address")
     em.add_argument("--port", type=int, required=True, help="daemon port")
     em.add_argument(
@@ -330,10 +376,42 @@ def _build_parser() -> argparse.ArgumentParser:
     mls = mo_sub.add_parser("list", help="list snapshots, tags and lineage")
     mls.add_argument("--registry", required=True, metavar="DIR")
 
+    st = sub.add_parser(
+        "store", help="inspect and convert columnar event stores"
+    )
+    st_sub = st.add_subparsers(dest="store_command", required=True)
+    si = st_sub.add_parser(
+        "info", help="print a columnar store's manifest summary"
+    )
+    si.add_argument("path", help="columnar store directory")
+    si.add_argument(
+        "--fingerprint", action="store_true",
+        help="also compute the content fingerprint (reads every column)",
+    )
+    sc = st_sub.add_parser(
+        "convert",
+        help="convert between text logs and columnar stores (streaming)",
+    )
+    sc.add_argument("src", help="source: log file or columnar store directory")
+    sc.add_argument("dst", help="destination path")
+    sc.add_argument(
+        "--to", choices=["log", "columnar"], default=None,
+        help="destination format (default: the opposite of the source; "
+             "columnar->columnar re-compacts and re-sorts a store)",
+    )
+    sc.add_argument(
+        "--chunk", type=int, default=65536, metavar="N",
+        help="events per streamed write chunk (default 65536)",
+    )
+    sc.add_argument(
+        "--dialect", choices=["repro", "loghub"], default="repro",
+        help="line format when writing a log (default repro)",
+    )
+
     r = sub.add_parser(
         "report", help="full study report: CDF, rules, sweeps, comparison"
     )
-    r.add_argument("log", help="raw log file")
+    _add_store_input_args(r)
     r.add_argument(
         "--windows", default="5,15,30,60", help="sweep minutes"
     )
@@ -343,7 +421,7 @@ def _build_parser() -> argparse.ArgumentParser:
     x = sub.add_parser(
         "export", help="write experiment series (sweep/CDF/categories) as CSV"
     )
-    x.add_argument("log", help="raw log file")
+    _add_store_input_args(x)
     x.add_argument("--outdir", "-o", required=True, help="directory for CSVs")
     x.add_argument(
         "--method", choices=["statistical", "rule", "meta"], default="meta"
@@ -358,10 +436,44 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_events(path: str, threshold: float = 300.0):
-    raw = read_log(path, errors="skip")
+def _input_path(args: argparse.Namespace) -> str:
+    """The one event source named by ``LOG`` or ``--store`` (exactly one)."""
+    log = getattr(args, "log", None)
+    store = getattr(args, "store", None)
+    if (log is None) == (store is None):
+        raise _CliError("provide exactly one event source: LOG or --store DIR")
+    if store is not None:
+        if not is_columnar_dir(store):
+            raise _CliError(f"--store {store} is not a columnar store directory")
+        return store
+    return log
+
+
+def _load_raw(args: argparse.Namespace):
+    """Open the command's event source as a raw :class:`EventStore`.
+
+    Columnar store directories (from ``--store`` or auto-detected from the
+    positional) open memory-mapped; anything else is parsed as a text log.
+    """
+    path = _input_path(args)
+    if is_columnar_dir(path):
+        from repro.ras.columnar import StoreDirError
+
+        try:
+            return open_store(path)
+        except StoreDirError as exc:
+            raise _CliError(f"cannot open store {path}: {exc}") from exc
+    if not os.path.isfile(path):
+        raise _CliError(f"no such log file or store directory: {path}")
+    return read_log(path, errors="skip")
+
+
+def _load_events(args: argparse.Namespace):
+    raw = _load_raw(args)
     pipeline = ThreePhasePredictor(
-        PredictorConfig(compression_threshold=threshold)
+        PredictorConfig(
+            compression_threshold=getattr(args, "threshold", 300.0)
+        )
     )
     result = pipeline.preprocess(raw)
     return raw, result
@@ -392,7 +504,30 @@ def _make_spec(
 
 def cmd_generate(args: argparse.Namespace) -> int:
     profile = profile_by_name(args.profile)
+    if (args.output is None) == (args.store is None):
+        raise _CliError(
+            "provide exactly one destination: --output FILE or --store DIR"
+        )
     t0 = time.monotonic()
+    if args.store is not None:
+        from repro.synth.streaming import stream_generate
+
+        summary = stream_generate(
+            profile,
+            args.store,
+            segments=args.segments,
+            scale=args.scale,
+            noise_multiplier=args.noise,
+            seed=args.seed,
+        )
+        print(
+            f"{profile.name} scale={args.scale} x{summary.segments} "
+            f"segment(s): {summary.rows} raw records streamed to "
+            f"{summary.path} "
+            f"(span {summary.span_seconds / 86_400:.1f} days, "
+            f"{time.monotonic() - t0:.1f}s)"
+        )
+        return 0
     log = LogGenerator(
         profile, scale=args.scale, noise_multiplier=args.noise, seed=args.seed
     ).generate()
@@ -407,9 +542,9 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_preprocess(args: argparse.Namespace) -> int:
-    raw, result = _load_events(args.log, args.threshold)
+    raw, result = _load_events(args)
     print("raw log:")
-    for k, v in log_summary(raw, args.log).items():
+    for k, v in log_summary(raw, _input_path(args)).items():
         print(f"  {k}: {v}")
     print("severities:", severity_breakdown(raw))
     print(
@@ -433,7 +568,7 @@ def cmd_preprocess(args: argparse.Namespace) -> int:
 
 
 def cmd_mine(args: argparse.Namespace) -> int:
-    _, result = _load_events(args.log)
+    _, result = _load_events(args)
     predictor = RuleBasedPredictor(
         rule_window=args.rule_window * MINUTE,
         min_support=args.min_support,
@@ -504,7 +639,7 @@ def _print_metrics_section() -> None:
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
-    _, result = _load_events(args.log)
+    _, result = _load_events(args)
     spec = _make_spec(args.method, args, args.prediction_window)
     cv = cross_validate(
         spec, result.events, k=args.folds,
@@ -538,7 +673,7 @@ def _sweep_grid(
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    _, result = _load_events(args.log)
+    _, result = _load_events(args)
     windows = [float(x) * MINUTE for x in args.windows.split(",")]
     points = sweep(
         _sweep_grid(args, windows),
@@ -554,7 +689,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_train(args: argparse.Namespace) -> int:
-    _, result = _load_events(args.log)
+    _, result = _load_events(args)
     predictor = ThreePhasePredictor(
         PredictorConfig(
             rule_window=args.rule_window * MINUTE,
@@ -578,7 +713,7 @@ def cmd_watch(args: argparse.Namespace) -> int:
 
     model = load_model(args.model)
     meta = model.meta if isinstance(model, ThreePhasePredictor) else model
-    _, result = _load_events(args.log)
+    _, result = _load_events(args)
     session = OnlineSession(meta)
     for ev in result.events:
         for w in session.process(ev):
@@ -633,17 +768,20 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
     except (RegistryError, FileNotFoundError) as exc:
         return _fail(str(exc))
 
-    _, result = _load_events(args.log)
+    raw, result = _load_events(args)
     if len(result.events) == 0:
         return _fail(
-            f"no events parsed from {args.log}; nothing to replay "
+            f"no events parsed from {_input_path(args)}; nothing to replay "
             "(is the file empty or in an unrecognized dialect?)"
         )
     pool = DetectorPool(meta, shards=args.shards, key=args.key)
     if lifecycle_mode:
         assert model_registry is not None and snapshot is not None
         return _serve_lifecycle(args, pool, model_registry, snapshot, result.events)
-    report = pool.replay(result.events, jobs=args.jobs)
+    # Columnar input replays in bounded-memory chunks (serial; --jobs is a
+    # whole-store optimization and is ignored on the streaming path).
+    chunk = args.chunk if raw.backend_kind == "columnar" else None
+    report = pool.replay(result.events, jobs=args.jobs, chunk_events=chunk)
     print(
         f"serve-replay: {report.events} events through {len(report.shards)} "
         f"active shard(s) (key={report.key}) in {report.seconds:.3f}s "
@@ -847,6 +985,7 @@ def cmd_serve_daemon(args: argparse.Namespace) -> int:
             key=args.key,
             chunk_events=args.chunk,
             max_streams=args.max_streams,
+            store_dir=args.store,
         )
     except ValueError as exc:
         return _fail(str(exc))
@@ -866,6 +1005,7 @@ def cmd_serve_daemon(args: argparse.Namespace) -> int:
             f"(queue_bound={config.queue_bound}, shards={config.shards}, "
             f"chunk={config.chunk_events}"
             + (", lifecycle on" if lifecycle_mode else "")
+            + (f", archiving to {args.store}" if args.store else "")
             + ") — SIGTERM or GET /drain for a graceful drain",
             flush=True,
         )
@@ -911,10 +1051,12 @@ def cmd_emit(args: argparse.Namespace) -> int:
 
     if args.streams < 1:
         return _fail("--streams must be >= 1")
-    _, result = _load_events(args.log)
+    _, result = _load_events(args)
     events = list(result.events)
     if not events:
-        return _fail(f"no events parsed from {args.log}; nothing to emit")
+        return _fail(
+            f"no events parsed from {_input_path(args)}; nothing to emit"
+        )
     if args.repeat > 1:
         span = events[-1].time + 1
         base = list(events)
@@ -1012,13 +1154,89 @@ def cmd_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store_info(args: argparse.Namespace) -> int:
+    from repro.ras.columnar import ColumnarBackend, StoreDirError
+
+    try:
+        backend = ColumnarBackend(args.path)
+    except StoreDirError as exc:
+        raise _CliError(f"cannot open store {args.path}: {exc}") from exc
+    mib = backend.disk_bytes() / (1024 * 1024)
+    print(f"columnar store {args.path}:")
+    print(f"  rows: {len(backend)}")
+    print(f"  time-sorted: {backend.time_sorted}")
+    print(f"  segments: {len(backend.segments)}")
+    print(f"  committed column bytes: {mib:.1f} MiB")
+    if len(backend) and backend.time_sorted:
+        times = backend.column("times")
+        span = int(times[-1]) - int(times[0])
+        print(f"  span: {span / 86_400:.1f} days "
+              f"({int(times[0])} .. {int(times[-1])})")
+    for name in ("locations", "entries", "subcats"):
+        print(f"  {name}: {len(backend.table(name).strings)} interned strings")
+    if args.fingerprint:
+        from repro.cache import store_fingerprint
+        from repro.ras.store import EventStore
+
+        store = EventStore.from_backend(backend)
+        print(f"  fingerprint: {store_fingerprint(store)}")
+    return 0
+
+
+def _cmd_store_convert(args: argparse.Namespace) -> int:
+    from repro.ras.columnar import ColumnarWriter, StoreDirError, write_store
+
+    src_columnar = is_columnar_dir(args.src)
+    if not src_columnar and not os.path.isfile(args.src):
+        raise _CliError(f"no such log file or store directory: {args.src}")
+    to = args.to or ("log" if src_columnar else "columnar")
+    if args.chunk < 1:
+        raise _CliError(f"--chunk must be >= 1, got {args.chunk}")
+    t0 = time.monotonic()
+    try:
+        if to == "columnar":
+            if src_columnar:
+                store = open_store(args.src)
+                n = len(store)
+                write_store(store, args.dst, chunk_events=args.chunk)
+            else:
+                # True streaming parse: the text log never materializes.
+                n = 0
+                with ColumnarWriter(args.dst) as writer:
+                    buf: list = []
+                    for ev in iter_log_lines(args.src, errors="skip"):
+                        buf.append(ev)
+                        if len(buf) >= args.chunk:
+                            n += writer.append_events(buf)
+                            buf.clear()
+                    n += writer.append_events(buf)
+        else:
+            source = open_store(args.src) if src_columnar else read_log(
+                args.src, errors="skip"
+            )
+            n = write_log(source, args.dst, dialect=LogDialect(args.dialect))
+    except StoreDirError as exc:
+        raise _CliError(f"cannot open store {args.src}: {exc}") from exc
+    print(
+        f"converted {args.src} -> {args.dst} ({to}): {n} events "
+        f"({time.monotonic() - t0:.1f}s)"
+    )
+    return 0
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    if args.store_command == "info":
+        return _cmd_store_info(args)
+    return _cmd_store_convert(args)
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro.evaluation.report import cdf_chart, comparison_table, sweep_chart
     from repro.predictors.statistical import failure_gap_cdf
 
-    _, result = _load_events(args.log)
+    _, result = _load_events(args)
     events = result.events
     windows = [float(x) * MINUTE for x in args.windows.split(",")]
     rw = args.rule_window * MINUTE
@@ -1075,7 +1293,7 @@ def cmd_export(args: argparse.Namespace) -> int:
 
     outdir = Path(args.outdir)
     outdir.mkdir(parents=True, exist_ok=True)
-    _, result = _load_events(args.log)
+    _, result = _load_events(args)
     events = result.events
 
     grid = np.array(
@@ -1117,6 +1335,7 @@ _COMMANDS = {
     "serve-daemon": cmd_serve_daemon,
     "emit": cmd_emit,
     "model": cmd_model,
+    "store": cmd_store,
     "report": cmd_report,
     "export": cmd_export,
 }
@@ -1130,9 +1349,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     writes the full JSON snapshot when the command finishes.
     """
     args = _build_parser().parse_args(argv)
+    backend = getattr(args, "store_backend", None)
+    if backend:
+        os.environ["REPRO_STORE_BACKEND"] = backend
     registry = MetricsRegistry()
     with use(registry):
-        rc = _COMMANDS[args.command](args)
+        try:
+            rc = _COMMANDS[args.command](args)
+        except _CliError as exc:
+            rc = _fail(str(exc))
     emit_path = getattr(args, "emit_metrics", None)
     if emit_path:
         with open(emit_path, "w", encoding="utf-8") as fh:

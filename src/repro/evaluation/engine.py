@@ -186,10 +186,25 @@ _WORKER_CACHE: Optional[ArtifactCache] = None
 _WORKER_FINGERPRINT: str = ""
 
 
+def _ship_events(events: EventStore) -> Union[EventStore, str]:
+    """What to send each worker: the store's path when it lives on disk.
+
+    A columnar-backed store ships as its directory path — kilobytes on the
+    wire instead of the full column bytes — and every worker re-opens its
+    own memory map.  In-memory stores still pickle whole (the original
+    behavior).
+    """
+    return events.storage_path or events
+
+
 def _init_worker(
-    events: EventStore, cache_dir: Optional[str], fingerprint: str
+    events: Union[EventStore, str], cache_dir: Optional[str], fingerprint: str
 ) -> None:
     global _WORKER_EVENTS, _WORKER_CACHE, _WORKER_FINGERPRINT
+    if isinstance(events, str):
+        from repro.ras.columnar import open_store
+
+        events = open_store(events)
     _WORKER_EVENTS = events
     _WORKER_CACHE = ArtifactCache(cache_dir) if cache_dir else None
     _WORKER_FINGERPRINT = fingerprint
@@ -243,7 +258,7 @@ def run_fold_tasks(
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_worker,
-                initargs=(events, effective_dir, fingerprint),
+                initargs=(_ship_events(events), effective_dir, fingerprint),
             ) as pool:
                 outcomes = list(pool.map(_run_in_worker, tasks))
     obs.counter("engine.tasks", len(tasks))

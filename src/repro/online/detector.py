@@ -20,6 +20,8 @@ event in the pending-warning count P).
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.meta.stacked import MetaLearner, MetaStream
@@ -119,13 +121,30 @@ class OnlineDetector:
         )
         return remap[store.subcat_ids]
 
-    def feed_store(self, store: EventStore) -> list[FailureWarning]:
-        """Replay a whole classified store through the batch path."""
+    def feed_store(
+        self, store: EventStore, chunk_events: Optional[int] = None
+    ) -> list[FailureWarning]:
+        """Replay a whole classified store through the batch path.
+
+        ``chunk_events`` bounds the working set: the store is consumed in
+        contiguous zero-copy slices of at most that many rows (the batch
+        path is per-event equivalent, so any chunking yields the identical
+        warning stream).  ``None`` feeds the store as one batch.
+        """
         if len(store) == 0:
             return []
-        return self.feed_batch(
-            store.times, self.label_ids_for(store), store.fatal_mask()
-        )
+        if chunk_events is None:
+            return self.feed_batch(
+                store.times, self.label_ids_for(store), store.fatal_mask()
+            )
+        warnings: list[FailureWarning] = []
+        for chunk in store.iter_chunks(chunk_events):
+            warnings.extend(
+                self.feed_batch(
+                    chunk.times, self.label_ids_for(chunk), chunk.fatal_mask()
+                )
+            )
+        return warnings
 
 
 class OnlineSession:
@@ -182,7 +201,9 @@ class OnlineSession:
             resolver.add(w)
         return raised
 
-    def process_store(self, store: EventStore) -> list[FailureWarning]:
+    def process_store(
+        self, store: EventStore, chunk_events: Optional[int] = None
+    ) -> list[FailureWarning]:
         """Feed a whole classified store through the batched path.
 
         Detection runs once over the columns (:meth:`OnlineDetector.feed_store`);
@@ -192,7 +213,19 @@ class OnlineSession:
         event after its issue time reproduces the per-event interleaving
         exactly — :attr:`stats` comes out identical to calling
         :meth:`process` per event.
+
+        With ``chunk_events`` the store is processed in contiguous slices
+        of at most that many rows, bounding the working set for columnar
+        stores.  Boundary warnings enqueue at the end of their chunk rather
+        than mid-merge, which is observationally identical: a warning's
+        horizon opens strictly after its issue time, so it is inert for any
+        same-timestamp event either way.
         """
+        if chunk_events is not None:
+            chunked: list[FailureWarning] = []
+            for chunk in store.iter_chunks(chunk_events):
+                chunked.extend(self.process_store(chunk))
+            return chunked
         warnings = self.detector.feed_store(store)
         resolver = self.resolver
         stats = resolver.stats

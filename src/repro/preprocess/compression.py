@@ -28,6 +28,7 @@ shadowed by an INFO record that happened to arrive first.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
@@ -36,6 +37,9 @@ from repro.util.validation import check_positive
 
 #: The paper's compression threshold, seconds.
 DEFAULT_THRESHOLD: int = 300
+
+#: Default rows per chunk for the incremental compressor.
+DEFAULT_CHUNK_EVENTS: int = 262_144
 
 
 @dataclass
@@ -117,6 +121,15 @@ def _compress_by_keys(
     return store.select(rep_original_idx), stats
 
 
+def _temporal_keys(store: EventStore, key_mode: str) -> list[np.ndarray]:
+    """The grouping key columns for a temporal-compression key mode."""
+    if key_mode == "job_location":
+        return [store.location_ids, store.jobs]
+    if key_mode == "job_location_entry":
+        return [store.entry_ids, store.location_ids, store.jobs]
+    raise ValueError(f"unknown key_mode: {key_mode!r}")
+
+
 def temporal_compress(
     store: EventStore,
     threshold: float = DEFAULT_THRESHOLD,
@@ -132,13 +145,145 @@ def temporal_compress(
         requires identical ENTRY_DATA, so distinct event types at one
         location are never merged — used by the ablation bench).
     """
-    if key_mode == "job_location":
-        keys = [store.location_ids, store.jobs]
-    elif key_mode == "job_location_entry":
-        keys = [store.entry_ids, store.location_ids, store.jobs]
-    else:
-        raise ValueError(f"unknown key_mode: {key_mode!r}")
-    return _compress_by_keys(store, keys, threshold)
+    return _compress_by_keys(store, _temporal_keys(store, key_mode), threshold)
+
+
+@dataclass
+class _OpenCluster:
+    """An in-progress cluster that may continue into the next chunk."""
+
+    last_time: int
+    best_sev: int
+    best_idx: int  # global row index of the current representative
+    size: int
+
+
+class IncrementalTemporalCompressor:
+    """Chunk-at-a-time temporal compression, bit-identical to the batch pass.
+
+    Feed contiguous, time-ordered chunks of one store via :meth:`push` (the
+    chunks :meth:`EventStore.iter_chunks` yields), then call :meth:`finish`
+    for the surviving global row indices and stats.  The only state carried
+    across chunks is one :class:`_OpenCluster` per active (key) group —
+    bounded by the number of distinct (JOB_ID, LOCATION) pairs, not by log
+    length — so a 100M-event columnar store compresses within a fixed
+    memory budget.
+
+    Equivalence with :func:`temporal_compress` holds because chunks are
+    contiguous slices of a globally time-sorted store: within a key group
+    the global (time, row-index) order is exactly chunk order, so a cluster
+    spanning a chunk boundary is reassembled by the gap test against the
+    carried ``last_time``, and the representative (earliest record of the
+    cluster's max severity) is the carried one unless the new fragment
+    strictly raises the max.
+    """
+
+    def __init__(
+        self,
+        threshold: float = DEFAULT_THRESHOLD,
+        key_mode: str = "job_location",
+    ) -> None:
+        check_positive(threshold, "threshold")
+        self.threshold = threshold
+        self.key_mode = key_mode
+        self._open: dict[tuple[int, ...], _OpenCluster] = {}
+        self._done: list[_OpenCluster] = []
+        self._rows = 0
+        self._sev_in = np.zeros(6, dtype=np.int64)
+        self._finished = False
+
+    def push(self, chunk: EventStore) -> None:
+        """Consume the next contiguous chunk (must follow the previous one)."""
+        if self._finished:
+            raise RuntimeError("compressor already finished")
+        n = len(chunk)
+        if n == 0:
+            return
+        keys = _temporal_keys(chunk, self.key_mode)
+        order = np.lexsort([chunk.times, *keys])
+        t = np.asarray(chunk.times)[order]
+        key_cols = [np.asarray(k)[order] for k in keys]
+        sev = np.asarray(chunk.severities)[order].astype(np.int64)
+
+        new_cluster = np.ones(n, dtype=bool)
+        if n > 1:
+            same_key = np.ones(n - 1, dtype=bool)
+            for k in key_cols:
+                same_key &= k[1:] == k[:-1]
+            small_gap = (t[1:] - t[:-1]) <= self.threshold
+            new_cluster[1:] = ~(same_key & small_gap)
+        starts = np.flatnonzero(new_cluster)
+        ends = np.append(starts[1:], n)
+
+        offset = self._rows
+        for lo, hi in zip(starts, ends):
+            lo = int(lo)
+            hi = int(hi)
+            key = tuple(int(k[lo]) for k in key_cols)
+            first_t = int(t[lo])
+            seg = sev[lo:hi]
+            best = int(seg.max())
+            # Earliest max-severity row; rows are (time, global idx)-ordered
+            # within the cluster, same tie-break as the batch pass.
+            rep = offset + int(order[lo + int(np.argmax(seg == best))])
+            state = self._open.get(key)
+            if state is not None and first_t - state.last_time <= self.threshold:
+                if best > state.best_sev:
+                    state.best_sev = best
+                    state.best_idx = rep
+                state.last_time = int(t[hi - 1])
+                state.size += hi - lo
+            else:
+                if state is not None:
+                    self._done.append(state)
+                self._open[key] = _OpenCluster(
+                    last_time=int(t[hi - 1]),
+                    best_sev=best,
+                    best_idx=rep,
+                    size=hi - lo,
+                )
+        self._rows += n
+        self._sev_in += np.bincount(
+            np.asarray(chunk.severities), minlength=6
+        ).astype(np.int64)[:6]
+
+    def finish(self) -> tuple[np.ndarray, CompressionStats]:
+        """Close all open clusters; returns (sorted global rep indices, stats)."""
+        if not self._finished:
+            self._done.extend(self._open.values())
+            self._open.clear()
+            self._finished = True
+        stats = CompressionStats(input_records=self._rows)
+        stats.output_records = len(self._done)
+        stats.clusters_merged = sum(1 for c in self._done if c.size > 1)
+        kept = np.zeros(6, dtype=np.int64)
+        for c in self._done:
+            kept[c.best_sev] += 1
+        stats.removed_by_severity = self._sev_in - kept
+        rep_idx = np.array(
+            sorted(c.best_idx for c in self._done), dtype=np.int64
+        )
+        return rep_idx, stats
+
+
+def temporal_compress_chunked(
+    store: EventStore,
+    threshold: float = DEFAULT_THRESHOLD,
+    key_mode: str = "job_location",
+    chunk_events: Optional[int] = DEFAULT_CHUNK_EVENTS,
+) -> tuple[EventStore, CompressionStats]:
+    """Temporal compression driven through the incremental engine.
+
+    Result and stats are bit-identical to :func:`temporal_compress`; only
+    the peak working set differs (one chunk plus per-key carried state
+    instead of the whole store).
+    """
+    comp = IncrementalTemporalCompressor(threshold, key_mode=key_mode)
+    chunk_rows = chunk_events or DEFAULT_CHUNK_EVENTS
+    for chunk in store.iter_chunks(chunk_rows):
+        comp.push(chunk)
+    rep_idx, stats = comp.finish()
+    return store.select(rep_idx), stats
 
 
 def spatial_compress(

@@ -8,6 +8,18 @@ An optional *event filter* hook runs after compression; the paper's future
 work ("filtering out this ambiguity of failures and analyzing only those
 failures which will impact user jobs", citing Oliner et al.) plugs in here —
 see :func:`job_impacting_filter`.
+
+Two execution strategies produce bit-identical results:
+
+- **batch** — classify the whole store, then compress (the original path);
+- **streaming** — run temporal compression chunk-by-chunk through
+  :class:`~repro.preprocess.compression.IncrementalTemporalCompressor` on
+  the *raw* store and classify only the survivors.  Valid because the
+  classifier depends solely on each row's ENTRY_DATA string and the
+  temporal keys never involve the subcategory column, so classification
+  commutes with temporal compression.  This keeps the working set at one
+  chunk + per-key state, which is what lets phase1 consume a columnar
+  store far larger than RAM.
 """
 
 from __future__ import annotations
@@ -19,8 +31,10 @@ import numpy as np
 
 from repro.obs import get_registry
 from repro.preprocess.compression import (
+    DEFAULT_CHUNK_EVENTS,
     DEFAULT_THRESHOLD,
     CompressionStats,
+    IncrementalTemporalCompressor,
     spatial_compress,
     temporal_compress,
 )
@@ -80,8 +94,22 @@ class PreprocessPipeline:
         self.temporal_key_mode = temporal_key_mode
         self.event_filter = event_filter
 
-    def run(self, raw: EventStore) -> PreprocessResult:
-        """Run all Phase-1 steps on a raw record store."""
+    def run(
+        self, raw: EventStore, chunk_events: Optional[int] = None
+    ) -> PreprocessResult:
+        """Run all Phase-1 steps on a raw record store.
+
+        ``chunk_events`` selects the execution strategy: ``None`` (default)
+        streams automatically when ``raw`` sits on the columnar backend and
+        runs batch otherwise; ``0`` forces batch; a positive count forces
+        streaming with that chunk size.  Results are bit-identical either
+        way.
+        """
+        if chunk_events is None:
+            if raw.backend_kind == "columnar":
+                return self.run_streaming(raw)
+        elif chunk_events > 0:
+            return self.run_streaming(raw, chunk_events=chunk_events)
         obs = get_registry()
         with obs.span("phase1.classify"):
             labeled = self.classifier.classify_store(raw)
@@ -89,6 +117,39 @@ class PreprocessPipeline:
             after_temporal, t_stats = temporal_compress(
                 labeled, self.threshold, key_mode=self.temporal_key_mode
             )
+        return self._finish(len(raw), after_temporal, t_stats)
+
+    def run_streaming(
+        self, raw: EventStore, chunk_events: int = DEFAULT_CHUNK_EVENTS
+    ) -> PreprocessResult:
+        """Phase 1 with a working set of one chunk + per-key carried state.
+
+        Temporal compression consumes ``raw`` chunk-by-chunk (zero-copy
+        slices on the columnar backend); only the surviving representatives
+        — orders of magnitude fewer rows — are materialized, classified,
+        and spatially compressed.
+        """
+        obs = get_registry()
+        with obs.span("phase1.temporal"):
+            compressor = IncrementalTemporalCompressor(
+                self.threshold, key_mode=self.temporal_key_mode
+            )
+            for chunk in raw.iter_chunks(chunk_events):
+                compressor.push(chunk)
+            rep_idx, t_stats = compressor.finish()
+            survivors = raw.select(rep_idx)
+        with obs.span("phase1.classify"):
+            after_temporal = self.classifier.classify_store(survivors)
+        return self._finish(len(raw), after_temporal, t_stats)
+
+    def _finish(
+        self,
+        raw_records: int,
+        after_temporal: EventStore,
+        t_stats: CompressionStats,
+    ) -> PreprocessResult:
+        """Shared tail: spatial compression, filtering, stats, metrics."""
+        obs = get_registry()
         with obs.span("phase1.spatial"):
             after_spatial, s_stats = spatial_compress(
                 after_temporal, self.threshold
@@ -102,12 +163,12 @@ class PreprocessPipeline:
                 events = events.select(keep)
         result = PreprocessResult(
             events=events,
-            raw_records=len(raw),
+            raw_records=raw_records,
             temporal_stats=t_stats,
             spatial_stats=s_stats,
             filtered_out=filtered_out,
         )
-        obs.counter("preprocess.records_in", len(raw))
+        obs.counter("preprocess.records_in", raw_records)
         obs.counter("preprocess.events_out", len(events))
         obs.counter(
             "preprocess.dropped",

@@ -6,12 +6,33 @@ This subpackage is the substrate every phase of the predictor operates on:
   the CMCS repository (paper Table 2).
 - :mod:`repro.ras.events` — the per-record :class:`RasEvent` object.
 - :mod:`repro.ras.store` — :class:`EventStore`, a columnar NumPy-backed store
-  with O(log n) time-range queries; the in-memory stand-in for the paper's
-  centralized DB2 repository.
+  with O(log n) time-range queries; the stand-in for the paper's centralized
+  DB2 repository.
+- :mod:`repro.ras.backend` — the :class:`StoreBackend` protocol deciding
+  where the column bytes live, with :class:`MemoryBackend` (RAM arrays) as
+  the default implementation.
+- :mod:`repro.ras.columnar` — the out-of-core backend: append-only segment
+  files + atomic manifest, memory-mapped on read, for logs larger than RAM.
 - :mod:`repro.ras.logfile` — text serialization (a Loghub-compatible line
   format plus our extended dialect carrying JOB_ID).
 """
 
+from repro.ras.backend import (
+    COLUMN_NAMES,
+    TABLE_NAMES,
+    InternTable,
+    MemoryBackend,
+    StoreBackend,
+    default_backend_kind,
+)
+from repro.ras.columnar import (
+    ColumnarBackend,
+    ColumnarWriter,
+    StoreDirError,
+    is_columnar_dir,
+    open_store,
+    write_store,
+)
 from repro.ras.events import RasEvent, NO_JOB
 from repro.ras.fields import Severity, Facility, FATAL_SEVERITIES
 from repro.ras.logfile import (
@@ -22,7 +43,7 @@ from repro.ras.logfile import (
     format_event,
     parse_line,
 )
-from repro.ras.store import EventStore
+from repro.ras.store import EventStore, UNCLASSIFIED
 
 __all__ = [
     "RasEvent",
@@ -31,6 +52,19 @@ __all__ = [
     "Facility",
     "FATAL_SEVERITIES",
     "EventStore",
+    "UNCLASSIFIED",
+    "StoreBackend",
+    "MemoryBackend",
+    "ColumnarBackend",
+    "ColumnarWriter",
+    "StoreDirError",
+    "InternTable",
+    "COLUMN_NAMES",
+    "TABLE_NAMES",
+    "default_backend_kind",
+    "is_columnar_dir",
+    "open_store",
+    "write_store",
     "LogDialect",
     "read_log",
     "write_log",

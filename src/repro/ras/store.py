@@ -5,8 +5,16 @@ at that scale makes every pass over the log a Python-level loop.
 :class:`EventStore` instead keeps one NumPy array per RAS attribute (with
 string attributes interned through lookup tables), so that the hot operations
 of the pipeline — time-range queries, severity masks, group-bys for
-compression — are vectorized.  This is the in-memory stand-in for the paper's
+compression — are vectorized.  This is the stand-in for the paper's
 centralized DB2 repository.
+
+Where the column bytes *live* is a separate concern: the store delegates to a
+:class:`~repro.ras.backend.StoreBackend` — plain RAM arrays
+(:class:`~repro.ras.backend.MemoryBackend`) or memory-mapped segment files on
+disk (:class:`~repro.ras.columnar.ColumnarBackend`) for logs that do not fit
+in memory.  Every public method behaves identically on either backend, and
+``store_fingerprint`` digests are bit-identical, so artifact-cache keys are
+stable across backends.
 
 Invariants
 ----------
@@ -14,69 +22,84 @@ Invariants
 - ``times`` is kept sorted (ascending); constructors sort on ingest, and
   every derived store preserves order.  Sortedness is what allows
   ``searchsorted``-based O(log n) window queries.
+- Column arrays are **read-only views** (``writeable=False``).  Assigning to
+  ``store.times`` et al. still works through a ``DeprecationWarning`` shim
+  that materializes a fresh in-memory backend, but new code must derive new
+  stores instead (RL014 flags column writes outside ``repro.ras``).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Iterator, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.ras.backend import (
+    COLUMN_DTYPES,
+    COLUMN_NAMES,
+    TABLE_NAMES,
+    InternTable,
+    MemoryBackend,
+    StoreBackend,
+    default_backend_kind,
+    spill_dir,
+)
 from repro.ras.events import RasEvent
 from repro.ras.fields import Facility, Severity
 
 #: Sentinel subcategory id for unclassified events.
 UNCLASSIFIED: int = -1
 
+#: Backwards-compatible alias — the intern table now lives in
+#: :mod:`repro.ras.backend` so both backends and the columnar format share it.
+_InternTable = InternTable
 
-class _InternTable:
-    """Bidirectional string <-> int id mapping shared across derived stores."""
 
-    __slots__ = ("strings", "_index")
+def _column_property(name: str) -> property:
+    """A read-only column accessor with a deprecation shim for assignment."""
 
-    def __init__(self, strings: Optional[Sequence[str]] = None) -> None:
-        self.strings: list[str] = list(strings) if strings else []
-        self._index: dict[str, int] = {s: i for i, s in enumerate(self.strings)}
+    def getter(self: "EventStore") -> np.ndarray:
+        return self._backend.column(name)
 
-    def intern(self, s: str) -> int:
-        idx = self._index.get(s)
-        if idx is None:
-            idx = len(self.strings)
-            self.strings.append(s)
-            self._index[s] = idx
-        return idx
+    def setter(self: "EventStore", values: np.ndarray) -> None:
+        self._mutate_column(name, values)
 
-    def __getitem__(self, idx: int) -> str:
-        return self.strings[idx]
-
-    def __len__(self) -> int:
-        return len(self.strings)
-
-    def copy(self) -> "_InternTable":
-        return _InternTable(self.strings)
+    getter.__name__ = name
+    return property(
+        getter,
+        setter,
+        doc=f"Read-only ``{name}`` column view (assignment is deprecated).",
+    )
 
 
 class EventStore:
     """A time-sorted columnar collection of RAS events.
 
-    Construct with :meth:`from_events` (from ``RasEvent`` objects) or
+    Construct with :meth:`from_events` (from ``RasEvent`` objects),
     :meth:`from_columns` (from pre-built arrays, used by the synthetic
-    generator for speed).  Stores are immutable in practice: all mutating-ish
-    operations return new stores sharing intern tables.
+    generator for speed), or :meth:`from_backend` (wrap an existing
+    backend, used by :func:`repro.ras.columnar.open_store`).  Stores are
+    immutable: all mutating-ish operations return new stores sharing intern
+    tables.
+
+    With ``REPRO_STORE_BACKEND=columnar`` the public constructors spill
+    their columns to a session-scoped temp directory and reopen them
+    memory-mapped, so an unmodified test suite exercises the out-of-core
+    path end to end.
     """
 
-    __slots__ = (
-        "times",
-        "severities",
-        "facilities",
-        "jobs",
-        "location_ids",
-        "entry_ids",
-        "subcat_ids",
-        "_locations",
-        "_entries",
-        "_subcats",
-    )
+    __slots__ = ("_backend",)
+
+    # Column accessors: ``store.times`` etc. read straight from the backend;
+    # assignment is deprecated and materializes a fresh in-memory backend.
+    times = _column_property("times")
+    severities = _column_property("severities")
+    facilities = _column_property("facilities")
+    jobs = _column_property("jobs")
+    location_ids = _column_property("location_ids")
+    entry_ids = _column_property("entry_ids")
+    subcat_ids = _column_property("subcat_ids")
 
     def __init__(
         self,
@@ -87,31 +110,109 @@ class EventStore:
         location_ids: np.ndarray,
         entry_ids: np.ndarray,
         subcat_ids: np.ndarray,
-        locations: _InternTable,
-        entries: _InternTable,
-        subcats: _InternTable,
+        locations: InternTable,
+        entries: InternTable,
+        subcats: InternTable,
     ) -> None:
-        n = len(times)
-        for name, col in (
-            ("severities", severities),
-            ("facilities", facilities),
-            ("jobs", jobs),
-            ("location_ids", location_ids),
-            ("entry_ids", entry_ids),
-            ("subcat_ids", subcat_ids),
-        ):
-            if len(col) != n:
-                raise ValueError(f"column {name} has length {len(col)}, expected {n}")
-        self.times = times
-        self.severities = severities
-        self.facilities = facilities
-        self.jobs = jobs
-        self.location_ids = location_ids
-        self.entry_ids = entry_ids
-        self.subcat_ids = subcat_ids
-        self._locations = locations
-        self._entries = entries
-        self._subcats = subcats
+        self._backend: StoreBackend = MemoryBackend(
+            {
+                "times": times,
+                "severities": severities,
+                "facilities": facilities,
+                "jobs": jobs,
+                "location_ids": location_ids,
+                "entry_ids": entry_ids,
+                "subcat_ids": subcat_ids,
+            },
+            {"locations": locations, "entries": entries, "subcats": subcats},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Backend surface
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_backend(cls, backend: StoreBackend) -> "EventStore":
+        """Wrap an existing backend without copying anything."""
+        store = cls.__new__(cls)
+        store._backend = backend
+        return store
+
+    @property
+    def backend(self) -> StoreBackend:
+        """The storage backend holding this store's bytes."""
+        return self._backend
+
+    @property
+    def backend_kind(self) -> str:
+        """``"memory"`` or ``"columnar"``."""
+        return self._backend.kind
+
+    @property
+    def storage_path(self) -> Optional[str]:
+        """The on-disk store directory, or ``None`` for in-memory stores.
+
+        The evaluation engine ships this path to worker processes instead
+        of pickling the column bytes; workers reopen their own memory map.
+        """
+        return self._backend.storage_path
+
+    def column(self, name: str) -> np.ndarray:
+        """Read-only view of a schema column by name (see ``COLUMN_NAMES``)."""
+        return self._backend.column(name)
+
+    def table(self, name: str) -> InternTable:
+        """An intern table by name (see ``TABLE_NAMES``)."""
+        return self._backend.table(name)
+
+    def materialized(self) -> "EventStore":
+        """An in-memory copy: columns loaded into RAM, tables copied.
+
+        No-op for stores already on the memory backend.  Use before heavy
+        random access when the columnar page-in cost would dominate.
+        """
+        if isinstance(self._backend, MemoryBackend):
+            return self
+        columns = [
+            np.array(self._backend.column(name)) for name in COLUMN_NAMES
+        ]
+        tables = [self._backend.table(name).copy() for name in TABLE_NAMES]
+        return EventStore(*columns, *tables)
+
+    def _mutate_column(self, name: str, values: np.ndarray) -> None:
+        """Deprecated in-place column assignment (``store.times = ...``)."""
+        warnings.warn(
+            f"assigning EventStore.{name} is deprecated; stores are "
+            "immutable — derive a new store (select/with_subcat_ids/"
+            "from_columns) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        arr = np.asarray(values, dtype=COLUMN_DTYPES[name])
+        if arr.shape != (len(self),):
+            raise ValueError(
+                f"column {name} has shape {arr.shape}, expected ({len(self)},)"
+            )
+        backend = self._backend
+        if not isinstance(backend, MemoryBackend):
+            backend = MemoryBackend(
+                {n: np.array(backend.column(n)) for n in COLUMN_NAMES},
+                {n: backend.table(n).copy() for n in TABLE_NAMES},
+            )
+        self._backend = backend.replace_column(name, arr)
+
+    # Intern tables, named for the internal call sites.
+    @property
+    def _locations(self) -> InternTable:
+        return self._backend.table("locations")
+
+    @property
+    def _entries(self) -> InternTable:
+        return self._backend.table("entries")
+
+    @property
+    def _subcats(self) -> InternTable:
+        return self._backend.table("subcats")
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -119,7 +220,7 @@ class EventStore:
 
     @classmethod
     def empty(cls) -> "EventStore":
-        """A store with zero events."""
+        """A store with zero events (always memory-backed; nothing to spill)."""
         z = np.empty(0, dtype=np.int64)
         return cls(
             z,
@@ -129,14 +230,31 @@ class EventStore:
             np.empty(0, dtype=np.int32),
             np.empty(0, dtype=np.int32),
             np.empty(0, dtype=np.int32),
-            _InternTable(),
-            _InternTable(),
-            _InternTable(),
+            InternTable(),
+            InternTable(),
+            InternTable(),
         )
 
     @classmethod
     def from_events(cls, events: Iterable[RasEvent]) -> "EventStore":
-        """Build a store from event objects; sorts by time (stable)."""
+        """Build a store from event objects; sorts by time (stable).
+
+        Honors ``REPRO_STORE_BACKEND=columnar`` by spilling the sorted
+        store to a session temp directory (blocking file I/O).  Async code
+        and other spill-averse callers use :meth:`from_events_in_memory`.
+        """
+        return _to_default_backend(cls.from_events_in_memory(events))
+
+    @classmethod
+    def from_events_in_memory(cls, events: Iterable[RasEvent]) -> "EventStore":
+        """:meth:`from_events` minus the backend-default spill.
+
+        The result is always :class:`MemoryBackend`-backed regardless of
+        ``REPRO_STORE_BACKEND`` — the right constructor for small ephemeral
+        stores (per-batch chunks in the serving loop) where a disk round
+        trip would be pure overhead, and for asyncio coroutines where it
+        would block the event loop (RL013).
+        """
         events = list(events)
         n = len(events)
         times = np.empty(n, dtype=np.int64)
@@ -146,9 +264,9 @@ class EventStore:
         location_ids = np.empty(n, dtype=np.int32)
         entry_ids = np.empty(n, dtype=np.int32)
         subcat_ids = np.empty(n, dtype=np.int32)
-        locations = _InternTable()
-        entries = _InternTable()
-        subcats = _InternTable()
+        locations = InternTable()
+        entries = InternTable()
+        subcats = InternTable()
         for i, ev in enumerate(events):
             times[i] = ev.time
             severities[i] = int(ev.severity)
@@ -189,24 +307,24 @@ class EventStore:
             np.asarray(location_ids, dtype=np.int32),
             np.asarray(entry_ids, dtype=np.int32),
             np.asarray(subcat_ids, dtype=np.int32),
-            _InternTable(list(locations)),
-            _InternTable(list(entries)),
-            _InternTable(list(subcats)),
+            InternTable(list(locations)),
+            InternTable(list(entries)),
+            InternTable(list(subcats)),
         )
-        return store.sorted_by_time()
+        return _to_default_backend(store.sorted_by_time())
 
     # ------------------------------------------------------------------ #
     # Basic protocol
     # ------------------------------------------------------------------ #
 
     def __len__(self) -> int:
-        return len(self.times)
+        return len(self._backend)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         span = ""
         if len(self):
             span = f", t=[{self.times[0]}..{self.times[-1]}]"
-        return f"EventStore(n={len(self)}{span})"
+        return f"EventStore(n={len(self)}, backend={self.backend_kind}{span})"
 
     def __getitem__(
         self, key: Union[int, slice, np.ndarray]
@@ -278,6 +396,7 @@ class EventStore:
     # ------------------------------------------------------------------ #
 
     def _derive(self, idx: np.ndarray) -> "EventStore":
+        """Fancy-indexed derivation: materializes the selected rows in RAM."""
         return EventStore(
             self.times[idx],
             self.severities[idx],
@@ -291,15 +410,40 @@ class EventStore:
             self._subcats,
         )
 
+    def _derive_slice(self, lo: int, hi: int) -> "EventStore":
+        """Contiguous-range derivation: zero-copy views into the backend.
+
+        On the columnar backend the views are slices of the memory map, so
+        a window over a 100M-event log costs no RSS until its pages are
+        touched — this is the primitive ``time_window`` and ``iter_chunks``
+        are built on.
+        """
+        return EventStore(
+            self.times[lo:hi],
+            self.severities[lo:hi],
+            self.facilities[lo:hi],
+            self.jobs[lo:hi],
+            self.location_ids[lo:hi],
+            self.entry_ids[lo:hi],
+            self.subcat_ids[lo:hi],
+            self._locations,
+            self._entries,
+            self._subcats,
+        )
+
     def select(self, key: Union[slice, np.ndarray, Sequence[int]]) -> "EventStore":
         """Derived store from a slice, boolean mask or index array.
 
         The derived store shares intern tables with its parent (ids remain
         comparable across the two), and preserves time order because parents
         are sorted and the selection preserves relative order for masks and
-        forward slices.
+        forward slices.  Forward unit-step slices are zero-copy views;
+        masks and index arrays materialize the selection.
         """
         if isinstance(key, slice):
+            start, stop, step = key.indices(len(self))
+            if step == 1:
+                return self._derive_slice(start, max(start, stop))
             idx = np.arange(len(self))[key]
         else:
             key = np.asarray(key)
@@ -313,6 +457,20 @@ class EventStore:
                 idx = key.astype(np.int64)
         return self._derive(idx)
 
+    def iter_chunks(self, chunk_events: int) -> Iterator["EventStore"]:
+        """Yield contiguous sub-stores of at most ``chunk_events`` rows.
+
+        Chunks are zero-copy slices sharing the parent's intern tables, so
+        streaming consumers (phase1, ``feed_store``, replay) touch one
+        chunk's pages at a time while ids stay comparable across chunks.
+        """
+        if chunk_events <= 0:
+            raise ValueError(
+                f"chunk_events must be positive, got {chunk_events}"
+            )
+        for lo in range(0, len(self), chunk_events):
+            yield self._derive_slice(lo, min(lo + chunk_events, len(self)))
+
     def sorted_by_time(self) -> "EventStore":
         """Return a time-sorted copy (stable); no-op copy if already sorted."""
         if len(self) > 1 and np.any(np.diff(self.times) < 0):
@@ -325,10 +483,13 @@ class EventStore:
         return len(self) < 2 or bool(np.all(np.diff(self.times) >= 0))
 
     def time_window(self, start: float, end: float) -> "EventStore":
-        """Events with ``start <= time < end`` (O(log n) on sorted store)."""
+        """Events with ``start <= time < end`` (O(log n) on sorted store).
+
+        Zero-copy: the result's columns are views into this store's backend.
+        """
         lo = int(np.searchsorted(self.times, start, side="left"))
         hi = int(np.searchsorted(self.times, end, side="left"))
-        return self._derive(np.arange(lo, hi))
+        return self._derive_slice(lo, hi)
 
     def time_shifted(self, delta: int) -> "EventStore":
         """A copy with every timestamp shifted by ``delta`` seconds.
@@ -454,5 +615,22 @@ class EventStore:
             ids,
             self._locations,
             self._entries,
-            _InternTable(list(subcat_names)),
+            InternTable(list(subcat_names)),
         )
+
+
+def _to_default_backend(store: EventStore) -> EventStore:
+    """Spill a freshly built store to disk when the session default says so.
+
+    ``REPRO_STORE_BACKEND=columnar`` makes every publicly constructed store
+    columnar-backed (written once to a session temp dir, reopened mmap'd),
+    which is how the CI matrix proves backend equivalence without touching a
+    single test.  Empty stores stay in memory — there is nothing to map.
+    """
+    if len(store) == 0 or default_backend_kind() != "columnar":
+        return store
+    from repro.ras import columnar
+
+    path = spill_dir()
+    columnar.write_store(store, path)
+    return columnar.open_store(path)

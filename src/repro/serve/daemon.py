@@ -66,6 +66,11 @@ class DaemonConfig:
     max_streams: int = 64
     warning_ring: int = 256
     max_line_bytes: int = MAX_LINE_BYTES
+    #: Columnar store directory for ingestion persistence (None = off).
+    #: Accepted events append durably in arrival order; a restarted daemon
+    #: resumes the same store, and the archive replays later with
+    #: ``repro.ras.columnar.open_store`` (which re-sorts wire order).
+    store_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         check_positive(self.queue_bound, "queue_bound")
@@ -199,6 +204,15 @@ class IngestDaemon:
         self._draining = asyncio.Event()
         self._started_at = 0.0
         self.drain_report: Optional[DrainReport] = None
+        # Columnar ingestion archive: accepted events buffer in arrival
+        # order and flush every `chunk_events` (each flush is one durable
+        # append + manifest commit, amortizing the fsync).
+        self._store_writer = None
+        self._store_buffer: list[Any] = []
+        if config.store_dir:
+            from repro.ras.columnar import ColumnarWriter
+
+            self._store_writer = ColumnarWriter(config.store_dir, resume=True)
 
     # ---------------------------------------------------------------- #
     # Lifecycle
@@ -294,12 +308,45 @@ class IngestDaemon:
                     stats=stats,
                 )
             )
+        if self._store_writer is not None:
+            # Final flush + close off-loop: the manifest commit fsyncs.
+            await loop.run_in_executor(None, self._close_store)
         seconds = perf_counter() - t0
         self.obs.observe("serve.daemon.drain_seconds", seconds)
         self.drain_report = DrainReport(
             streams=reports, seconds=seconds, baseline=self.baseline
         )
         return self.drain_report
+
+    # ---------------------------------------------------------------- #
+    # Ingestion archive (columnar persistence)
+    # ---------------------------------------------------------------- #
+
+    @property
+    def store_rows(self) -> int:
+        """Rows committed + buffered in the ingestion archive (0 when off)."""
+        if self._store_writer is None:
+            return 0
+        return self._store_writer.rows + len(self._store_buffer)
+
+    def _archive(self, event: Any) -> None:
+        if self._store_writer is None:
+            return
+        self._store_buffer.append(event)
+        if len(self._store_buffer) >= self.config.chunk_events:
+            self._flush_store()
+
+    def _flush_store(self) -> None:
+        if self._store_writer is None or not self._store_buffer:
+            return
+        self._store_writer.append_events(self._store_buffer)
+        self.obs.counter("serve.daemon.store_rows", len(self._store_buffer))
+        self._store_buffer.clear()
+
+    def _close_store(self) -> None:
+        self._flush_store()
+        if self._store_writer is not None:
+            self._store_writer.close()
 
     # ---------------------------------------------------------------- #
     # Connection handling
@@ -388,6 +435,7 @@ class IngestDaemon:
             verdict = channel.offer(event)
             if verdict == "ok":
                 accepted += 1
+                self._archive(event)
                 continue
             if verdict == "order":
                 self.obs.counter("serve.daemon.rejected", reason="order")
@@ -446,6 +494,8 @@ class IngestDaemon:
             )
         obs.gauge("serve.daemon.streams", float(len(channels)))
         obs.gauge("serve.daemon.ingest_events_per_sec", processed / uptime)
+        if self._store_writer is not None:
+            obs.gauge("serve.daemon.store_rows_total", float(self.store_rows))
         to_dict = getattr(obs, "to_dict", None)
         return to_dict() if callable(to_dict) else {}
 

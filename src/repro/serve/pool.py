@@ -256,6 +256,7 @@ class DetectorPool:
         *,
         jobs: Optional[int] = None,
         finalize: bool = True,
+        chunk_events: Optional[int] = None,
     ) -> PoolReport:
         """Partition and replay a whole classified store; returns the report.
 
@@ -264,7 +265,19 @@ class DetectorPool:
         resolves warnings still pending at end of stream (end-of-shift
         accounting); ``jobs`` follows the evaluation engine's convention
         (``None`` -> ``REPRO_JOBS`` -> serial).
+
+        ``chunk_events`` switches to the streaming path: the store is read
+        in contiguous slices of at most that many rows and each slice is
+        partitioned and fed to per-shard sessions that persist across
+        chunks.  On a columnar store this keeps only one chunk's shard
+        materializations in RAM at a time; the report (per-shard warnings
+        and stats) is identical to the whole-store replay.  Streaming
+        replay is serial — ``jobs`` is ignored.
         """
+        if chunk_events is not None:
+            return self._replay_streaming(
+                store, chunk_events=chunk_events, finalize=finalize
+            )
         jobs = resolve_jobs(jobs)
         parts = self.partition(store)
         obs = get_registry()
@@ -292,7 +305,66 @@ class DetectorPool:
                         )
                     )
         report = PoolReport(key=self.key, shards=reports, seconds=perf_counter() - t0)
-        for shard_report in reports:
+        self._emit_replay_metrics(report)
+        return report
+
+    def _replay_streaming(
+        self, store: EventStore, *, chunk_events: int, finalize: bool
+    ) -> PoolReport:
+        """Chunk-at-a-time replay with per-shard sessions carried across chunks.
+
+        Chunks are zero-copy slices; only one chunk's shard partitions are
+        materialized at any moment, so peak RSS is bounded by the chunk
+        size, not the log size.  Per-shard event sequences are identical to
+        :meth:`partition` of the whole store (partitioning preserves order
+        and chunking only inserts boundaries), so warnings and stats match
+        the batch replay bit for bit.
+        """
+        check_positive(chunk_events, "chunk_events")
+        obs = get_registry()
+        t0 = perf_counter()
+        sessions: dict[int, OnlineSession] = {}
+        warnings: dict[int, list[FailureWarning]] = {}
+        events: dict[int, int] = {}
+        seconds: dict[int, float] = {}
+        with obs.span(
+            "serve.replay",
+            backend="streaming",
+            key=self.key,
+            shards=str(self.shards),
+        ):
+            for chunk in store.iter_chunks(chunk_events):
+                for shard, part in self.partition(chunk):
+                    s0 = perf_counter()
+                    session = sessions.get(shard)
+                    if session is None:
+                        session = sessions[shard] = OnlineSession(self.meta)
+                        warnings[shard] = []
+                        events[shard] = 0
+                        seconds[shard] = 0.0
+                    warnings[shard].extend(session.process_store(part))
+                    events[shard] += len(part)
+                    seconds[shard] += perf_counter() - s0
+            reports = []
+            for shard in sorted(sessions):
+                session = sessions[shard]
+                stats = session.finish() if finalize else session.stats
+                reports.append(
+                    ShardReport(
+                        shard=shard,
+                        events=events[shard],
+                        seconds=seconds[shard],
+                        stats=stats,
+                        warnings=warnings[shard],
+                    )
+                )
+        report = PoolReport(key=self.key, shards=reports, seconds=perf_counter() - t0)
+        self._emit_replay_metrics(report)
+        return report
+
+    def _emit_replay_metrics(self, report: PoolReport) -> None:
+        obs = get_registry()
+        for shard_report in report.shards:
             obs.counter(
                 "serve.shard_events",
                 shard_report.events,
@@ -308,4 +380,3 @@ class DetectorPool:
                 ),
             )
         obs.gauge("serve.events_per_sec", report.events_per_sec)
-        return report

@@ -206,7 +206,7 @@ class StreamChannel:
             events = events[need:]
             if len(self._reference) < self._reference_events:
                 return
-            reference = EventStore.from_events(self._classified(self._reference))
+            reference = EventStore.from_events_in_memory(self._classified(self._reference))
             self._manager = self._manager_factory(self.pool, reference)
             self._consume_chunks([self._reference])
             self._reference = []
@@ -223,7 +223,7 @@ class StreamChannel:
         """Feed one batch through the persistent pool sessions."""
         if not events:
             return
-        store = EventStore.from_events(self._classified(events))
+        store = EventStore.from_events_in_memory(self._classified(events))
         raised = self.pool.process_store(store)
         self.recent_warnings.extend(raised)
         self.stats.processed += len(events)
@@ -243,7 +243,7 @@ class StreamChannel:
         for chunk in chunks:
             if not chunk:
                 continue
-            store = EventStore.from_events(self._classified(chunk))
+            store = EventStore.from_events_in_memory(self._classified(chunk))
             raised = self._manager.feed(store)
             self.recent_warnings.extend(raised)
             self.stats.processed += len(chunk)

@@ -33,6 +33,7 @@ from repro.synth.profiles import (
     sdsc_profile,
     profile_by_name,
 )
+from repro.synth.streaming import StreamSummary, stream_generate
 
 __all__ = [
     "ChainTemplate",
@@ -44,4 +45,6 @@ __all__ = [
     "anl_profile",
     "sdsc_profile",
     "profile_by_name",
+    "StreamSummary",
+    "stream_generate",
 ]

@@ -1,0 +1,102 @@
+"""Streaming synthetic-log generation straight to columnar storage.
+
+``LogGenerator.generate()`` materializes its whole log in RAM, which caps
+synthetic scale at available memory.  :func:`stream_generate` lifts that cap
+by composing the log from independent *segments*: each segment is generated
+in memory (one ``LogGenerator`` run), time-shifted to start right after the
+previous segment ended, appended chunk-by-chunk to a
+:class:`~repro.ras.columnar.ColumnarWriter`, and dropped before the next one
+is built.  Peak memory is one segment regardless of how many segments the
+final store holds — the generation-side counterpart of the columnar
+backend's read-side memory bound.
+
+Determinism: segment seeds are spawned from the master seed via
+``numpy.random.SeedSequence``, so the output store is a pure function of
+``(profile, segments, scale, noise_multiplier, seed)`` — independent of
+chunk size.  The resulting store is bit-identical (same
+``store_fingerprint``) to concatenating the same time-shifted segments with
+:meth:`EventStore.concat` in memory: the writer interns each segment's
+string tables in table order, exactly as ``concat`` does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.ras.columnar import DEFAULT_CHUNK_EVENTS, ColumnarWriter
+from repro.synth.generator import LogGenerator
+from repro.synth.profiles import SystemProfile
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class StreamSummary:
+    """What one :func:`stream_generate` run wrote."""
+
+    path: Path
+    segments: int
+    rows: int
+    t0: int
+    t1: int
+
+    @property
+    def span_seconds(self) -> int:
+        return self.t1 - self.t0
+
+
+def stream_generate(
+    profile: SystemProfile,
+    path: Union[str, Path],
+    *,
+    segments: int = 10,
+    scale: float = 0.02,
+    noise_multiplier: float = 1.0,
+    seed: int = 0,
+    chunk_events: int = DEFAULT_CHUNK_EVENTS,
+) -> StreamSummary:
+    """Generate ``segments`` independent log segments into a columnar store.
+
+    Each segment simulates ``scale`` of the profile's span with its own
+    spawned seed; segment *i+1* is shifted to begin one second after
+    segment *i*'s last record, so the store reads as one continuous,
+    time-sorted stream ``segments`` times longer than a single generation.
+
+    Returns a :class:`StreamSummary`; open the result with
+    :func:`repro.ras.columnar.open_store`.
+    """
+    check_positive(segments, "segments")
+    check_positive(chunk_events, "chunk_events")
+    children = np.random.SeedSequence(seed).spawn(segments)
+    rows = 0
+    t0 = None
+    last_time = None
+    with ColumnarWriter(path) as writer:
+        for child in children:
+            gen = LogGenerator(
+                profile,
+                scale=scale,
+                noise_multiplier=noise_multiplier,
+                seed=child,
+            )
+            raw = gen.generate().raw
+            offset = 0 if last_time is None else last_time + 1 - gen.t0
+            shifted = raw.time_shifted(offset)
+            for chunk in shifted.iter_chunks(chunk_events):
+                writer.append(chunk)
+            if len(shifted):
+                if t0 is None:
+                    t0 = int(shifted.times[0])
+                last_time = int(shifted.times[-1])
+            rows += len(shifted)
+            del raw, shifted, gen  # one segment resident at a time
+    return StreamSummary(
+        path=Path(path),
+        segments=segments,
+        rows=rows,
+        t0=t0 if t0 is not None else 0,
+        t1=last_time if last_time is not None else 0,
+    )

@@ -50,6 +50,16 @@ def classifier() -> TaxonomyClassifier:
     return TaxonomyClassifier()
 
 
+@pytest.fixture(scope="session")
+def columnar_raw(tmp_path_factory, small_anl_log) -> EventStore:
+    """The small ANL raw log reopened from an on-disk columnar store."""
+    from repro.ras.columnar import open_store, write_store
+
+    path = tmp_path_factory.mktemp("columnar") / "anl-store"
+    write_store(small_anl_log.raw, path)
+    return open_store(path)
+
+
 def make_event(
     time: int = 1000,
     location: str = "R00-M0-N00-C00",

@@ -1,0 +1,83 @@
+"""Worker path-shipping: columnar stores cross the process boundary by path."""
+
+import pickle
+
+import pytest
+
+from repro.evaluation.engine import (
+    FoldTask,
+    _init_worker,
+    _run_in_worker,
+    _ship_events,
+    run_fold_tasks,
+)
+from repro.evaluation.spec import PredictorSpec
+
+
+@pytest.fixture(scope="module")
+def columnar_events(tmp_path_factory, anl_events):
+    """The phase-1 unique-event store reopened from disk (what folds see)."""
+    from repro.ras.columnar import open_store, write_store
+
+    path = tmp_path_factory.mktemp("engine") / "events-store"
+    write_store(anl_events, path)
+    return open_store(path)
+
+
+def test_ship_events_returns_path_for_columnar(columnar_raw, anl_events):
+    shipped = _ship_events(columnar_raw)
+    assert shipped == columnar_raw.storage_path
+    assert isinstance(shipped, str)
+    # In-memory stores still ship whole.
+    assert _ship_events(anl_events) is anl_events
+
+
+def test_shipped_path_is_tiny_compared_to_pickled_store(columnar_raw):
+    path_bytes = len(pickle.dumps(_ship_events(columnar_raw)))
+    store_bytes = len(pickle.dumps(columnar_raw.materialized()))
+    assert path_bytes < 1024
+    assert store_bytes > 50 * path_bytes
+
+
+def test_init_worker_reopens_store_from_path(columnar_events):
+    """The worker initializer accepts a path and reopens the memory map."""
+    import repro.evaluation.engine as engine
+
+    _init_worker(str(columnar_events.storage_path), None, "")
+    try:
+        assert engine._WORKER_EVENTS is not None
+        assert engine._WORKER_EVENTS.backend_kind == "columnar"
+        assert len(engine._WORKER_EVENTS) == len(columnar_events)
+        task = FoldTask(
+            spec=PredictorSpec.statistical(window=1800.0, lead=0.0),
+            start=0,
+            end=min(100, len(columnar_events)),
+            fold=0,
+        )
+        outcome = _run_in_worker(task)
+        assert outcome.fold == 0
+    finally:
+        engine._WORKER_EVENTS = None
+
+
+def test_fold_tasks_identical_across_backends(columnar_events, anl_events):
+    spec = PredictorSpec.statistical(window=1800.0, lead=0.0)
+    n = len(columnar_events)
+    tasks = [
+        FoldTask(spec=spec, start=i * n // 3, end=(i + 1) * n // 3, fold=i)
+        for i in range(3)
+    ]
+    on_disk = run_fold_tasks(tasks, columnar_events)
+    in_ram = run_fold_tasks(tasks, anl_events)
+    import numpy as np
+
+    for a, b in zip(on_disk, in_ram):
+        assert a.fold == b.fold
+        assert a.match.metrics == b.match.metrics
+        np.testing.assert_array_equal(a.match.warning_hit, b.match.warning_hit)
+        np.testing.assert_array_equal(
+            a.match.fatal_covered, b.match.fatal_covered
+        )
+        np.testing.assert_array_equal(
+            a.match.lead_seconds, b.match.lead_seconds
+        )

@@ -1,0 +1,98 @@
+"""Streaming (chunked) Phase-1 equivalence against the batch reference.
+
+The incremental temporal compressor and the streaming pipeline must be
+*bit-identical* to their batch counterparts for every chunk size — chunking
+is an execution strategy, never a semantics change.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import store_fingerprint
+from repro.preprocess.compression import (
+    IncrementalTemporalCompressor,
+    temporal_compress,
+    temporal_compress_chunked,
+)
+from repro.preprocess.pipeline import PreprocessPipeline, job_impacting_filter
+
+
+def assert_stats_equal(a, b):
+    """CompressionStats equality (the severity tally is an ndarray)."""
+    assert a.input_records == b.input_records
+    assert a.output_records == b.output_records
+    assert a.clusters_merged == b.clusters_merged
+    np.testing.assert_array_equal(a.removed_by_severity, b.removed_by_severity)
+
+
+@pytest.mark.parametrize("chunk_events", [97, 5_000, 1_000_000])
+@pytest.mark.parametrize("key_mode", ["job_location", "job_location_entry"])
+def test_chunked_temporal_compression_bit_identical(
+    small_anl_log, chunk_events, key_mode
+):
+    raw = small_anl_log.raw
+    batch_store, batch_stats = temporal_compress(raw, key_mode=key_mode)
+    chunk_store, chunk_stats = temporal_compress_chunked(
+        raw, key_mode=key_mode, chunk_events=chunk_events
+    )
+    assert store_fingerprint(chunk_store) == store_fingerprint(batch_store)
+    assert_stats_equal(chunk_stats, batch_stats)
+
+
+def test_incremental_compressor_empty_input():
+    comp = IncrementalTemporalCompressor(300.0)
+    rep_idx, stats = comp.finish()
+    assert len(rep_idx) == 0
+    assert stats.input_records == 0
+    assert stats.output_records == 0
+
+
+def test_streaming_pipeline_matches_batch(small_anl_log):
+    raw = small_anl_log.raw
+    batch = PreprocessPipeline().run(raw, chunk_events=0)
+    streamed = PreprocessPipeline().run(raw, chunk_events=7_777)
+    assert store_fingerprint(streamed.events) == store_fingerprint(batch.events)
+    assert_stats_equal(streamed.temporal_stats, batch.temporal_stats)
+    assert_stats_equal(streamed.spatial_stats, batch.spatial_stats)
+    assert streamed.filtered_out == batch.filtered_out
+
+
+def test_streaming_pipeline_matches_batch_with_filter(small_anl_log):
+    raw = small_anl_log.raw
+    batch = PreprocessPipeline(event_filter=job_impacting_filter).run(
+        raw, chunk_events=0
+    )
+    streamed = PreprocessPipeline(event_filter=job_impacting_filter).run(
+        raw, chunk_events=4_096
+    )
+    assert store_fingerprint(streamed.events) == store_fingerprint(batch.events)
+    assert streamed.filtered_out == batch.filtered_out
+
+
+def test_columnar_input_streams_automatically(columnar_raw, small_anl_log):
+    """chunk_events=None auto-streams on the columnar backend, same result."""
+    batch = PreprocessPipeline().run(small_anl_log.raw)
+    auto = PreprocessPipeline().run(columnar_raw)
+    assert store_fingerprint(auto.events) == store_fingerprint(batch.events)
+    assert_stats_equal(auto.temporal_stats, batch.temporal_stats)
+
+
+def test_push_rejects_nothing_and_orders_reps():
+    """Representative indices come back globally sorted (store order)."""
+    import tests.conftest as c
+
+    events = [
+        c.make_event(time=t, location="R01-M0-N00-C00", job_id=5)
+        for t in (100, 150, 190, 5000, 5100)
+    ]
+    from repro.ras.store import EventStore
+
+    store = EventStore.from_events(events)
+    comp = IncrementalTemporalCompressor(300.0)
+    for chunk in store.iter_chunks(2):
+        comp.push(chunk)
+    rep_idx, stats = comp.finish()
+    assert list(rep_idx) == sorted(rep_idx)
+    assert stats.input_records == 5
+    # 100/150/190 coalesce; 5000/5100 coalesce -> 2 representatives.
+    assert stats.output_records == 2

@@ -1,0 +1,173 @@
+"""Tests for the on-disk columnar store format (repro.ras.columnar)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cache import store_fingerprint
+from repro.ras.columnar import (
+    COLUMNS_DIR,
+    MANIFEST_NAME,
+    ColumnarBackend,
+    ColumnarWriter,
+    StoreDirError,
+    is_columnar_dir,
+    open_store,
+    write_store,
+)
+from repro.ras.events import RasEvent
+from repro.ras.fields import Facility, Severity
+from repro.ras.store import EventStore
+from tests.conftest import make_event
+
+
+def test_round_trip_preserves_everything(small_anl_log, tmp_path):
+    raw = small_anl_log.raw
+    path = write_store(raw, tmp_path / "store", chunk_events=10_000)
+    reopened = open_store(path)
+    assert reopened.backend_kind == "columnar"
+    assert len(reopened) == len(raw)
+    assert store_fingerprint(reopened) == store_fingerprint(raw)
+    assert reopened.storage_path == str(path)
+
+
+def test_open_missing_directory_raises(tmp_path):
+    with pytest.raises(StoreDirError, match="manifest"):
+        ColumnarBackend(tmp_path / "nope")
+    assert not is_columnar_dir(tmp_path / "nope")
+
+
+def test_corrupt_manifest_reads_as_absence(small_anl_log, tmp_path):
+    path = write_store(small_anl_log.raw, tmp_path / "store")
+    (path / MANIFEST_NAME).write_text("{ not json")
+    with pytest.raises(StoreDirError):
+        open_store(path)
+    # A resuming writer treats the corrupt store as absent and starts fresh.
+    with ColumnarWriter(path, resume=True) as writer:
+        assert writer.rows == 0
+    assert len(open_store(path)) == 0
+
+
+def test_crash_truncation_trailing_bytes_ignored(small_anl_log, tmp_path):
+    """Bytes appended after the last manifest commit are never mapped."""
+    raw = small_anl_log.raw
+    path = write_store(raw, tmp_path / "store")
+    before = store_fingerprint(open_store(path))
+    # Simulate a crash mid-append: column bytes written, manifest not yet
+    # replaced.
+    with open(path / COLUMNS_DIR / "times.bin", "ab") as fh:
+        fh.write(np.arange(7, dtype=np.int64).tobytes())
+    reopened = open_store(path)
+    assert len(reopened) == len(raw)
+    assert store_fingerprint(reopened) == before
+    # Resume drops the uncommitted tail before appending more.
+    with ColumnarWriter(path, resume=True) as writer:
+        assert writer.rows == len(raw)
+        writer.append_events([make_event(time=2_000_000_000)])
+    assert len(open_store(path)) == len(raw) + 1
+
+
+def test_shorter_column_file_than_manifest_is_an_error(
+    small_anl_log, tmp_path
+):
+    path = write_store(small_anl_log.raw, tmp_path / "store")
+    times = path / COLUMNS_DIR / "times.bin"
+    with open(times, "ab") as fh:
+        fh.truncate(times.stat().st_size - 8)
+    with pytest.raises(StoreDirError, match="holds"):
+        open_store(path)
+
+
+def test_resume_appends_across_writer_lifetimes(small_anl_log, tmp_path):
+    raw = small_anl_log.raw
+    half = len(raw) // 2
+    path = tmp_path / "store"
+    with ColumnarWriter(path) as writer:
+        writer.append(raw.select(slice(0, half)))
+    with ColumnarWriter(path, resume=True) as writer:
+        assert writer.rows == half
+        writer.append(raw.select(slice(half, len(raw))))
+    reopened = open_store(path)
+    assert store_fingerprint(reopened) == store_fingerprint(raw)
+
+
+def test_append_events_unsorted_sorts_on_open(tmp_path):
+    events = [
+        make_event(time=t, entry=f"entry {t % 3}", severity=Severity.ERROR)
+        for t in (50, 10, 30, 20, 40)
+    ]
+    path = tmp_path / "store"
+    with ColumnarWriter(path) as writer:
+        writer.append_events(events)
+    backend = ColumnarBackend(path)
+    assert not backend.time_sorted
+    store = open_store(path)
+    # Sorting on open materializes (the mmap cannot be reordered in place).
+    assert store.backend_kind == "memory"
+    assert list(store.times) == [10, 20, 30, 40, 50]
+    assert store_fingerprint(store) == store_fingerprint(
+        EventStore.from_events(events)
+    )
+
+
+def test_empty_store_round_trips(tmp_path):
+    path = tmp_path / "store"
+    with ColumnarWriter(path):
+        pass
+    assert is_columnar_dir(path)
+    store = open_store(path)
+    assert len(store) == 0
+    assert store.time_window(0, 10**12).fatal_mask().sum() == 0
+
+
+def test_mapped_reads_are_zero_copy_views(small_anl_log, tmp_path):
+    path = write_store(small_anl_log.raw, tmp_path / "store")
+    store = open_store(path)
+    assert isinstance(store.times, np.memmap)
+    window = store.time_window(int(store.times[0]), int(store.times[-1]) + 1)
+    # Contiguous windows are views into the map, not copies.
+    assert window.times.base is not None
+    assert not window.times.flags.writeable
+    with pytest.raises(ValueError):
+        window.times[0] = 0  # type: ignore[index]
+
+
+def test_segments_and_manifest_shape(small_anl_log, tmp_path):
+    raw = small_anl_log.raw
+    path = write_store(raw, tmp_path / "store", chunk_events=20_000)
+    doc = json.loads((path / MANIFEST_NAME).read_text())
+    assert doc["rows"] == len(raw)
+    assert doc["sorted"] is True
+    assert sum(seg["rows"] for seg in doc["segments"]) == len(raw)
+    backend = ColumnarBackend(path)
+    assert backend.segments == [seg["rows"] for seg in doc["segments"]]
+    assert backend.disk_bytes() > 0
+
+
+def test_writer_rejects_use_after_close(tmp_path):
+    writer = ColumnarWriter(tmp_path / "store")
+    writer.close()
+    with pytest.raises(StoreDirError, match="closed"):
+        writer.append_events([make_event()])
+
+
+def test_append_events_interns_subcategories(tmp_path):
+    events = [
+        RasEvent(
+            time=100 + i,
+            location=f"R0{i}-M0-N00-C00",
+            facility=Facility.KERNEL,
+            severity=Severity.FATAL,
+            entry_data="data cache parity error",
+            job_id=i,
+            subcategory="memory" if i % 2 else None,
+        )
+        for i in range(4)
+    ]
+    path = tmp_path / "store"
+    with ColumnarWriter(path) as writer:
+        writer.append_events(events)
+    store = open_store(path)
+    assert store.table("subcats").strings == ["memory"]
+    assert list(store.subcat_ids) == [-1, 0, -1, 0]

@@ -479,3 +479,69 @@ def test_manager_factory_gets_reference_then_fixed_chunks(fitted):
     assert manager.chunk_sizes == expected_sizes
     assert report.streams[0].stats == oracle_stats(meta, events)
     assert report.streams[0].processed == served
+
+
+def test_store_dir_archives_accepted_events(fitted, tmp_path):
+    """Every accepted event lands in the columnar archive, across restarts."""
+    from repro.ras.columnar import is_columnar_dir, open_store
+
+    meta, test = fitted
+    events = list(test)
+    half = len(events) // 2
+    store_dir = tmp_path / "archive"
+    config = DaemonConfig(
+        port=0, queue_bound=512, shards=2, chunk_events=64,
+        store_dir=str(store_dir),
+    )
+
+    async def run(evs, expected_total):
+        async with IngestDaemon(meta, config) as daemon:
+            responses = await send_frames(
+                daemon.port, batch_frames("alpha", evs)
+            )
+            assert all(r["ok"] for r in responses)
+            assert daemon.store_rows == expected_total
+            return await daemon.drain()
+
+    asyncio.run(run(events[:half], half))
+    assert is_columnar_dir(store_dir)
+    assert len(open_store(store_dir)) == half
+
+    # A restarted daemon resumes the same archive append-only.
+    shifted = [ev.with_time(ev.time + 10 * MINUTE) for ev in events[half:]]
+    asyncio.run(run(shifted, len(events)))
+    archive = open_store(store_dir)
+    assert len(archive) == len(events)
+    # The archive replays: times are intact and sorted on open.
+    assert int(archive.times[0]) == min(ev.time for ev in events[:half])
+
+
+def test_store_dir_rejected_events_not_archived(fitted, tmp_path):
+    """Order-rejected events never reach the archive."""
+    from repro.ras.columnar import open_store
+
+    meta, test = fitted
+    events = list(test)[:10]
+    store_dir = tmp_path / "archive"
+    config = DaemonConfig(
+        port=0, queue_bound=512, shards=2, chunk_events=64,
+        store_dir=str(store_dir),
+    )
+    stale = events[0].with_time(events[-1].time - 10 * MINUTE)
+
+    async def run():
+        async with IngestDaemon(meta, config) as daemon:
+            frames = batch_frames("alpha", events) + [
+                {
+                    "op": "event",
+                    "stream": "alpha",
+                    "event": event_to_dict(stale),
+                }
+            ]
+            responses = await send_frames(daemon.port, frames)
+            assert not responses[-1]["ok"]
+            return await daemon.drain()
+
+    report = asyncio.run(run())
+    assert report.streams[0].rejected_order == 1
+    assert len(open_store(store_dir)) == len(events)

@@ -643,3 +643,76 @@ def test_unknown_directive_reported_as_rl000():
 def test_syntax_error_reported_as_rl999():
     diags = lint("def broken(:\n")
     assert [d.code for d in diags] == ["RL999"]
+
+
+# ---------------------------------------------------------------- RL014
+
+
+def test_rl014_flags_column_rebind_and_element_writes():
+    diags = lint(
+        """\
+        def mutate(store, arr):
+            store.times = arr
+            store.severities[0] = 5
+            store.subcat_ids[:] = -1
+        """,
+        select={"RL014"},
+    )
+    assert codes_and_lines(diags) == [
+        ("RL014", 2),
+        ("RL014", 3),
+        ("RL014", 4),
+    ]
+    assert "rebind of .times" in diags[0].message
+    assert "element write" in diags[1].message
+
+
+def test_rl014_flags_augmented_assignment():
+    diags = lint(
+        """\
+        def shift(store, dt):
+            store.times += dt
+        """,
+        select={"RL014"},
+    )
+    assert codes_and_lines(diags) == [("RL014", 2)]
+
+
+def test_rl014_allows_self_attributes_and_reads():
+    diags = lint(
+        """\
+        class Window:
+            def __init__(self, times):
+                self.times = times
+                self.times[0] = 0
+
+        def span(store):
+            t = store.times
+            return t[-1] - t[0]
+        """,
+        select={"RL014"},
+    )
+    assert diags == []
+
+
+def test_rl014_exempts_the_data_layer_and_tests():
+    source = """\
+        def rebuild(store, arr):
+            store.times = arr
+        """
+    assert lint(source, path="src/repro/ras/store.py", select={"RL014"}) == []
+    assert lint(source, path="tests/ras/test_store.py", select={"RL014"}) == []
+    assert lint(source, path="src/repro/online/detector.py",
+                select={"RL014"}) != []
+
+
+def test_rl014_ignores_unrelated_attribute_names():
+    diags = lint(
+        """\
+        def configure(obj):
+            obj.timeout = 3
+            obj.jobs_total = 7
+        """,
+        select={"RL014"},
+    )
+    assert diags == []

@@ -18,4 +18,5 @@ from tools.repro_lint.rules import (  # noqa: F401
     rl011_determinism_taint,
     rl012_process_boundary,
     rl013_async_blocking,
+    rl014_store_column_write,
 )
