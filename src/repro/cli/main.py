@@ -67,6 +67,12 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
              "over the same log reuse mined rules "
              "(default: $REPRO_CACHE_DIR, else off)",
     )
+    p.add_argument(
+        "--incremental", action="store_true", default=None,
+        help="maintain mining state across fits so overlapping training "
+             "windows pay only the delta (serial backend; bit-identical "
+             "results; default: $REPRO_INCREMENTAL, else off)",
+    )
 
 
 def _add_store_input_args(p: argparse.ArgumentParser) -> None:
@@ -199,6 +205,12 @@ def _build_parser() -> argparse.ArgumentParser:
              "(default: $REPRO_JOBS, else serial)",
     )
     v.add_argument(
+        "--incremental", action="store_true", default=None,
+        help="lifecycle mode: maintain mining state across retrains so "
+             "sliding windows pay only the delta (bit-identical snapshots; "
+             "default: $REPRO_INCREMENTAL, else off)",
+    )
+    v.add_argument(
         "--registry", default=None, metavar="DIR",
         help="model registry directory; serves --model-ref instead of "
              "--model and receives retrained snapshots",
@@ -308,6 +320,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None,
         help="worker processes for lifecycle refits "
              "(default: $REPRO_JOBS, else serial)",
+    )
+    d.add_argument(
+        "--incremental", action="store_true", default=None,
+        help="maintain mining state across lifecycle retrains so sliding "
+             "windows pay only the delta (bit-identical snapshots; "
+             "default: $REPRO_INCREMENTAL, else off)",
     )
     d.add_argument(
         "--store", metavar="DIR", default=None,
@@ -644,6 +662,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     cv = cross_validate(
         spec, result.events, k=args.folds,
         jobs=args.jobs, cache_dir=args.cache_dir,
+        incremental=args.incremental,
     )
     s = cv.summary()
     print(
@@ -681,6 +700,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         k=args.folds,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        incremental=args.incremental,
     )
     param = "window" if args.method == "statistical" else args.sweep_param
     print(format_sweep(points, title=f"{args.method} {param} sweep"))
@@ -845,6 +865,7 @@ def _serve_lifecycle(args, pool, model_registry, snapshot, events) -> int:
         window_events=args.retrain_window,
         jobs=args.jobs,
         seed=0,
+        incremental=args.incremental,
     )
     manager = LifecycleManager(
         pool, monitor, policy, retrainer,
@@ -909,6 +930,7 @@ def _daemon_manager_factory(args, model_registry, snapshot):
             window_events=args.retrain_window,
             jobs=args.jobs,
             seed=0,
+            incremental=args.incremental,
         )
         return LifecycleManager(
             pool, monitor, policy, retrainer,

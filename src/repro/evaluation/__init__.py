@@ -34,6 +34,11 @@ from repro.evaluation.export import (
     write_cdf_csv,
     write_sweep_csv,
 )
+from repro.evaluation.incremental import (
+    IncrementalFitter,
+    is_incremental_enabled,
+    supports_incremental,
+)
 from repro.evaluation.matching import MatchResult, match_warnings
 from repro.evaluation.metrics import Metrics, mean_metrics
 from repro.evaluation.leadtime import (
@@ -57,7 +62,6 @@ from repro.evaluation.spec import PredictorSpec, SpecError, registered_spec_kind
 from repro.evaluation.sweep import (
     SweepPoint,
     prediction_window_sweep,
-    rule_window_sweep,
     select_rule_window,
     sweep,
 )
@@ -79,10 +83,12 @@ __all__ = [
     "run_fold_tasks",
     "resolve_jobs",
     "resolve_cache_dir",
+    "IncrementalFitter",
+    "is_incremental_enabled",
+    "supports_incremental",
     "SweepPoint",
     "sweep",
     "prediction_window_sweep",
-    "rule_window_sweep",
     "select_rule_window",
     "LeadTimePoint",
     "lead_time_profile",

@@ -120,6 +120,7 @@ def cross_validate(
     jobs: Optional[int] = None,
     cache_dir: Union[str, Path, None] = None,
     seed: Optional[int] = None,
+    incremental: Optional[bool] = None,
 ) -> CVResult:
     """k-fold CV of a predictor over a preprocessed event store.
 
@@ -132,8 +133,11 @@ def cross_validate(
     the worker count (``None`` → ``REPRO_JOBS`` → serial), ``cache_dir``
     enables the content-addressed fit-artifact cache (``None`` →
     ``REPRO_CACHE_DIR`` → off), and ``seed`` spawns one child
-    ``SeedSequence`` per fold for seeded predictor kinds.  Results are
-    identical across worker counts and cache states.
+    ``SeedSequence`` per fold for seeded predictor kinds, and
+    ``incremental`` (``None`` → ``REPRO_INCREMENTAL`` → off) lets the
+    serial backend maintain mining state across folds.  Results are
+    identical across worker counts, cache states, and the incremental
+    switch.
 
     Legacy factories run serially in-process (closures cannot be pickled to
     workers nor hashed into cache keys); ``jobs``/``cache_dir``/``seed`` are
@@ -149,7 +153,10 @@ def cross_validate(
                      seed=seeds[fold])
             for fold, (start, end) in enumerate(ranges)
         ]
-        outcomes = run_fold_tasks(tasks, events, jobs=jobs, cache_dir=cache_dir)
+        outcomes = run_fold_tasks(
+            tasks, events, jobs=jobs, cache_dir=cache_dir,
+            incremental=incremental,
+        )
         for outcome in outcomes:
             obs.observe("crossval.fold_seconds", outcome.seconds)
         obs.counter("crossval.folds", k)

@@ -45,6 +45,11 @@ from repro.core.serialize import (
     apply_learned_state,
     learned_state_to_dict,
 )
+from repro.evaluation.incremental import (
+    IncrementalFitter,
+    is_incremental_enabled,
+    supports_incremental,
+)
 from repro.evaluation.matching import MatchResult, match_warnings
 from repro.evaluation.spec import PredictorSpec
 from repro.obs import get_registry
@@ -129,11 +134,22 @@ def _fit_task_predictor(
     train: EventStore,
     cache: Optional[ArtifactCache],
     fingerprint: str,
+    fitter: Optional[IncrementalFitter] = None,
 ) -> tuple[Predictor, bool]:
     """A fitted predictor for ``task`` — from cache when possible."""
     predictor = task.spec.build(seed=task.seed)
+    use_fitter = fitter is not None and supports_incremental(task.spec)
+
+    def fit() -> Predictor:
+        if use_fitter:
+            assert fitter is not None
+            # Bit-identical to predictor.fit(train) (equivalence-tested),
+            # so the cached payload below is unchanged by the optimization.
+            return fitter.fit_into(predictor, task.spec, train)
+        return predictor.fit(train)
+
     if cache is None:
-        return predictor.fit(train), False
+        return fit(), False
     key = fold_fit_key(fingerprint, task.start, task.end, task.spec)
     doc = cache.get(key)
     if doc is not None:
@@ -142,7 +158,7 @@ def _fit_task_predictor(
         except SerializationError:
             # Stale or foreign payload under our key: treat as a miss.
             pass
-    predictor.fit(train)
+    fit()
     try:
         cache.put(key, learned_state_to_dict(predictor))
     except (OSError, SerializationError):
@@ -155,6 +171,7 @@ def _execute_task(
     events: EventStore,
     cache: Optional[ArtifactCache],
     fingerprint: str,
+    fitter: Optional[IncrementalFitter] = None,
 ) -> FoldOutcome:
     t0 = perf_counter()
     n = len(events)
@@ -163,7 +180,7 @@ def _execute_task(
     train = events.select(
         np.concatenate([all_idx[: task.start], all_idx[task.end :]])
     )
-    predictor, hit = _fit_task_predictor(task, train, cache, fingerprint)
+    predictor, hit = _fit_task_predictor(task, train, cache, fingerprint, fitter)
     warnings = predictor.predict(test)
     match = match_warnings(warnings, test)
     return FoldOutcome(
@@ -226,13 +243,22 @@ def run_fold_tasks(
     *,
     jobs: Optional[int] = None,
     cache_dir: Union[str, Path, None] = None,
+    incremental: Optional[bool] = None,
 ) -> list[FoldOutcome]:
     """Execute fold tasks and return their outcomes in task order.
 
     ``jobs=None`` consults ``REPRO_JOBS`` (default 1 — serial in-process);
-    ``cache_dir=None`` consults ``REPRO_CACHE_DIR`` (default: no cache).
+    ``cache_dir=None`` consults ``REPRO_CACHE_DIR`` (default: no cache);
+    ``incremental=None`` consults ``REPRO_INCREMENTAL`` (default: off).
     Outcome order, fold metrics and cache keys are identical across
-    backends and worker counts.
+    backends, worker counts, and the incremental switch.
+
+    With ``incremental`` on, the serial backend fits supported specs
+    through one :class:`~repro.evaluation.incremental.IncrementalFitter`
+    shared across all tasks: consecutive tasks whose training sets overlap
+    (sweep points sharing a mining recipe, successive folds) pay only the
+    mining delta.  The maintained state is in-process, so the process-pool
+    backend ignores the switch.
     """
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
@@ -243,6 +269,10 @@ def run_fold_tasks(
     with obs.span("engine.run", backend=backend, jobs=str(jobs)):
         if backend == "serial":
             cache = ArtifactCache(effective_dir) if effective_dir else None
+            fitter = (
+                IncrementalFitter() if is_incremental_enabled(incremental)
+                else None
+            )
             outcomes = []
             for task in tasks:
                 # Same span name the pre-engine fold loop used, so trace
@@ -251,8 +281,13 @@ def run_fold_tasks(
                     "crossval.fold", fold=str(task.fold), group=str(task.group)
                 ):
                     outcomes.append(
-                        _execute_task(task, events, cache, fingerprint)
+                        _execute_task(task, events, cache, fingerprint, fitter)
                     )
+            if fitter is not None:
+                obs.counter("engine.incremental_fits", fitter.fits)
+                obs.counter(
+                    "engine.incremental_zero_delta", fitter.zero_delta_fits
+                )
         else:
             workers = min(jobs, len(tasks))
             with ProcessPoolExecutor(

@@ -11,13 +11,13 @@ cache deduplicates training work across points that share fit parameters
 (a rule set mined once serves every prediction window).
 
 :func:`prediction_window_sweep` remains for legacy window-factory callables
-(serial, uncached); :func:`rule_window_sweep` is deprecated — it was always
-a pure alias, kept only so old call sites keep working.
+(serial, uncached).  The ``rule_window_sweep`` alias it once carried is
+gone — sweep rule-generation windows explicitly with
+``sweep(spec.grid("rule_window", windows), events, ...)``.
 """
 
 from __future__ import annotations
 
-import warnings as _warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
@@ -83,6 +83,7 @@ def sweep(
     jobs: Optional[int] = None,
     cache_dir: Union[str, Path, None] = None,
     seed: Optional[int] = None,
+    incremental: Optional[bool] = None,
 ) -> list[SweepPoint]:
     """Cross-validate every spec in ``grid``; one point per grid entry.
 
@@ -91,8 +92,11 @@ def sweep(
     and cached fit artifacts are shared between points whose specs agree on
     fit parameters.  ``jobs``/``cache_dir`` default from ``REPRO_JOBS`` /
     ``REPRO_CACHE_DIR``; ``seed`` spawns an independent child seed per fold
-    task.  Point order follows ``grid`` order; results are identical across
-    worker counts.
+    task.  ``incremental`` (default ``REPRO_INCREMENTAL``) lets the serial
+    engine backend maintain mining state across tasks, so grid points
+    sharing a mining recipe reuse one maintained structure instead of
+    refitting per point.  Point order follows ``grid`` order; results are
+    identical across worker counts and the incremental switch.
     """
     grid = list(grid)
     if not grid:
@@ -112,7 +116,9 @@ def sweep(
                     seed=seeds[len(tasks)],
                 )
             )
-    outcomes = run_fold_tasks(tasks, events, jobs=jobs, cache_dir=cache_dir)
+    outcomes = run_fold_tasks(
+        tasks, events, jobs=jobs, cache_dir=cache_dir, incremental=incremental
+    )
     obs = get_registry()
     for outcome in outcomes:
         obs.observe("crossval.fold_seconds", outcome.seconds)
@@ -158,28 +164,6 @@ def prediction_window_sweep(
         _point(w, cross_validate(lambda w=w: factory(w), events, k=k))
         for w in windows
     ]
-
-
-def rule_window_sweep(
-    factory: Union[WindowFactory, PredictorSpec],
-    events: EventStore,
-    windows: Sequence[float] = DEFAULT_WINDOWS,
-    k: int = 10,
-) -> list[SweepPoint]:
-    """Deprecated alias of :func:`prediction_window_sweep`.
-
-    .. deprecated::
-        It never did anything distinct — the factory decides which window
-        the value lands on.  Sweep rule-generation windows explicitly with
-        ``sweep(spec.grid("rule_window", windows), events, ...)``.
-    """
-    _warnings.warn(
-        "rule_window_sweep is deprecated; use "
-        "sweep(spec.grid('rule_window', windows), events, ...) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return prediction_window_sweep(factory, events, windows, k=k)
 
 
 def select_rule_window(

@@ -21,6 +21,7 @@ same snapshots, swaps and warnings bit for bit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Optional
 
 from repro.lifecycle.drift import DriftMonitor, DriftSignal
@@ -43,6 +44,10 @@ class SwapEvent:
     parent: Optional[str]
     drift_score: float
     sessions_swapped: int
+    #: Wall-clock seconds of retrain + swap at this barrier.  The chunk
+    #: loop blocks on it, so this is the latency the incremental mining
+    #: engine exists to shrink (benchmarked in bench_incremental_mining).
+    retrain_seconds: float = 0.0
 
 
 @dataclass
@@ -114,12 +119,15 @@ class LifecycleManager:
 
     def _retrain_and_swap(self, reason: str, signal: DriftSignal) -> SwapEvent:
         obs = get_registry()
+        t0 = perf_counter()
         with obs.span("lifecycle.swap", reason=reason):
             snapshot, predictor = self.retrainer.retrain(
                 parent=self.serving_snapshot,
                 note=f"auto-retrain ({reason}) at event {self.events_fed}",
             )
             sessions = self.pool.swap_model(predictor)
+        seconds = perf_counter() - t0
+        obs.observe("lifecycle.retrain_seconds", seconds)
         window = self.retrainer.window
         assert window is not None  # retrain() above would have raised
         self.monitor.rebase(window)
@@ -131,6 +139,7 @@ class LifecycleManager:
             parent=self.serving_snapshot,
             drift_score=signal.score,
             sessions_swapped=sessions,
+            retrain_seconds=seconds,
         )
         self.serving_snapshot = snapshot.snapshot_id
         self._last_swap = event

@@ -31,9 +31,16 @@ from repro.cache import ArtifactCache, fold_fit_key, store_fingerprint
 from repro.core.serialize import (
     SerializationError,
     apply_learned_state,
+    incremental_miner_from_dict,
+    incremental_miner_to_dict,
     learned_state_to_dict,
 )
 from repro.evaluation.engine import resolve_cache_dir, resolve_jobs
+from repro.evaluation.incremental import (
+    IncrementalFitter,
+    is_incremental_enabled,
+    supports_incremental,
+)
 from repro.evaluation.spec import PredictorSpec
 from repro.lifecycle.registry import ModelRegistry, ModelSnapshot
 from repro.obs import get_registry
@@ -128,6 +135,7 @@ def fit_spec(
     jobs: Optional[int] = None,
     cache_dir: Union[str, Path, None] = None,
     seed: Optional[np.random.SeedSequence] = None,
+    fitter: Optional[IncrementalFitter] = None,
 ) -> tuple[Predictor, bool]:
     """A predictor fitted on ``window``; returns ``(predictor, cache_hit)``.
 
@@ -136,11 +144,19 @@ def fit_spec(
     whole window is training data), fit on miss, memoize the learned state.
     ``jobs > 1`` runs the fit in a single worker process so a serving loop's
     event thread never blocks on mining.
+
+    ``fitter`` (an :class:`~repro.evaluation.incremental.IncrementalFitter`)
+    fits supported specs by delta against the fitter's maintained mining
+    state instead — bit-identical output, so cache keys and payloads are
+    unchanged.  The maintained state is in-process, which is exactly why an
+    incremental fit is cheap enough to run on the caller's thread: it takes
+    precedence over the worker-process path.
     """
     jobs = resolve_jobs(jobs)
     effective_dir = resolve_cache_dir(cache_dir)
     cache = ArtifactCache(effective_dir) if effective_dir else None
     predictor = spec.build(seed=seed)
+    use_fitter = fitter is not None and supports_incremental(spec)
     key = ""
     if cache is not None:
         key = fold_fit_key(store_fingerprint(window), 0, 0, spec)
@@ -150,7 +166,11 @@ def fit_spec(
                 return apply_learned_state(predictor, doc), True
             except SerializationError:
                 pass  # stale payload under our key: refit
-    if jobs > 1:
+    if use_fitter:
+        assert fitter is not None
+        predictor = fitter.fit_into(predictor, spec, window)
+        state = None
+    elif jobs > 1:
         with ProcessPoolExecutor(max_workers=1) as pool:
             state = pool.submit(_fit_state_in_worker, spec, window, seed).result()
         predictor = apply_learned_state(predictor, state)
@@ -183,6 +203,11 @@ class Retrainer:
         Root seed for seeded predictor kinds; retrain ``i`` uses the i-th
         spawned child sequence, so the stream of fits is a pure function of
         (seed, retrain index) — independent of wall time and worker count.
+    incremental:
+        Maintain mining state across retrains and refit by delta
+        (bit-identical output; see :mod:`repro.mining.incremental`).
+        ``None`` consults ``REPRO_INCREMENTAL``.  Only supported spec kinds
+        use the maintained state; others fall back to the ordinary path.
     """
 
     def __init__(
@@ -194,6 +219,7 @@ class Retrainer:
         jobs: Optional[int] = None,
         cache_dir: Union[str, Path, None] = None,
         seed: Optional[int] = None,
+        incremental: Optional[bool] = None,
     ) -> None:
         check_positive(window_events, "window_events")
         self.spec = spec
@@ -206,6 +232,11 @@ class Retrainer:
         )
         self._window: Optional[EventStore] = None
         self.retrain_count = 0
+        self.fitter: Optional[IncrementalFitter] = (
+            IncrementalFitter()
+            if is_incremental_enabled(incremental) and supports_incremental(spec)
+            else None
+        )
 
     # -- window maintenance -------------------------------------------- #
 
@@ -229,6 +260,30 @@ class Retrainer:
             )
         self._window = merged
 
+    # -- maintained mining state ---------------------------------------- #
+
+    def fitter_state(self) -> Optional[dict]:
+        """Versioned snapshot of the maintained mining state, if any.
+
+        ``None`` when incremental fitting is off or no supported fit has
+        happened yet.  The document goes through the serialization layer's
+        versioned envelope (:func:`~repro.core.serialize.
+        incremental_miner_to_dict`) so a daemon can persist it next to its
+        model registry and restore O(delta) refits after a restart.
+        """
+        if self.fitter is None:
+            return None
+        miner = self.fitter.peek_miner(self.spec)
+        if miner is None:
+            return None
+        return incremental_miner_to_dict(miner)
+
+    def restore_fitter_state(self, doc: dict) -> None:
+        """Restore a :meth:`fitter_state` snapshot into this retrainer."""
+        if self.fitter is None:
+            self.fitter = IncrementalFitter()
+        self.fitter.install_miner(self.spec, incremental_miner_from_dict(doc))
+
     # -- fitting -------------------------------------------------------- #
 
     def retrain(
@@ -250,6 +305,7 @@ class Retrainer:
                 jobs=self.jobs,
                 cache_dir=self.cache_dir,
                 seed=seed,
+                fitter=self.fitter,
             )
             snapshot = self.registry.save(
                 predictor,

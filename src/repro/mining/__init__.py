@@ -13,11 +13,20 @@ Implemented from scratch (no external ML dependency):
 - :mod:`repro.mining.rules` — rule generation (body of non-fatal items, head
   of fatal items), the paper's per-body rule *combination*, confidence
   sorting, and the matcher used at prediction time.
+- :mod:`repro.mining.incremental` — maintained mining state for O(delta)
+  sliding-window retrains: add/evict transaction windows, re-mine only the
+  suffix partitions whose counts changed, bit-identical rule sets.
 """
 
 from repro.mining.apriori import apriori
+from repro.mining.counts import min_count_for
 from repro.mining.fptree import fpgrowth
-from repro.mining.rules import Rule, RuleSet, generate_rules
+from repro.mining.incremental import (
+    CanonicalTree,
+    IncrementalMiner,
+    IncrementalRuleMiner,
+)
+from repro.mining.rules import Rule, RuleSet, generate_rules, rules_from_itemsets
 from repro.mining.transactions import (
     EventSetDB,
     build_event_sets,
@@ -27,9 +36,14 @@ from repro.mining.transactions import (
 __all__ = [
     "apriori",
     "fpgrowth",
+    "min_count_for",
+    "CanonicalTree",
+    "IncrementalMiner",
+    "IncrementalRuleMiner",
     "Rule",
     "RuleSet",
     "generate_rules",
+    "rules_from_itemsets",
     "EventSetDB",
     "build_event_sets",
     "build_tiled_windows",

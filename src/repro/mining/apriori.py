@@ -23,6 +23,7 @@ from collections import defaultdict
 from itertools import combinations
 from typing import Iterable, Mapping, Sequence
 
+from repro.mining.counts import min_count_for
 from repro.obs import get_registry
 from repro.util.validation import check_fraction
 
@@ -107,8 +108,7 @@ def apriori(
     n = len(transactions)
     if n == 0:
         return {}
-    # ceil(min_support * n), but support == threshold must pass.
-    min_count = max(1, int(-(-min_support * n // 1)))
+    min_count = min_count_for(min_support, n)
 
     result: dict[frozenset[int], int] = {}
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Optional, Sequence
 
+from repro.mining.counts import min_count_for
 from repro.obs import get_registry
 from repro.util.validation import check_fraction
 
@@ -84,11 +85,17 @@ class _FPTree:
         return paths
 
 
-def _build_tree(
+def build_conditional_tree(
     weighted_transactions: list[tuple[list[int], int]],
     min_count: int,
 ) -> tuple[_FPTree, dict[int, int]]:
-    """Filter infrequent items, order by frequency, build the tree."""
+    """Filter infrequent items, order by frequency, build the tree.
+
+    A reusable count-maintenance primitive: besides backing
+    :func:`fpgrowth`'s own recursion it builds the conditional trees of the
+    incremental engine (:mod:`repro.mining.incremental`), which is what
+    makes the two miners' counts identical by construction.
+    """
     item_counts: dict[int, int] = defaultdict(int)
     for items, count in weighted_transactions:
         for item in items:
@@ -109,7 +116,7 @@ def _build_tree(
     return tree, frequent
 
 
-def _mine(
+def mine_conditional(
     tree: _FPTree,
     frequent_items: dict[int, int],
     suffix: frozenset[int],
@@ -117,6 +124,12 @@ def _mine(
     max_len: int,
     out: dict[frozenset[int], int],
 ) -> None:
+    """Recursively grow ``suffix`` through ``tree``'s pattern bases.
+
+    Writes every frequent ``suffix | {...}`` extension (with its exact
+    database count) into ``out``.  Shared with the incremental engine, whose
+    per-suffix re-mining calls this with a singleton suffix.
+    """
     # Grow from least frequent item upward (standard FP-growth order).
     for item in sorted(frequent_items, key=lambda i: (frequent_items[i], i)):
         new_set = suffix | {item}
@@ -126,9 +139,12 @@ def _mine(
         cond = tree.prefix_paths(item)
         if not cond:
             continue
-        cond_tree, cond_frequent = _build_tree(cond, min_count)
+        cond_tree, cond_frequent = build_conditional_tree(cond, min_count)
         if cond_frequent:
-            _mine(cond_tree, cond_frequent, frozenset(new_set), min_count, max_len, out)
+            mine_conditional(
+                cond_tree, cond_frequent, frozenset(new_set), min_count,
+                max_len, out,
+            )
 
 
 def fpgrowth(
@@ -146,13 +162,13 @@ def fpgrowth(
     n = len(transactions)
     if n == 0:
         return {}
-    min_count = max(1, int(-(-min_support * n // 1)))
+    min_count = min_count_for(min_support, n)
     obs = get_registry()
     with obs.timer("mining.fpgrowth.mine_seconds"):
         weighted = [(sorted(t), 1) for t in transactions]
-        tree, frequent = _build_tree(weighted, min_count)
+        tree, frequent = build_conditional_tree(weighted, min_count)
         out: dict[frozenset[int], int] = {}
         if frequent:
-            _mine(tree, frequent, frozenset(), min_count, max_len, out)
+            mine_conditional(tree, frequent, frozenset(), min_count, max_len, out)
     obs.counter("mining.fpgrowth.itemsets", len(out))
     return out

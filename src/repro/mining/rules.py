@@ -37,6 +37,11 @@ MINERS: dict[str, Callable[..., dict[frozenset[int], int]]] = {
     "fpgrowth": fpgrowth,
 }
 
+#: Counts a rule body against the database: (body_count, hit_count) where
+#: hit_count is the number of body-containing transactions that also contain
+#: at least one head.  Pluggable so the incremental engine can memoize.
+BodyCounter = Callable[[frozenset[int], frozenset[int]], tuple[int, int]]
+
 
 @dataclass(frozen=True)
 class Rule:
@@ -97,14 +102,76 @@ def generate_rules(
         freq = MINERS[miner](transactions, min_support, max_len=max_len)
     obs.counter("mining.itemsets_frequent", len(freq))
 
+    def scan_body(body: frozenset[int], heads: frozenset[int]) -> tuple[int, int]:
+        body_count = 0
+        hit_count = 0
+        for t in transactions:
+            if body <= t:
+                body_count += 1
+                if t & heads:
+                    hit_count += 1
+        return body_count, hit_count
+
+    return rules_from_itemsets(
+        freq,
+        n,
+        item_names=db.item_names,
+        fatal_items=db.fatal_items,
+        min_confidence=min_confidence,
+        combine=combine,
+        prune_generalizations=prune_generalizations,
+        body_counter=scan_body,
+    )
+
+
+def _rule_sort_key(r: Rule) -> tuple:
+    """Total deterministic order: Step-4 confidence-descending, then support,
+    then body/heads contents.  A *total* order (not just confidence/support)
+    makes the rule list a pure function of the itemset table and transaction
+    multiset — required for the incremental engine's bit-identical guarantee,
+    which must not depend on dict iteration order.
+    """
+    return (
+        -r.confidence,
+        -r.support_count,
+        tuple(sorted(r.body)),
+        tuple(sorted(r.heads)),
+    )
+
+
+def rules_from_itemsets(
+    freq: dict[frozenset[int], int],
+    n_transactions: int,
+    *,
+    item_names: Sequence[str],
+    fatal_items: frozenset[int],
+    min_confidence: float = 0.2,
+    combine: bool = True,
+    prune_generalizations: bool = True,
+    body_counter: BodyCounter,
+) -> "RuleSet":
+    """Steps 2-4 from an already-mined itemset->count table.
+
+    The count-maintenance half of rule generation, split out so the
+    incremental engine (:mod:`repro.mining.incremental`) can feed it a
+    maintained itemset table and a memoizing ``body_counter`` while
+    :func:`generate_rules` feeds it a fresh mine and a full-scan counter —
+    both paths produce bit-identical :class:`RuleSet` contents.
+    """
+    check_fraction(min_confidence, "min_confidence")
+    obs = get_registry()
+    n = n_transactions
+    if n == 0:
+        return RuleSet([], item_names, fatal_items)
+
     # Step 2: single-head rules body(non-fatal) -> head(fatal).
     singles: list[Rule] = []
     for itemset, count in freq.items():
-        heads = itemset & db.fatal_items
+        heads = itemset & fatal_items
         if len(heads) != 1:
             continue
         body = itemset - heads
-        if not body or body & db.fatal_items:
+        if not body or body & fatal_items:
             continue
         body_count = freq.get(body)
         if not body_count:
@@ -128,9 +195,7 @@ def generate_rules(
     if not combine:
         obs.counter("mining.rules_kept", len(singles))
         return RuleSet(
-            sorted(singles, key=lambda r: (-r.confidence, -r.support_count)),
-            db.item_names,
-            db.fatal_items,
+            sorted(singles, key=_rule_sort_key), item_names, fatal_items
         )
 
     # Step 3: combine rules sharing a body; recompute confidence as
@@ -140,13 +205,7 @@ def generate_rules(
         by_body[r.body] |= r.heads
     combined: list[Rule] = []
     for body, heads in by_body.items():
-        body_count = 0
-        hit_count = 0
-        for t in transactions:
-            if body <= t:
-                body_count += 1
-                if t & heads:
-                    hit_count += 1
+        body_count, hit_count = body_counter(body, frozenset(heads))
         conf = hit_count / body_count if body_count else 0.0
         combined.append(
             Rule(
@@ -157,10 +216,10 @@ def generate_rules(
                 support_count=hit_count,
             )
         )
-    # Step 4: descending confidence.
-    combined.sort(key=lambda r: (-r.confidence, -r.support_count))
+    # Step 4: descending confidence (total order for determinism).
+    combined.sort(key=_rule_sort_key)
     obs.counter("mining.rules_kept", len(combined))
-    return RuleSet(combined, db.item_names, db.fatal_items)
+    return RuleSet(combined, item_names, fatal_items)
 
 
 def _prune_generalizations(rules: list[Rule]) -> list[Rule]:

@@ -8,7 +8,6 @@ from repro.evaluation.sweep import (
     SweepPoint,
     format_sweep,
     prediction_window_sweep,
-    rule_window_sweep,
     select_rule_window,
     sweep,
 )
@@ -49,17 +48,24 @@ def test_rule_recall_rises_with_window(anl_events):
     assert points[1].recall >= points[0].recall
 
 
-def test_rule_window_sweep_is_deprecated(anl_events):
-    with pytest.warns(DeprecationWarning, match="rule_window_sweep"):
-        points = rule_window_sweep(
-            lambda g: RuleBasedPredictor(
-                rule_window=g, prediction_window=30 * MINUTE
-            ),
-            anl_events,
-            windows=[10 * MINUTE, 20 * MINUTE],
-            k=4,
-        )
-    assert len(points) == 2
+def test_rule_window_sweep_shim_removed():
+    """The PR-3 deprecation shim is gone; rule-window sweeps go through
+    ``sweep(spec.grid("rule_window", ...))``."""
+    import repro.evaluation
+    import repro.evaluation.sweep
+
+    assert not hasattr(repro.evaluation.sweep, "rule_window_sweep")
+    assert not hasattr(repro.evaluation, "rule_window_sweep")
+    assert "rule_window_sweep" not in repro.evaluation.__all__
+
+
+def test_rule_window_sweep_via_spec_grid(anl_events):
+    """The migration target for old rule_window_sweep callers."""
+    windows = [10 * MINUTE, 20 * MINUTE]
+    spec = PredictorSpec.rule(prediction_window=30 * MINUTE)
+    points = sweep(spec.grid("rule_window", windows), anl_events, k=4)
+    assert [p.window for p in points] == windows
+    assert all(0 <= p.precision <= 1 and 0 <= p.recall <= 1 for p in points)
 
 
 def test_spec_sweep_matches_factory_sweep(anl_events):

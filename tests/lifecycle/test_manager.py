@@ -100,3 +100,10 @@ def test_chunk_events_must_be_positive(managed):
     manager, _, _, live = managed
     with pytest.raises(ValueError):
         manager.run(live, chunk_events=0)
+
+
+def test_swap_events_record_retrain_latency(managed):
+    manager, _, _, live = managed
+    report = manager.run(live, chunk_events=40)
+    assert report.retrains >= 1
+    assert all(s.retrain_seconds > 0.0 for s in report.swaps)

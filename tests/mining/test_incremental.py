@@ -1,0 +1,389 @@
+"""Tests for repro.mining.incremental — bit-identity under adversarial schedules.
+
+The incremental engine's whole contract is "exactly what from-scratch mining
+would have produced, cheaper".  Every test here therefore compares against
+:func:`apriori` / :func:`fpgrowth` / :func:`generate_rules` on the same
+multiset, under schedules chosen to stress the delta machinery: evict
+everything and refill, slide overlapping windows, add and evict the same
+batch repeatedly, and cross the support threshold in both directions.
+"""
+
+import pytest
+
+from repro.core.serialize import (
+    SerializationError,
+    incremental_miner_from_dict,
+    incremental_miner_to_dict,
+)
+from repro.mining.apriori import apriori
+from repro.mining.counts import min_count_for
+from repro.mining.fptree import fpgrowth
+from repro.mining.incremental import (
+    CanonicalTree,
+    IncrementalMiner,
+    IncrementalRuleMiner,
+)
+from repro.mining.rules import generate_rules
+from repro.mining.transactions import EventSetDB
+from repro.util.rng import as_generator
+
+
+def fs(*items):
+    return frozenset(items)
+
+
+def random_db(rng, n_items=10, max_rows=40):
+    """A random transaction list (may include empty transactions)."""
+    return [
+        frozenset(
+            int(x)
+            for x in rng.choice(
+                n_items, size=int(rng.integers(0, n_items)), replace=False
+            )
+        )
+        for _ in range(int(rng.integers(0, max_rows)))
+    ]
+
+
+def assert_matches_scratch(miner, min_support, max_len=6):
+    """Incremental itemsets must equal both from-scratch miners exactly."""
+    current = [
+        t for t, w in miner.transaction_counts().items() for _ in range(w)
+    ]
+    got = miner.itemsets(min_support, max_len)
+    assert got == fpgrowth(current, min_support, max_len=max_len)
+    assert got == apriori(current, min_support, max_len=max_len)
+
+
+# ---------------------------------------------------------------------- #
+# CanonicalTree
+# ---------------------------------------------------------------------- #
+
+
+def test_tree_add_remove_roundtrip():
+    tree = CanonicalTree()
+    tree.add([1, 2, 3], 2)
+    tree.add([1, 2], 1)
+    tree.remove([1, 2, 3], 2)
+    tree.remove([1, 2], 1)
+    assert tree.root.children == {}
+    assert tree.paths(1) == []
+
+
+def test_tree_paths_are_conditional_base():
+    tree = CanonicalTree()
+    tree.add([1, 2, 5], 1)
+    tree.add([2, 5], 2)
+    tree.add([5], 1)
+    base = sorted((tuple(p), c) for p, c in tree.paths(5))
+    assert base == [((), 1), ((1, 2), 1), ((2,), 2)]
+
+
+def test_tree_remove_missing_raises_and_leaves_state_intact():
+    tree = CanonicalTree()
+    tree.add([1, 2], 1)
+    with pytest.raises(ValueError):
+        tree.remove([1, 3], 1)
+    with pytest.raises(ValueError):
+        tree.remove([1, 2], 2)  # present, but not with that weight
+    assert tree.paths(2) == [([1], 1)]
+
+
+# ---------------------------------------------------------------------- #
+# IncrementalMiner: adversarial schedules vs from-scratch
+# ---------------------------------------------------------------------- #
+
+
+def test_empty_miner_yields_no_itemsets():
+    miner = IncrementalMiner()
+    assert miner.itemsets(0.1) == {}
+    assert miner.n_transactions == 0
+
+
+def test_single_transaction_window():
+    miner = IncrementalMiner()
+    miner.add([fs(1, 2)])
+    assert_matches_scratch(miner, 1.0)
+    assert miner.itemsets(1.0) == {fs(1): 1, fs(2): 1, fs(1, 2): 1}
+
+
+def test_evict_all_then_refill():
+    batch = [fs(1, 2), fs(2, 3), fs(1, 2, 3), fs(3)]
+    miner = IncrementalMiner()
+    miner.add(batch)
+    assert_matches_scratch(miner, 0.25)
+    miner.evict(batch)
+    assert miner.n_transactions == 0
+    assert miner.itemsets(0.25) == {}
+    refill = [fs(4, 5), fs(4), fs(4, 5, 6)]
+    miner.add(refill)
+    assert_matches_scratch(miner, 0.3)
+
+
+def test_repeated_add_evict_of_same_batch():
+    stable = [fs(1, 2), fs(2, 3)] * 3
+    churn = [fs(1, 2, 3), fs(3, 4)]
+    miner = IncrementalMiner()
+    miner.add(stable)
+    for _ in range(4):
+        miner.add(churn)
+        assert_matches_scratch(miner, 0.2)
+        miner.evict(churn)
+        assert_matches_scratch(miner, 0.2)
+
+
+def test_overlapping_sliding_windows():
+    rng = as_generator(11)
+    stream = [
+        frozenset(
+            int(x)
+            for x in rng.choice(8, size=int(rng.integers(1, 5)), replace=False)
+        )
+        for _ in range(30)
+    ]
+    miner = IncrementalMiner()
+    window = 12
+    step = 4
+    for start in range(0, len(stream) - window + 1, step):
+        prev_start = start - step
+        if prev_start < 0:
+            miner.add(stream[:window])
+        else:
+            miner.evict(stream[prev_start:start])
+            miner.add(stream[prev_start + window : start + window])
+        assert_matches_scratch(miner, 0.15)
+
+
+def test_support_threshold_boundary_crossings():
+    # 10 transactions; item 7 appears in exactly 2 -> support 0.2.
+    batch = [fs(1, 7), fs(2, 7)] + [fs(1, 2)] * 8
+    miner = IncrementalMiner()
+    miner.add(batch)
+    at = miner.itemsets(0.2)  # count threshold == support count: included
+    assert fs(7) in at
+    above = miner.itemsets(0.21)  # raised threshold filters cached partitions
+    assert fs(7) not in above
+    below = miner.itemsets(0.1)  # lowered threshold forces full re-mine
+    assert fs(7) in below and fs(1, 7) in below
+    for support in (0.1, 0.2, 0.21, 0.5, 1.0):
+        assert_matches_scratch(miner, support)
+
+
+def test_threshold_raise_reuses_clean_suffixes_exactly():
+    batch = [fs(1, 2, 3)] * 5 + [fs(2, 3)] * 3 + [fs(4)] * 2
+    miner = IncrementalMiner()
+    miner.add(batch)
+    low = miner.itemsets(0.2)
+    high = miner.itemsets(0.5)  # no delta in between: pure cache filter
+    n = miner.n_transactions
+    cut = min_count_for(0.5, n)
+    assert high == {s: c for s, c in low.items() if c >= cut}
+    assert_matches_scratch(miner, 0.5)
+
+
+def test_randomized_schedule_matches_scratch():
+    rng = as_generator(1234)
+    miner = IncrementalMiner()
+    live: list[frozenset] = []
+    for _ in range(25):
+        roll = rng.random()
+        if roll < 0.55 or not live:
+            batch = random_db(rng, n_items=9, max_rows=12)
+            miner.add(batch)
+            live.extend(batch)
+        else:
+            k = int(rng.integers(1, len(live) + 1))
+            idx = sorted(
+                (int(i) for i in rng.choice(len(live), size=k, replace=False)),
+                reverse=True,
+            )
+            batch = [live.pop(i) for i in idx]
+            miner.evict(batch)
+        support = float(rng.choice([0.02, 0.05, 0.1, 0.3]))
+        assert_matches_scratch(miner, support)
+
+
+def test_evict_more_than_present_is_atomic():
+    miner = IncrementalMiner()
+    miner.add([fs(1, 2), fs(2, 3)])
+    before = dict(miner.transaction_counts())
+    with pytest.raises(ValueError):
+        miner.evict([fs(1, 2), fs(1, 2)])  # second copy not present
+    assert dict(miner.transaction_counts()) == before
+    assert_matches_scratch(miner, 0.5)
+
+
+def test_max_len_change_invalidates_cache():
+    miner = IncrementalMiner()
+    miner.add([fs(1, 2, 3)] * 4)
+    short = miner.itemsets(0.2, max_len=2)
+    assert fs(1, 2, 3) not in short
+    full = miner.itemsets(0.2, max_len=6)
+    assert fs(1, 2, 3) in full
+    assert_matches_scratch(miner, 0.2, max_len=2)
+
+
+# ---------------------------------------------------------------------- #
+# IncrementalRuleMiner: rule-level bit-identity and snapshots
+# ---------------------------------------------------------------------- #
+
+ITEMS = ["warnA", "warnB", "warnC", "fatalX", "fatalY", "noiseZ"]
+A, B, C, X, Y, Z = range(6)
+FATAL = fs(X, Y)
+
+
+def make_db(rows):
+    return EventSetDB(
+        bodies=[fs(*b) for b, _ in rows],
+        heads=[fs(*h) for _, h in rows],
+        item_names=ITEMS,
+        fatal_items=FATAL,
+    )
+
+
+def ruleset_key(rs):
+    """Bit-identity key: exact rule order, floats and metadata."""
+    return (list(rs.rules), list(rs.item_names), rs.fatal_items)
+
+
+def assert_rules_match(miner, db):
+    incremental = miner.rules()
+    scratch = generate_rules(
+        db,
+        min_support=miner.min_support,
+        min_confidence=miner.min_confidence,
+        max_len=miner.max_len,
+        combine=miner.combine,
+        prune_generalizations=miner.prune_generalizations,
+    )
+    assert ruleset_key(incremental) == ruleset_key(scratch)
+
+
+ROWS = [
+    ((A, B), (X,)),
+    ((A, B), (X,)),
+    ((A, B), (Y,)),
+    ((C,), (Y,)),
+    ((C,), (Y,)),
+    ((B, C), (X,)),
+    ((), (X,)),
+    ((A,), ()),
+]
+
+
+def test_rule_miner_matches_generate_rules():
+    db = make_db(ROWS)
+    miner = IncrementalRuleMiner(min_support=0.1, min_confidence=0.2)
+    added, evicted = miner.sync(db)
+    assert (added, evicted) == (len(ROWS), 0)
+    assert_rules_match(miner, db)
+
+
+def test_rule_miner_sliding_sync_is_o_delta_and_exact():
+    miner = IncrementalRuleMiner(min_support=0.1, min_confidence=0.2)
+    for start in range(0, 4):
+        rows = ROWS[start : start + 5]
+        db = make_db(rows)
+        added, evicted = miner.sync(db)
+        assert added <= len(rows) and evicted <= len(ROWS)
+        assert_rules_match(miner, db)
+    # Re-sync with no change: zero delta, cached ruleset object reused.
+    db = make_db(ROWS[3:8])
+    assert miner.sync(db) == (0, 0)
+    assert miner.rules() is miner.rules()
+
+
+def test_rule_miner_zero_delta_reuses_ruleset_object():
+    db = make_db(ROWS)
+    miner = IncrementalRuleMiner(min_support=0.1, min_confidence=0.2)
+    miner.sync(db)
+    first = miner.rules()
+    miner.sync(db)
+    assert miner.rules() is first
+
+
+def test_rule_miner_incompatible_names_resets():
+    db = make_db(ROWS)
+    miner = IncrementalRuleMiner(min_support=0.1, min_confidence=0.2)
+    miner.sync(db)
+    other = EventSetDB(
+        bodies=[fs(A)],
+        heads=[fs(X)],
+        item_names=["different", *ITEMS[1:]],
+        fatal_items=FATAL,
+    )
+    miner.sync(other)
+    assert miner.item_names[0] == "different"
+    assert_rules_match(miner, other)
+
+
+def test_rule_miner_prefix_grown_names_are_compatible():
+    db = make_db(ROWS)
+    miner = IncrementalRuleMiner(min_support=0.1, min_confidence=0.2)
+    miner.sync(db)
+    grown = EventSetDB(
+        bodies=[fs(*b) for b, _ in ROWS],
+        heads=[fs(*h) for _, h in ROWS],
+        item_names=ITEMS + ["lateW"],
+        fatal_items=FATAL,
+    )
+    assert miner.sync(grown) == (0, 0)  # same transactions, wider table
+    assert_rules_match(miner, grown)
+
+
+def test_snapshot_roundtrip_preserves_rules():
+    db = make_db(ROWS)
+    miner = IncrementalRuleMiner(min_support=0.1, min_confidence=0.2)
+    miner.sync(db)
+    doc = incremental_miner_to_dict(miner)
+    assert doc["kind"] == "incremental-miner"
+    restored = incremental_miner_from_dict(doc)
+    assert ruleset_key(restored.rules()) == ruleset_key(miner.rules())
+    # The restored miner keeps syncing incrementally from where it left off.
+    shifted = make_db(ROWS[2:])
+    restored.sync(shifted)
+    assert_rules_match(restored, shifted)
+
+
+def test_snapshot_roundtrip_is_stable():
+    db = make_db(ROWS)
+    miner = IncrementalRuleMiner(min_support=0.1, min_confidence=0.2)
+    miner.sync(db)
+    doc = incremental_miner_to_dict(miner)
+    again = incremental_miner_to_dict(incremental_miner_from_dict(doc))
+    assert doc == again
+
+
+def test_snapshot_rejects_foreign_documents():
+    with pytest.raises(SerializationError):
+        incremental_miner_from_dict({"kind": "something-else"})
+    with pytest.raises(SerializationError):
+        incremental_miner_from_dict(
+            {"format_version": 999, "kind": "incremental-miner", "state": {}}
+        )
+
+
+def test_rule_miner_randomized_windows_match_scratch():
+    rng = as_generator(77)
+    miner = IncrementalRuleMiner(min_support=0.1, min_confidence=0.2)
+    stream = [
+        (
+            tuple(
+                int(x)
+                for x in rng.choice(
+                    [A, B, C, Z], size=int(rng.integers(0, 4)), replace=False
+                )
+            ),
+            tuple(
+                int(x)
+                for x in rng.choice(
+                    [X, Y], size=int(rng.integers(0, 2)), replace=False
+                )
+            ),
+        )
+        for _ in range(24)
+    ]
+    for start in range(0, 16, 3):
+        db = make_db(stream[start : start + 8])
+        miner.sync(db)
+        assert_rules_match(miner, db)

@@ -7,6 +7,8 @@ from repro.evaluation.crossval import fold_index_ranges
 from repro.evaluation.matching import match_warnings
 from repro.mining.apriori import apriori
 from repro.mining.fptree import fpgrowth
+from repro.mining.incremental import IncrementalMiner
+from repro.util.rng import as_generator
 from repro.predictors.base import FailureWarning, dedup_warnings
 from repro.preprocess.compression import spatial_compress, temporal_compress
 from repro.ras.events import RasEvent
@@ -58,6 +60,61 @@ transactions = st.lists(
 @settings(max_examples=60, deadline=None)
 def test_apriori_fpgrowth_equivalent(db, min_support):
     assert apriori(db, min_support) == fpgrowth(db, min_support)
+
+
+def test_apriori_fpgrowth_equivalent_seeded_grid():
+    """Deterministic sweep over database sizes and supports.
+
+    Complements the hypothesis property above with a reproducible grid that
+    pins the edge cases the miners treat specially: the empty window, the
+    single-transaction window, and a ladder of sizes at each support.
+    """
+    supports = [0.02, 0.05, 0.1, 0.25, 0.5, 1.0]
+    for support in supports:
+        assert apriori([], support) == fpgrowth([], support) == {}
+        single = [frozenset({3, 5})]
+        assert apriori(single, support) == fpgrowth(single, support)
+    rng = as_generator(2026)
+    for size in (1, 2, 5, 13, 34, 89):
+        n_items = int(rng.integers(3, 14))
+        db = [
+            frozenset(
+                int(x)
+                for x in rng.choice(
+                    n_items,
+                    size=int(rng.integers(0, n_items)),
+                    replace=False,
+                )
+            )
+            for _ in range(size)
+        ]
+        for support in supports:
+            assert apriori(db, support) == fpgrowth(db, support), (size, support)
+
+
+@given(transactions, st.floats(min_value=0.05, max_value=1.0))
+@settings(max_examples=40, deadline=None)
+def test_incremental_miner_equivalent_to_scratch(db, min_support):
+    """One-shot add: the maintained miner is exactly fpgrowth."""
+    miner = IncrementalMiner()
+    miner.add(db)
+    assert miner.itemsets(min_support) == fpgrowth(db, min_support)
+
+
+@given(
+    transactions,
+    transactions,
+    st.floats(min_value=0.05, max_value=1.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_incremental_add_evict_restores_scratch(base, extra, min_support):
+    """Adding then evicting a batch lands back on the base window's result."""
+    miner = IncrementalMiner()
+    miner.add(base)
+    miner.add(extra)
+    assert miner.itemsets(min_support) == fpgrowth(base + extra, min_support)
+    miner.evict(extra)
+    assert miner.itemsets(min_support) == fpgrowth(base, min_support)
 
 
 @given(transactions)

@@ -716,3 +716,100 @@ def test_rl014_ignores_unrelated_attribute_names():
         select={"RL014"},
     )
     assert diags == []
+
+
+# ---------------------------------------------------------------- RL015
+
+LIFECYCLE_PATH = "src/repro/lifecycle/retrain.py"
+
+
+def test_rl015_flags_scratch_mining_in_lifecycle():
+    diags = lint(
+        """\
+        from repro.mining.apriori import apriori
+        from repro.mining.fptree import fpgrowth
+        from repro.mining.rules import generate_rules
+
+        def refit(db, transactions):
+            freq = apriori(transactions, 0.04)
+            freq2 = fpgrowth(transactions, 0.04)
+            return generate_rules(db), freq, freq2
+        """,
+        path=LIFECYCLE_PATH,
+        select={"RL015"},
+    )
+    assert codes_and_lines(diags) == [
+        ("RL015", 6),
+        ("RL015", 7),
+        ("RL015", 8),
+    ]
+
+
+def test_rl015_sees_through_module_aliases():
+    diags = lint(
+        """\
+        from repro.mining import rules as mining_rules
+
+        def refit(db):
+            return mining_rules.generate_rules(db)
+        """,
+        path=LIFECYCLE_PATH,
+        select={"RL015"},
+    )
+    assert codes_and_lines(diags) == [("RL015", 4)]
+
+
+def test_rl015_only_applies_to_lifecycle():
+    source = """\
+        from repro.mining.apriori import apriori
+
+        def mine(transactions):
+            return apriori(transactions, 0.04)
+        """
+    assert lint(source, path="src/repro/mining/wrapper.py",
+                select={"RL015"}) == []
+    assert lint(source, path="src/repro/evaluation/engine.py",
+                select={"RL015"}) == []
+    assert lint(source, path="tests/lifecycle/test_retrain.py",
+                select={"RL015"}) == []
+    assert lint(source, path=LIFECYCLE_PATH, select={"RL015"}) != []
+
+
+def test_rl015_ignores_unrelated_functions_with_same_name():
+    diags = lint(
+        """\
+        from mypackage.stats import apriori
+
+        def refit(transactions):
+            return apriori(transactions)
+        """,
+        path=LIFECYCLE_PATH,
+        select={"RL015"},
+    )
+    assert diags == []
+
+
+def test_rl015_is_waivable():
+    diags = lint(
+        """\
+        from repro.mining.fptree import fpgrowth
+
+        def diagnose(transactions):
+            return fpgrowth(transactions, 0.04)  # repro-lint: disable=RL015
+        """,
+        path=LIFECYCLE_PATH,
+        select={"RL015"},
+    )
+    assert diags == []
+
+
+def test_rl015_allows_spec_fit_path():
+    diags = lint(
+        """\
+        def retrain(spec, window):
+            return spec.build().fit(window)
+        """,
+        path=LIFECYCLE_PATH,
+        select={"RL015"},
+    )
+    assert diags == []

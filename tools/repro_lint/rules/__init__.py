@@ -19,4 +19,5 @@ from tools.repro_lint.rules import (  # noqa: F401
     rl012_process_boundary,
     rl013_async_blocking,
     rl014_store_column_write,
+    rl015_lifecycle_scratch_mining,
 )

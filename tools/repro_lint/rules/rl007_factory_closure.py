@@ -15,9 +15,9 @@ still exercise the legacy path deliberately).  Flagged:
 - a ``lambda`` as the predictor/factory argument (first positional) of
   ``cross_validate``, ``holdout_validate``, ``prediction_window_sweep`` or
   ``rule_window_sweep``;
-- any call to ``rule_window_sweep`` at all — it is a deprecated alias of
-  ``prediction_window_sweep``; sweep rule-generation windows with
-  ``sweep(spec.grid("rule_window", ...), ...)``.
+- any call to ``rule_window_sweep`` at all — the alias was deprecated and
+  has been removed from :mod:`repro.evaluation.sweep`; sweep
+  rule-generation windows with ``sweep(spec.grid("rule_window", ...), ...)``.
 """
 
 from __future__ import annotations
