@@ -1,0 +1,157 @@
+"""Benchmark — the prediction-to-action engine's economics and determinism.
+
+Two gates for ``repro.actions`` (see docs/actions.md):
+
+1. **Economics** — on the generated ANL machine, the cost-aware policy nets
+   positive node-seconds and beats both the always-checkpoint policy and
+   never-acting, across three checkpoint-cost regimes (cheap, paper-ish,
+   expensive).  Always-checkpoint degrades as checkpoints get pricier; the
+   cost-aware composite declines unprofitable actions instead.
+2. **Bit identity** — the ledger from a one-shot replay (the serve-replay
+   path) is byte-identical, digest and all, to the ledger drained from a
+   live daemon fed the same stream over the wire in arbitrary batches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.actions import ActionEngine, CostModel, TraceJobView, build_policy
+from repro.meta.stacked import MetaLearner
+from repro.serve import DetectorPool
+from repro.serve.daemon import DaemonConfig, IngestDaemon
+from repro.serve.protocol import decode_frame, encode_frame, event_to_dict
+from repro.util.timeutil import MINUTE
+
+#: Checkpoint-cost regimes (seconds): cheap, the rescue bench's 2×, pricey.
+REGIMES = (30.0, 120.0, 240.0)
+
+
+@pytest.fixture(scope="module")
+def replay(anl_bench_log, anl_bench_events):
+    cut = int(len(anl_bench_events) * 0.6)
+    train = anl_bench_events.select(slice(0, cut))
+    test = anl_bench_events.select(slice(cut, len(anl_bench_events)))
+    meta = MetaLearner(
+        prediction_window=30 * MINUTE, rule_window=15 * MINUTE
+    ).fit(train)
+    return anl_bench_log.job_trace, test, meta.predict(test)
+
+
+def _ledger(policy_name, trace, test, warnings, checkpoint_cost):
+    engine = ActionEngine(
+        build_policy(policy_name),
+        CostModel(checkpoint_cost=checkpoint_cost),
+        view=TraceJobView(trace),
+        seed=0,
+    )
+    engine.observe_store(test, list(warnings))
+    return engine.finalize()
+
+
+def test_bench_cost_aware_beats_baselines(replay, benchmark):
+    trace, test, warnings = replay
+
+    def run():
+        return {
+            ckpt: {
+                name: _ledger(name, trace, test, warnings, ckpt)
+                for name in ("cost-aware", "checkpoint", "never")
+            }
+            for ckpt in REGIMES
+        }
+
+    grid = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for ckpt in REGIMES:
+        ledgers = grid[ckpt]
+        rows.append((
+            f"ckpt={ckpt:g}s  cost-aware / always-ckpt (net node-hours)",
+            round(ledgers["cost-aware"].net_node_seconds / 3600),
+            round(ledgers["checkpoint"].net_node_seconds / 3600),
+        ))
+    reactive = grid[REGIMES[0]]["never"].reactive_loss
+    rows.append(("reactive loss, no action (node-hours)",
+                 round(reactive / 3600)))
+    report("Actions — policy economics across checkpoint-cost regimes (ANL)",
+           rows)
+
+    for ckpt in REGIMES:
+        aware = grid[ckpt]["cost-aware"]
+        always = grid[ckpt]["checkpoint"]
+        never = grid[ckpt]["never"]
+        assert never.net_node_seconds == 0.0
+        assert never.taken == {}
+        assert aware.net_node_seconds > 0.0, (
+            f"cost-aware must net positive node-seconds at ckpt={ckpt}"
+        )
+        assert aware.net_node_seconds > always.net_node_seconds, (
+            f"cost-aware must beat always-checkpoint at ckpt={ckpt}"
+        )
+        assert aware.net_node_seconds > never.net_node_seconds
+
+
+async def _send_frames(port, frames):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    responses = []
+    try:
+        for frame in frames:
+            writer.write(encode_frame(frame))
+            await writer.drain()
+            responses.append(decode_frame(await reader.readline()))
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    return responses
+
+
+def test_bench_replay_and_daemon_drain_bit_identical(replay, benchmark):
+    _, test, _ = replay
+    config = DaemonConfig(port=0, queue_bound=4096, shards=2, chunk_events=256)
+    events = list(test)
+    cut = int(len(test) * 0.5)
+    meta = MetaLearner(
+        prediction_window=30 * MINUTE, rule_window=15 * MINUTE
+    ).fit(test.select(slice(0, cut)))
+
+    def factory(stream_id):
+        return ActionEngine(build_policy("cost-aware"), CostModel(), seed=7)
+
+    async def daemon_run():
+        async with IngestDaemon(meta, config, action_factory=factory) as daemon:
+            frames = [
+                {
+                    "op": "batch",
+                    "stream": "s",
+                    "events": [event_to_dict(e) for e in events[i:i + 500]],
+                }
+                for i in range(0, len(events), 500)
+            ]
+            responses = await _send_frames(daemon.port, frames)
+            assert all(r["ok"] for r in responses)
+            return await daemon.drain()
+
+    def run():
+        drained = asyncio.run(daemon_run()).streams[0].ledger
+        pool = DetectorPool(meta, shards=config.shards, key=config.key)
+        warnings = pool.process_store(test)
+        one_shot = ActionEngine(build_policy("cost-aware"), CostModel(), seed=7)
+        one_shot.observe_store(test, list(warnings))
+        return drained, one_shot.finalize()
+
+    drained, one_shot = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "Actions — serve-replay vs daemon-drain ledger identity (ANL)",
+        [
+            ("events over the wire", len(events)),
+            ("actions settled", drained.settled),
+            ("net node-hours", round(drained.net_node_seconds / 3600)),
+            ("digests equal", drained.digest() == one_shot.digest()),
+        ],
+    )
+    assert drained.digest() == one_shot.digest(), (
+        "daemon-drained ledger must be bit-identical to the one-shot replay"
+    )

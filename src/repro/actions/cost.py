@@ -1,0 +1,324 @@
+"""The explicit cost model every action price derives from.
+
+Everything downstream of a prediction is an economic decision: a checkpoint
+pays ``checkpoint_cost`` seconds of overhead on every node it touches to
+bound the work lost to a failure; a migration pays more to avoid the loss
+(and the restart) entirely; quarantining a midplane pays an opportunity
+cost in idled capacity to divert *future* jobs away from sick hardware.
+:class:`CostModel` owns all of those prices and the expected-value
+arithmetic over them — lead-time-aware, in node-seconds, so policies and
+the ledger agree on one currency.
+
+Every pricing method returns a fully-populated :class:`Action`: the paid
+cost, the time the action completes, the deadline after which it can no
+longer pay off (the warning's horizon end), and the *expected* value given
+the warning's confidence and how much of the horizon the action can still
+cover.  The :class:`~repro.actions.ledger.Ledger` later settles the action
+against what actually happened; the expected value only ranks candidates.
+
+Cost arithmetic lives here and nowhere else — RL016 rejects direct
+arithmetic on cost attributes outside :mod:`repro.actions`, so benchmark
+and evaluation code must go through these methods.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.predictors.base import FailureWarning
+from repro.util.validation import check_positive
+
+#: Compute nodes per midplane on the systems modeled here (BG/L: 512).
+NODES_PER_MIDPLANE = 512
+
+#: The action kinds the engine knows how to settle.
+ACTION_KINDS = ("checkpoint", "migrate", "quarantine")
+
+
+@dataclass(frozen=True)
+class Action:
+    """One scheduled preventive action, priced at decision time.
+
+    ``cost`` is node-seconds paid up front regardless of outcome;
+    ``expected_value`` is the decision-time estimate the cost-aware policy
+    ranks by.  Settlement (hit / false alarm / redundant) happens in the
+    :class:`~repro.actions.engine.ActionEngine` against ground truth.
+    """
+
+    kind: str              # one of ACTION_KINDS
+    decided_at: int        # warning issue time the decision was made at
+    completes_at: int      # when the action's protection becomes effective
+    deadline: int          # horizon end: past this the action cannot pay off
+    job_id: int = -1       # scoped job (checkpoint / migrate), -1 otherwise
+    midplane: int = -1     # scoped midplane (migrate origin / quarantine)
+    width_nodes: int = 0   # nodes the action touches
+    cost: float = 0.0      # node-seconds paid up front
+    expected_value: float = 0.0
+    confidence: float = 0.0
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ACTION_KINDS:
+            raise ValueError(f"unknown action kind {self.kind!r}")
+        if self.completes_at < self.decided_at:
+            raise ValueError("completes_at must be >= decided_at")
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Prices of the preventive-action repertoire (seconds per node).
+
+    Attributes
+    ----------
+    checkpoint_cost:
+        Seconds to write one checkpoint; the job stalls for the duration.
+    migration_cost:
+        Seconds to migrate a job off a midplane (drain + restore elsewhere).
+    restart_cost:
+        Seconds to restart a failed job — avoided entirely by a successful
+        migration or quarantine diversion, paid after any kill otherwise.
+    quarantine_drain:
+        Fraction of a cordoned midplane's capacity counted as the
+        quarantine's opportunity cost over the cordon window.
+    quarantine_occupancy:
+        Expected fraction of a cordon window a diverted job would have run —
+        the optimism knob in the quarantine expected value.
+    work_cap_seconds:
+        Cap on claimable work-at-risk per job: checkpointing cannot save
+        more than this much history (models periodic safety-net restarts).
+    hazard_decay_fraction:
+        Time constant of the front-loaded kill prior, as a fraction of the
+        horizon width.  Failures cluster just after their precursors, so
+        the hazard inside a warning horizon is not uniform: the survival
+        term decays with scale ``fraction * width`` past ``horizon_start``.
+    front_load_weight:
+        Mixture weight of the front-loaded component vs a uniform tail in
+        :meth:`coverage` (1.0 = pure exponential, 0.0 = pure uniform).
+    """
+
+    checkpoint_cost: float = 120.0
+    migration_cost: float = 180.0
+    restart_cost: float = 300.0
+    quarantine_drain: float = 0.10
+    quarantine_occupancy: float = 0.5
+    work_cap_seconds: float = 86_400.0
+    hazard_decay_fraction: float = 0.03
+    front_load_weight: float = 0.9
+
+    def __post_init__(self) -> None:
+        check_positive(self.checkpoint_cost, "checkpoint_cost")
+        check_positive(self.migration_cost, "migration_cost")
+        check_positive(self.restart_cost, "restart_cost")
+        check_positive(self.work_cap_seconds, "work_cap_seconds")
+        check_positive(self.hazard_decay_fraction, "hazard_decay_fraction")
+        if not 0.0 <= self.quarantine_drain <= 1.0:
+            raise ValueError("quarantine_drain must be in [0, 1]")
+        if not 0.0 <= self.quarantine_occupancy <= 1.0:
+            raise ValueError("quarantine_occupancy must be in [0, 1]")
+        if not 0.0 <= self.front_load_weight <= 1.0:
+            raise ValueError("front_load_weight must be in [0, 1]")
+
+    # ------------------------------------------------------------- #
+    # Lead-time geometry
+    # ------------------------------------------------------------- #
+
+    def hazard_scale(self, warning: FailureWarning) -> float:
+        """Decay scale (seconds) of the kill prior inside one horizon."""
+        width = max(warning.horizon_end - warning.horizon_start, 0)
+        return self.hazard_decay_fraction * width
+
+    def coverage(self, completes_at: float, warning: FailureWarning) -> float:
+        """P(the predicted failure has not struck before the action is ready).
+
+        An action ready before ``horizon_start`` protects the whole horizon
+        (1.0); one ready only after ``horizon_end`` protects nothing (0.0).
+        In between, the survival probability of a front-loaded kill prior —
+        a ``front_load_weight`` mixture of an exponential with scale
+        :meth:`hazard_scale` and a uniform tail — because failures land
+        disproportionately early in their warning horizon.  This is the
+        lead-time term of every expected value.
+        """
+        if completes_at <= warning.horizon_start:
+            return 1.0
+        if completes_at > warning.horizon_end:
+            return 0.0
+        width = warning.horizon_end - warning.horizon_start
+        if width <= 0:
+            return 0.0
+        elapsed = completes_at - warning.horizon_start
+        tail = (warning.horizon_end - completes_at) / width
+        front = math.exp(-elapsed / self.hazard_scale(warning))
+        return self.front_load_weight * front + (1.0 - self.front_load_weight) * tail
+
+    def expected_kill_time(
+        self, completes_at: float, warning: FailureWarning
+    ) -> float:
+        """E[kill time | the kill lands after the action completes]."""
+        effective = max(completes_at, warning.horizon_start)
+        return min(
+            effective + self.hazard_scale(warning), float(warning.horizon_end)
+        )
+
+    def capped_work(self, seconds: float) -> float:
+        """Claimable work-at-risk: non-negative and capped."""
+        return min(max(seconds, 0.0), self.work_cap_seconds)
+
+    # ------------------------------------------------------------- #
+    # Pricing: one method per action kind
+    # ------------------------------------------------------------- #
+
+    def price_checkpoint(
+        self,
+        warning: FailureWarning,
+        *,
+        job_id: int,
+        width_nodes: int,
+        restore_point: float,
+        attribution: float = 1.0,
+    ) -> Action:
+        """Price checkpointing one job against this warning.
+
+        The job stalls ``checkpoint_cost`` seconds on ``width_nodes``
+        nodes; if the predicted failure lands after the checkpoint
+        completes, the rollback shrinks from (kill time − restore point)
+        to (kill time − checkpoint) — the expected value claims the work
+        accumulated since the current restore point, scaled by confidence,
+        horizon coverage, and ``attribution`` — P(the one predicted
+        failure lands on *this* job's hardware), typically the job's share
+        of the occupied machine.
+        """
+        now = warning.issued_at
+        completes_at = int(now + self.checkpoint_cost)
+        cost = self.checkpoint_cost * width_nodes
+        at_risk = self.capped_work(completes_at - restore_point)
+        expected = (
+            warning.confidence
+            * self.coverage(completes_at, warning)
+            * attribution
+            * at_risk
+            * width_nodes
+            - cost
+        )
+        return Action(
+            kind="checkpoint",
+            decided_at=now,
+            completes_at=completes_at,
+            deadline=warning.horizon_end,
+            job_id=job_id,
+            width_nodes=width_nodes,
+            cost=cost,
+            expected_value=expected,
+            confidence=warning.confidence,
+            source=warning.source,
+        )
+
+    def price_migration(
+        self,
+        warning: FailureWarning,
+        *,
+        job_id: int,
+        midplane: int,
+        width_nodes: int,
+        job_start: float,
+        locality: float,
+    ) -> Action:
+        """Price migrating one job off a suspect midplane.
+
+        A completed migration dodges the kill entirely: the job keeps all
+        work since its start *and* skips the restart.  ``locality`` is the
+        probability the machine-wide warning localizes to this job's
+        midplane — the discount that keeps blanket migration unprofitable.
+        """
+        now = warning.issued_at
+        completes_at = int(now + self.migration_cost)
+        cost = self.migration_cost * width_nodes
+        t_hat = self.expected_kill_time(completes_at, warning)
+        saved_if_hit = self.capped_work(t_hat - job_start) + self.restart_cost
+        expected = (
+            warning.confidence
+            * self.coverage(completes_at, warning)
+            * locality
+            * saved_if_hit
+            * width_nodes
+            - cost
+        )
+        return Action(
+            kind="migrate",
+            decided_at=now,
+            completes_at=completes_at,
+            deadline=warning.horizon_end,
+            job_id=job_id,
+            midplane=midplane,
+            width_nodes=width_nodes,
+            cost=cost,
+            expected_value=expected,
+            confidence=warning.confidence,
+            source=warning.source,
+        )
+
+    def price_quarantine(
+        self, warning: FailureWarning, *, midplane: int, locality: float = 1.0
+    ) -> Action:
+        """Price cordoning one midplane for the warning horizon.
+
+        The cordon idles ``quarantine_drain`` of the midplane's capacity
+        until the horizon closes; it pays off when the failure lands there
+        and a job that would otherwise have been scheduled onto the sick
+        midplane was diverted (credited at settlement only for jobs that
+        started after the cordon began).  ``locality`` is the probability
+        the machine-wide warning's failure lands on *this* midplane.
+        """
+        now = warning.issued_at
+        nodes = NODES_PER_MIDPLANE
+        window = max(warning.horizon_end - now, 0)
+        cost = self.quarantine_drain * nodes * window
+        # A diverted job has only been running since the cordon went up, so
+        # the claimable work is the hazard scale, not half the horizon.
+        saved_if_hit = (
+            self.capped_work(self.hazard_scale(warning)) + self.restart_cost
+        )
+        expected = (
+            warning.confidence
+            * locality
+            * self.quarantine_occupancy
+            * saved_if_hit
+            * nodes
+            - cost
+        )
+        return Action(
+            kind="quarantine",
+            decided_at=now,
+            completes_at=now,  # a cordon is effective immediately
+            deadline=warning.horizon_end,
+            midplane=midplane,
+            width_nodes=nodes,
+            cost=cost,
+            expected_value=expected,
+            confidence=warning.confidence,
+            source=warning.source,
+        )
+
+    # ------------------------------------------------------------- #
+    # Settlement values (the ledger's side of the same arithmetic)
+    # ------------------------------------------------------------- #
+
+    def checkpoint_saving(
+        self, completes_at: float, job_start: float, width_nodes: int
+    ) -> float:
+        """Gross node-seconds a completed checkpoint saves at a kill."""
+        return self.capped_work(completes_at - job_start) * width_nodes
+
+    def rescue_saving(
+        self, kill_time: float, job_start: float, width_nodes: int
+    ) -> float:
+        """Gross node-seconds a dodged kill saves (migration/quarantine)."""
+        return (
+            self.capped_work(kill_time - job_start) + self.restart_cost
+        ) * width_nodes
+
+    def reactive_loss(
+        self, kill_time: float, job_start: float, width_nodes: int
+    ) -> float:
+        """Node-seconds a kill costs with no prediction (context metric)."""
+        return self.capped_work(kill_time - job_start) * width_nodes

@@ -1,0 +1,204 @@
+"""What the engine knows about the job allocation when it must decide.
+
+Policies need to answer "which jobs run where, since when, how wide?" at
+warning time.  Two providers implement the same :class:`JobView` protocol:
+
+- :class:`TraceJobView` wraps a :class:`repro.bgl.jobs.JobTrace` — the
+  exact schedule, available in replay/benchmark settings where the
+  workload was simulated;
+- :class:`StreamJobView` infers the allocation from the event stream
+  itself (each RAS record carries the reporting job id and a location),
+  which is all a live daemon ever sees.
+
+Both are deterministic functions of their inputs: the stream view assigns
+dense midplane indices in first-seen order and tracks job liveness with a
+last-seen TTL, so feeding the same events in the same order — whole store
+or chunk by chunk — reconstructs byte-identical state.  That invariance is
+what lets the daemon's ledger match the one-shot replay ledger bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Sequence
+
+from repro.bgl.jobs import IDLE, JobTrace
+from repro.serve.sharding import midplane_of
+
+#: Default liveness window for stream-inferred jobs: a job with no event
+#: for this long is presumed finished.  Mirrors the taxonomy's cluster gap
+#: scale rather than any checkpoint price, hence not part of CostModel.
+DEFAULT_JOB_TTL_SECONDS = 4 * 3600.0
+
+
+@dataclass(frozen=True)
+class RunningJob:
+    """A job the view believes is running at the queried instant."""
+
+    job_id: int
+    start: int
+    midplanes: tuple[int, ...]
+    width_nodes: int
+
+
+class JobView(Protocol):
+    """The allocation queries policies and the engine rely on."""
+
+    def running(self, now: float) -> List[RunningJob]:
+        """Jobs running at ``now``, sorted by job id."""
+        ...
+
+    def occupant(self, midplane: int, now: float) -> Optional[RunningJob]:
+        """The job occupying a midplane at ``now``, if any."""
+        ...
+
+    def midplane_index(self, location: str) -> int:
+        """Dense index for an event location's midplane (-1 if unmappable)."""
+        ...
+
+    def n_midplanes(self) -> int:
+        """Number of midplanes the view knows about (>= 1 once populated)."""
+        ...
+
+    def observe(self, time: float, location: str, job_id: int) -> None:
+        """Absorb one event observation (no-op for exact-trace views)."""
+        ...
+
+
+class TraceJobView:
+    """Exact allocation from a simulated :class:`JobTrace`."""
+
+    def __init__(self, trace: JobTrace, *, nodes_per_midplane: int = 512) -> None:
+        self._trace = trace
+        self._nodes = nodes_per_midplane
+        self._mp_index: Dict[str, int] = {
+            midplane_of(loc): i
+            for i, loc in enumerate(trace.machine.midplane_locations)
+        }
+
+    def running(self, now: float) -> List[RunningJob]:
+        out: List[RunningJob] = []
+        for job in self._trace.jobs:
+            if job.start <= now < job.end:
+                out.append(
+                    RunningJob(
+                        job_id=job.job_id,
+                        start=job.start,
+                        midplanes=job.midplane_indices,
+                        width_nodes=self._nodes * len(job.midplane_indices),
+                    )
+                )
+        out.sort(key=lambda j: j.job_id)
+        return out
+
+    def occupant(self, midplane: int, now: float) -> Optional[RunningJob]:
+        if not 0 <= midplane < len(self._trace.machine.midplane_locations):
+            return None
+        jid = self._trace.job_at(midplane, now)
+        if jid == IDLE:
+            return None
+        job = self._trace.job(jid)
+        return RunningJob(
+            job_id=job.job_id,
+            start=job.start,
+            midplanes=job.midplane_indices,
+            width_nodes=self._nodes * len(job.midplane_indices),
+        )
+
+    def midplane_index(self, location: str) -> int:
+        return self._mp_index.get(midplane_of(location), -1)
+
+    def n_midplanes(self) -> int:
+        return len(self._trace.machine.midplane_locations)
+
+    def observe(self, time: float, location: str, job_id: int) -> None:
+        return None  # the trace already knows everything
+
+
+class _SeenJob:
+    __slots__ = ("job_id", "first_seen", "last_seen", "midplanes")
+
+    def __init__(self, job_id: int, time: float, midplane: int) -> None:
+        self.job_id = job_id
+        self.first_seen = time
+        self.last_seen = time
+        self.midplanes: set[int] = {midplane} if midplane >= 0 else set()
+
+
+class StreamJobView:
+    """Allocation inferred from the RAS stream's (time, location, job) triples.
+
+    A job is first seen at its earliest event, widens to every midplane it
+    reports from, and is presumed finished ``ttl_seconds`` after its last
+    event.  Midplane strings get dense indices in first-seen stream order —
+    deterministic for a fixed event order, chunked or not.
+    """
+
+    def __init__(
+        self,
+        *,
+        ttl_seconds: float = DEFAULT_JOB_TTL_SECONDS,
+        nodes_per_midplane: int = 512,
+    ) -> None:
+        self._ttl = ttl_seconds
+        self._nodes = nodes_per_midplane
+        self._mp_index: Dict[str, int] = {}
+        self._jobs: Dict[int, _SeenJob] = {}
+
+    def observe(self, time: float, location: str, job_id: int) -> None:
+        mp = self.midplane_index(location) if location else -1
+        if job_id < 0:
+            return
+        seen = self._jobs.get(job_id)
+        if seen is None:
+            self._jobs[job_id] = _SeenJob(job_id, time, mp)
+            return
+        seen.last_seen = max(seen.last_seen, time)
+        if mp >= 0:
+            seen.midplanes.add(mp)
+
+    def midplane_index(self, location: str) -> int:
+        if not location:
+            return -1
+        key = midplane_of(location)
+        idx = self._mp_index.get(key)
+        if idx is None:
+            idx = len(self._mp_index)
+            self._mp_index[key] = idx
+        return idx
+
+    def n_midplanes(self) -> int:
+        return max(len(self._mp_index), 1)
+
+    def _as_running(self, seen: _SeenJob) -> RunningJob:
+        width = self._nodes * max(len(seen.midplanes), 1)
+        return RunningJob(
+            job_id=seen.job_id,
+            start=int(seen.first_seen),
+            midplanes=tuple(sorted(seen.midplanes)),
+            width_nodes=width,
+        )
+
+    def running(self, now: float) -> List[RunningJob]:
+        out = [
+            self._as_running(seen)
+            for seen in self._jobs.values()
+            if seen.first_seen <= now <= seen.last_seen + self._ttl
+        ]
+        out.sort(key=lambda j: j.job_id)
+        return out
+
+    def occupant(self, midplane: int, now: float) -> Optional[RunningJob]:
+        best: Optional[_SeenJob] = None
+        for seen in self._jobs.values():
+            if midplane not in seen.midplanes:
+                continue
+            if not seen.first_seen <= now <= seen.last_seen + self._ttl:
+                continue
+            if best is None or seen.job_id < best.job_id:
+                best = seen
+        return self._as_running(best) if best is not None else None
+
+    def forget(self, job_id: int) -> None:
+        """Drop a job the engine knows was killed (frees occupancy)."""
+        self._jobs.pop(job_id, None)

@@ -1,0 +1,232 @@
+"""Settlement ledger: what the actions actually bought.
+
+Every :class:`~repro.actions.cost.Action` the engine schedules eventually
+settles against ground truth into a :class:`LedgerEntry` — ``hit`` when
+the predicted failure arrived and the action paid off, ``false_alarm``
+when the deadline passed with no failure, ``redundant`` when a sibling
+action already claimed the kill, ``late`` when the failure landed before
+the action completed.  The :class:`Ledger` accumulates entries and the
+aggregate node-second counters the benchmarks and obs gauges report.
+
+The ledger is a pure fold over the settlement sequence: entries are kept
+in settlement order and :meth:`Ledger.digest` hashes a canonical JSON
+encoding, so two engines that settle the same actions in the same order
+produce byte-identical digests — the bit-identity gate between
+``serve-replay`` and the daemon drain rests on this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.actions.cost import ACTION_KINDS, Action
+
+#: Terminal states an action can settle into.
+OUTCOMES = ("hit", "false_alarm", "redundant", "late")
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One settled action with its realized economics (node-seconds)."""
+
+    action: Action
+    outcome: str           # one of OUTCOMES
+    settled_at: int
+    saved: float = 0.0     # gross node-seconds the action saved
+    lost: float = 0.0      # node-seconds paid (cost, or wasted overhead)
+
+    def __post_init__(self) -> None:
+        if self.outcome not in OUTCOMES:
+            raise ValueError(f"unknown outcome {self.outcome!r}")
+
+    @property
+    def net(self) -> float:
+        return self.saved - self.lost
+
+    def to_dict(self) -> Dict[str, Any]:
+        a = self.action
+        return {
+            "kind": a.kind,
+            "decided_at": a.decided_at,
+            "completes_at": a.completes_at,
+            "deadline": a.deadline,
+            "job_id": a.job_id,
+            "midplane": a.midplane,
+            "width_nodes": a.width_nodes,
+            "cost": a.cost,
+            "expected_value": a.expected_value,
+            "confidence": a.confidence,
+            "source": a.source,
+            "outcome": self.outcome,
+            "settled_at": self.settled_at,
+            "saved": self.saved,
+            "lost": self.lost,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "LedgerEntry":
+        action = Action(
+            kind=str(doc["kind"]),
+            decided_at=int(doc["decided_at"]),
+            completes_at=int(doc["completes_at"]),
+            deadline=int(doc["deadline"]),
+            job_id=int(doc["job_id"]),
+            midplane=int(doc["midplane"]),
+            width_nodes=int(doc["width_nodes"]),
+            cost=float(doc["cost"]),
+            expected_value=float(doc["expected_value"]),
+            confidence=float(doc["confidence"]),
+            source=str(doc["source"]),
+        )
+        return cls(
+            action=action,
+            outcome=str(doc["outcome"]),
+            settled_at=int(doc["settled_at"]),
+            saved=float(doc["saved"]),
+            lost=float(doc["lost"]),
+        )
+
+
+@dataclass
+class Ledger:
+    """Accumulated settlements plus the aggregate counters derived from them.
+
+    ``seed`` records the engine's RNG seed so a persisted ledger can only
+    be resumed by an identically-seeded engine; ``reactive_loss`` tracks
+    what the same kills would have cost with no prediction at all (the
+    baseline every policy is judged against).
+    """
+
+    policy: str = ""
+    seed: int = 0
+    entries: List[LedgerEntry] = field(default_factory=list)
+    taken: Dict[str, int] = field(default_factory=dict)
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    saved_node_seconds: float = 0.0
+    cost_node_seconds: float = 0.0
+    false_alarm_cost: float = 0.0
+    reactive_loss: float = 0.0
+    jobs_hit: int = 0
+
+    def record_taken(self, action: Action) -> None:
+        self.taken[action.kind] = self.taken.get(action.kind, 0) + 1
+        self.cost_node_seconds += action.cost
+
+    def record_settlement(self, entry: LedgerEntry) -> None:
+        self.entries.append(entry)
+        self.outcomes[entry.outcome] = self.outcomes.get(entry.outcome, 0) + 1
+        self.saved_node_seconds += entry.saved
+        if entry.outcome == "false_alarm":
+            self.false_alarm_cost += entry.lost
+
+    def record_kill(self, loss: float) -> None:
+        self.reactive_loss += loss
+        self.jobs_hit += 1
+
+    @property
+    def settled(self) -> int:
+        return len(self.entries)
+
+    @property
+    def net_node_seconds(self) -> float:
+        """Realized savings minus everything paid for actions."""
+        return self.saved_node_seconds - self.cost_node_seconds
+
+    def to_dict(self, *, include_entries: bool = True) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "policy": self.policy,
+            "seed": self.seed,
+            "taken": {k: self.taken[k] for k in sorted(self.taken)},
+            "outcomes": {k: self.outcomes[k] for k in sorted(self.outcomes)},
+            "saved_node_seconds": self.saved_node_seconds,
+            "cost_node_seconds": self.cost_node_seconds,
+            "false_alarm_cost": self.false_alarm_cost,
+            "reactive_loss": self.reactive_loss,
+            "jobs_hit": self.jobs_hit,
+            "settled": self.settled,
+            "net_node_seconds": self.net_node_seconds,
+        }
+        if include_entries:
+            doc["entries"] = [e.to_dict() for e in self.entries]
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "Ledger":
+        ledger = cls(
+            policy=str(doc.get("policy", "")),
+            seed=int(doc.get("seed", 0)),
+            taken={str(k): int(v) for k, v in doc.get("taken", {}).items()},
+            outcomes={
+                str(k): int(v) for k, v in doc.get("outcomes", {}).items()
+            },
+            saved_node_seconds=float(doc.get("saved_node_seconds", 0.0)),
+            cost_node_seconds=float(doc.get("cost_node_seconds", 0.0)),
+            false_alarm_cost=float(doc.get("false_alarm_cost", 0.0)),
+            reactive_loss=float(doc.get("reactive_loss", 0.0)),
+            jobs_hit=int(doc.get("jobs_hit", 0)),
+        )
+        ledger.entries = [
+            LedgerEntry.from_dict(e) for e in doc.get("entries", [])
+        ]
+        return ledger
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON encoding (entries included)."""
+        blob = json.dumps(
+            self.to_dict(include_entries=True), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def merge(self, other: "Ledger") -> "Ledger":
+        """Fold another ledger's counters and entries into this one."""
+        for kind in ACTION_KINDS:
+            if kind in other.taken:
+                self.taken[kind] = self.taken.get(kind, 0) + other.taken[kind]
+        for outcome, n in other.outcomes.items():
+            self.outcomes[outcome] = self.outcomes.get(outcome, 0) + n
+        self.entries.extend(other.entries)
+        self.saved_node_seconds += other.saved_node_seconds
+        self.cost_node_seconds += other.cost_node_seconds
+        self.false_alarm_cost += other.false_alarm_cost
+        self.reactive_loss += other.reactive_loss
+        self.jobs_hit += other.jobs_hit
+        return self
+
+
+class LedgerTracker:
+    """Windowed view of recent settlements, PrecisionTracker-style.
+
+    :meth:`observe` diffs the ledger's cumulative counters against the
+    last observation and pushes one sample per newly settled action into
+    a bounded window.  ``window_net()`` and ``window_hit_rate()`` then
+    expose *recent* economics — a drift-triggered retrain shows up as the
+    windowed net climbing back above zero while the cumulative ledger
+    still remembers the bad stretch.
+    """
+
+    def __init__(self, window: int = 64) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self._settled_seen = 0
+        self._samples: Deque[tuple[float, bool]] = deque(maxlen=window)
+
+    def observe(self, ledger: Ledger) -> int:
+        """Absorb settlements since the last call; return how many."""
+        new = ledger.entries[self._settled_seen :]
+        for entry in new:
+            self._samples.append((entry.net, entry.outcome == "hit"))
+        self._settled_seen = len(ledger.entries)
+        return len(new)
+
+    def window_net(self) -> float:
+        return sum(net for net, _ in self._samples)
+
+    def window_hit_rate(self) -> Optional[float]:
+        if not self._samples:
+            return None
+        hits = sum(1 for _, hit in self._samples if hit)
+        return hits / len(self._samples)

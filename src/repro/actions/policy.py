@@ -1,0 +1,231 @@
+"""Pluggable prediction-to-action policies.
+
+A :class:`Policy` turns one resolved warning plus the engine's view of the
+world (:class:`PolicyContext`) into zero or more priced
+:class:`~repro.actions.cost.Action` records.  The single-minded policies
+(:class:`CheckpointPolicy`, :class:`MigrationPolicy`,
+:class:`QuarantinePolicy`) each apply their one remedy unconditionally —
+they exist as baselines and building blocks.  :class:`CostAwarePolicy`
+prices the whole repertoire for every warning and takes the single best
+action only when its expected value is positive; it never knowingly loses
+node-seconds, which is the property the seeded tests pin down.
+
+Policies are pure functions of the context: any randomness must come from
+``ctx.rng`` (seeded by the engine), never ambient state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Protocol
+
+import numpy as np
+
+from repro.actions.cost import Action, CostModel
+from repro.actions.jobview import JobView, RunningJob
+from repro.predictors.base import FailureWarning
+
+#: CLI-facing policy names, in help order.
+POLICY_NAMES = ("cost-aware", "checkpoint", "migrate", "quarantine", "never")
+
+
+@dataclass
+class PolicyContext:
+    """Everything a policy may consult when deciding on one warning.
+
+    ``hot_midplane`` is the engine's current suspect (-1 when no fatal
+    history localizes the risk) and ``hot_share`` the fraction of windowed
+    fatals that landed there; ``restore_points`` maps job ids to the
+    completion time of their latest scheduled checkpoint; ``quarantined``
+    holds midplanes with a cordon still open; ``dead_jobs`` holds jobs the
+    engine has already settled a kill for — their work is gone, so no
+    further action on them can pay off.
+    """
+
+    warning: FailureWarning
+    now: int
+    view: JobView
+    cost: CostModel
+    rng: np.random.Generator
+    hot_midplane: int = -1
+    hot_share: float = 0.0
+    restore_points: Dict[int, int] = field(default_factory=dict)
+    quarantined: FrozenSet[int] = frozenset()
+    dead_jobs: FrozenSet[int] = frozenset()
+
+    def restore_point(self, job: RunningJob) -> float:
+        """Rollback point for a job: its latest checkpoint, else its start."""
+        mark = self.restore_points.get(job.job_id)
+        return float(mark) if mark is not None else float(job.start)
+
+
+class Policy(Protocol):
+    """Maps a warning (in context) to the actions to schedule."""
+
+    name: str
+
+    def decide(self, ctx: PolicyContext) -> List[Action]:
+        ...
+
+
+class NeverActPolicy:
+    """Ignore every warning — the reactive baseline the others must beat."""
+
+    name = "never"
+
+    def decide(self, ctx: PolicyContext) -> List[Action]:
+        return []
+
+
+class CheckpointPolicy:
+    """Checkpoint every running job on every warning.
+
+    Deliberately naive: it is the always-checkpoint baseline the
+    cost-aware composite must beat, and the building block it prices.
+    Each checkpoint's expected value is attributed by the job's share of
+    the occupied machine — the warning predicts one failure somewhere,
+    not one per job.
+    """
+
+    name = "checkpoint"
+
+    def decide(self, ctx: PolicyContext) -> List[Action]:
+        running = ctx.view.running(ctx.now)
+        total_nodes = sum(j.width_nodes for j in running)
+        out: List[Action] = []
+        for job in running:
+            out.append(
+                ctx.cost.price_checkpoint(
+                    ctx.warning,
+                    job_id=job.job_id,
+                    width_nodes=job.width_nodes,
+                    restore_point=ctx.restore_point(job),
+                    attribution=job.width_nodes / total_nodes,
+                )
+            )
+        return out
+
+
+class MigrationPolicy:
+    """Migrate the hot midplane's occupant away on every warning.
+
+    Requires genuinely localized risk: moving a job only pays off when
+    the origin midplane is likelier to take the fatal than the
+    destination, so the locality term is the *differential* fatal
+    concentration — hot share minus the per-midplane share of the rest —
+    and the policy stands down when the history is uniform.
+    """
+
+    name = "migrate"
+
+    def decide(self, ctx: PolicyContext) -> List[Action]:
+        if ctx.hot_midplane < 0:
+            return []
+        job = ctx.view.occupant(ctx.hot_midplane, ctx.now)
+        if job is None:
+            return []
+        n = ctx.view.n_midplanes()
+        if n <= 1:
+            return []
+        locality = ctx.hot_share - (1.0 - ctx.hot_share) / (n - 1)
+        if locality <= 0.0:
+            return []
+        return [
+            ctx.cost.price_migration(
+                ctx.warning,
+                job_id=job.job_id,
+                midplane=ctx.hot_midplane,
+                width_nodes=job.width_nodes,
+                job_start=job.start,
+                locality=locality,
+            )
+        ]
+
+
+class QuarantinePolicy:
+    """Cordon the hot midplane for the warning horizon (one cordon at a time)."""
+
+    name = "quarantine"
+
+    def decide(self, ctx: PolicyContext) -> List[Action]:
+        if ctx.hot_midplane < 0 or ctx.hot_midplane in ctx.quarantined:
+            return []
+        return [
+            ctx.cost.price_quarantine(
+                ctx.warning,
+                midplane=ctx.hot_midplane,
+                locality=ctx.hot_share,
+            )
+        ]
+
+
+class CostAwarePolicy:
+    """Price the whole repertoire; keep the best positive-EV action per scope.
+
+    Candidates per warning: a checkpoint for each running job, a migration
+    of the hot midplane's occupant, and a cordon of the hot midplane.  The
+    composite then selects per *scope* — for each threatened job the single
+    cheapest-effective remedy (checkpoint vs migration), plus a cordon when
+    it is independently profitable — because one warning can put several
+    jobs at risk and protecting only the best one forfeits the rest.
+    Anything with a non-positive expected value is discarded — the policy
+    never schedules an action it expects to lose node-seconds on — as is
+    any action scoped to a job the engine already settled a kill for
+    (``ctx.dead_jobs``): its work is already lost, so protecting it buys
+    nothing.  Ties break deterministically by (expected value, lower
+    cost, kind name, job id) so replays are reproducible.
+    """
+
+    name = "cost-aware"
+
+    def __init__(self) -> None:
+        self._checkpoint = CheckpointPolicy()
+        self._migrate = MigrationPolicy()
+        self._quarantine = QuarantinePolicy()
+
+    def candidates(self, ctx: PolicyContext) -> List[Action]:
+        """All priced candidates, profitable or not (for introspection)."""
+        out: List[Action] = []
+        out.extend(self._checkpoint.decide(ctx))
+        out.extend(self._migrate.decide(ctx))
+        out.extend(self._quarantine.decide(ctx))
+        return out
+
+    @staticmethod
+    def _rank(a: Action) -> tuple:
+        return (a.expected_value, -a.cost, a.kind, -a.job_id)
+
+    def decide(self, ctx: PolicyContext) -> List[Action]:
+        best: Dict[tuple, Action] = {}
+        for a in self.candidates(ctx):
+            if a.expected_value <= 0.0:
+                continue
+            if a.kind != "quarantine" and a.job_id in ctx.dead_jobs:
+                continue
+            key = (
+                ("mp", a.midplane) if a.kind == "quarantine"
+                else ("job", a.job_id)
+            )
+            cur = best.get(key)
+            if cur is None or self._rank(a) > self._rank(cur):
+                best[key] = a
+        return sorted(
+            best.values(), key=lambda a: (a.kind, a.job_id, a.midplane)
+        )
+
+
+def build_policy(name: str) -> Policy:
+    """Instantiate a policy by its CLI name."""
+    table: Dict[str, Policy] = {
+        "cost-aware": CostAwarePolicy(),
+        "checkpoint": CheckpointPolicy(),
+        "migrate": MigrationPolicy(),
+        "quarantine": QuarantinePolicy(),
+        "never": NeverActPolicy(),
+    }
+    try:
+        return table[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; expected one of {', '.join(POLICY_NAMES)}"
+        ) from None

@@ -98,6 +98,33 @@ def _add_store_input_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_action_args(p: argparse.ArgumentParser) -> None:
+    """Prediction-to-action flags shared by serve-replay and serve-daemon."""
+    p.add_argument(
+        "--policy", default=None,
+        choices=["cost-aware", "checkpoint", "migrate", "quarantine", "never"],
+        help="act on warnings through repro.actions and settle a ledger "
+             "(default: off; see docs/actions.md for the policy catalog)",
+    )
+    p.add_argument(
+        "--checkpoint-cost", type=float, default=120.0, metavar="SECONDS",
+        help="seconds one proactive checkpoint stalls a job (default 120)",
+    )
+    p.add_argument(
+        "--migration-cost", type=float, default=180.0, metavar="SECONDS",
+        help="seconds migrating a job off a midplane costs (default 180)",
+    )
+    p.add_argument(
+        "--restart-cost", type=float, default=300.0, metavar="SECONDS",
+        help="seconds a failed job pays to restart (default 300)",
+    )
+    p.add_argument(
+        "--action-seed", type=int, default=0, metavar="N",
+        help="seed for stochastic action policies; stamped into the ledger "
+             "(default 0)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="bgl-predict",
@@ -245,6 +272,7 @@ def _build_parser() -> argparse.ArgumentParser:
              "lifecycle mode, and the streaming-replay chunk when the input "
              "is a columnar store (default 2048)",
     )
+    _add_action_args(v)
 
     d = sub.add_parser(
         "serve-daemon",
@@ -333,6 +361,7 @@ def _build_parser() -> argparse.ArgumentParser:
              "(append-only; resumes across restarts; replayable with "
              "'serve-replay DIR')",
     )
+    _add_action_args(d)
 
     em = sub.add_parser(
         "emit",
@@ -760,6 +789,50 @@ def _fail(message: str) -> int:
     return 2
 
 
+def _build_action_engine(args, *, ledger=None, labels=None, view=None):
+    """One ActionEngine from the shared --policy/--*-cost flags.
+
+    Raises ValueError on bad prices / an unknown policy name; callers
+    convert that to the one-line CLI error.
+    """
+    from repro.actions import ActionEngine, CostModel, build_policy
+
+    cost = CostModel(
+        checkpoint_cost=args.checkpoint_cost,
+        migration_cost=args.migration_cost,
+        restart_cost=args.restart_cost,
+    )
+    return ActionEngine(
+        build_policy(args.policy),
+        cost,
+        view=view,
+        seed=args.action_seed,
+        ledger=ledger,
+        labels=labels,
+    )
+
+
+def _print_ledger(ledger, indent: str = "") -> None:
+    """Operator-facing summary of one settled action ledger."""
+    taken = " ".join(
+        f"{kind}={ledger.taken.get(kind, 0)}"
+        for kind in ("checkpoint", "migrate", "quarantine")
+    )
+    outcomes = " ".join(
+        f"{o}={ledger.outcomes.get(o, 0)}"
+        for o in ("hit", "false_alarm", "redundant", "late")
+    )
+    print(
+        f"{indent}actions ({ledger.policy}, seed {ledger.seed}): {taken}\n"
+        f"{indent}  settled: {outcomes}\n"
+        f"{indent}  node-seconds: saved={ledger.saved_node_seconds:,.0f} "
+        f"cost={ledger.cost_node_seconds:,.0f} "
+        f"net={ledger.net_node_seconds:,.0f}\n"
+        f"{indent}  reactive loss (no action): {ledger.reactive_loss:,.0f} "
+        f"over {ledger.jobs_hit} job kill(s)"
+    )
+
+
 def cmd_serve_replay(args: argparse.Namespace) -> int:
     from repro.lifecycle import ModelRegistry, RegistryError
     from repro.serve import DetectorPool
@@ -795,9 +868,17 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
             "(is the file empty or in an unrecognized dialect?)"
         )
     pool = DetectorPool(meta, shards=args.shards, key=args.key)
+    engine = None
+    if args.policy is not None:
+        try:
+            engine = _build_action_engine(args)
+        except ValueError as exc:
+            return _fail(str(exc))
     if lifecycle_mode:
         assert model_registry is not None and snapshot is not None
-        return _serve_lifecycle(args, pool, model_registry, snapshot, result.events)
+        return _serve_lifecycle(
+            args, pool, model_registry, snapshot, result.events, engine
+        )
     # Columnar input replays in bounded-memory chunks (serial; --jobs is a
     # whole-store optimization and is ignored on the streaming path).
     chunk = args.chunk if raw.backend_kind == "columnar" else None
@@ -821,6 +902,14 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
         f"(precision {combined.precision_so_far:.2f}, "
         f"recall {combined.recall_so_far:.2f})"
     )
+    if engine is not None:
+        # One pass over the replayed store with every shard's warnings:
+        # the engine re-sorts decisions internally, so shard interleaving
+        # does not matter.
+        engine.observe_store(
+            result.events, [w for sh in report.shards for w in sh.warnings]
+        )
+        _print_ledger(engine.finalize())
     registry = get_registry()
     if registry.enabled:
         from repro.obs import summarize_histogram
@@ -835,7 +924,9 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
     return 0
 
 
-def _serve_lifecycle(args, pool, model_registry, snapshot, events) -> int:
+def _serve_lifecycle(
+    args, pool, model_registry, snapshot, events, action_engine=None
+) -> int:
     """serve-replay's managed mode: drift-monitored, hot-swap retraining."""
     from repro.lifecycle import (
         DriftMonitor,
@@ -871,7 +962,9 @@ def _serve_lifecycle(args, pool, model_registry, snapshot, events) -> int:
         pool, monitor, policy, retrainer,
         serving_snapshot=snapshot.snapshot_id,
     )
-    report = manager.run(events, chunk_events=args.chunk)
+    report = manager.run(
+        events, chunk_events=args.chunk, action_sink=action_engine
+    )
     stats = report.stats
     assert stats is not None
     print(
@@ -891,6 +984,8 @@ def _serve_lifecycle(args, pool, model_registry, snapshot, events) -> int:
         f"(precision {stats.precision_so_far:.2f}, "
         f"recall {stats.recall_so_far:.2f})"
     )
+    if action_engine is not None:
+        _print_ledger(action_engine.finalize())
     print(f"serving snapshot: {manager.serving_snapshot[:12]}")
     _print_metrics_section()
     return 0
@@ -940,6 +1035,40 @@ def _daemon_manager_factory(args, model_registry, snapshot):
     return factory
 
 
+def _daemon_action_factory(args, ledger_docs):
+    """Per-stream action-engine factory the daemon hands to new channels.
+
+    Built here — not in :mod:`repro.serve` — for the same layering reason
+    as the lifecycle factory: serve talks to the engine only through the
+    duck-typed ``ActionSink`` protocol.  A stream whose aggregate ledger
+    counters were persisted by a previous drain resumes them in place, so
+    the lifetime economics survive a kill/restart cycle.
+    """
+    from repro.actions import CostModel, Ledger, build_policy
+
+    cost = CostModel(
+        checkpoint_cost=args.checkpoint_cost,
+        migration_cost=args.migration_cost,
+        restart_cost=args.restart_cost,
+    )
+    build_policy(args.policy)  # validate the name eagerly, before binding
+
+    def factory(stream_id):
+        from repro.actions import ActionEngine
+
+        restored = ledger_docs.get(stream_id)
+        ledger = Ledger.from_dict(restored) if restored else None
+        return ActionEngine(
+            build_policy(args.policy),
+            cost,
+            seed=args.action_seed,
+            ledger=ledger,
+            labels={"stream": stream_id},
+        )
+
+    return factory
+
+
 def cmd_serve_daemon(args: argparse.Namespace) -> int:
     import asyncio
     import json
@@ -978,14 +1107,18 @@ def cmd_serve_daemon(args: argparse.Namespace) -> int:
         return _fail(str(exc))
 
     baseline: Optional[SessionStats] = None
+    ledger_docs: dict = {}
     if args.state:
         try:
             with open(args.state, encoding="utf-8") as fh:
-                baseline = state_from_dict(json.load(fh))
+                state_doc = json.load(fh)
+            baseline = state_from_dict(state_doc)
+            ledger_docs = dict(state_doc.get("ledgers", {}))
             print(
                 f"restored state from {args.state}: "
                 f"{baseline.events} events, {baseline.warnings} warnings, "
                 f"{baseline.hits} hits already resolved"
+                + (f", {len(ledger_docs)} stream ledger(s)" if ledger_docs else "")
             )
         except FileNotFoundError:
             pass
@@ -997,6 +1130,12 @@ def cmd_serve_daemon(args: argparse.Namespace) -> int:
     if lifecycle_mode:
         manager_factory = _daemon_manager_factory(args, model_registry, snapshot)
         reference_events = args.drift_window
+    action_factory = None
+    if args.policy is not None:
+        try:
+            action_factory = _daemon_action_factory(args, ledger_docs)
+        except ValueError as exc:
+            return _fail(str(exc))
 
     try:
         config = DaemonConfig(
@@ -1016,6 +1155,7 @@ def cmd_serve_daemon(args: argparse.Namespace) -> int:
         config,
         manager_factory=manager_factory,
         reference_events=reference_events,
+        action_factory=action_factory,
         baseline=baseline,
         registry=get_registry(),
     )
@@ -1048,6 +1188,8 @@ def cmd_serve_daemon(args: argparse.Namespace) -> int:
             f"busy_rejects={sr.dropped_busy}, "
             f"order_rejects={sr.rejected_order})"
         )
+        if sr.ledger is not None:
+            _print_ledger(sr.ledger, indent="  ")
     total = report.total()
     print(
         f"drained in {report.seconds:.3f}s: {report.combined.events} events "
@@ -1056,7 +1198,7 @@ def cmd_serve_daemon(args: argparse.Namespace) -> int:
         f"recall {total.recall_so_far:.2f})"
     )
     if args.state:
-        doc = state_to_dict(report)
+        doc = state_to_dict(report, carried_ledgers=ledger_docs)
         tmp = f"{args.state}.tmp"
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)

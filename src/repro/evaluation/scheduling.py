@@ -1,164 +1,23 @@
-"""Failure-aware job rescue simulation.
+"""Compatibility shim — rescue simulation moved to :mod:`repro.actions.rescue`.
 
-The paper's introduction cites fault-aware scheduling (its [25], Oliner et
-al.) and adaptive fault tolerance (its [20], Li & Lan) as the consumers of
-failure prediction.  :mod:`repro.evaluation.costmodel` prices prediction in
-the abstract; this module replays the concrete machine: the generated
-:class:`~repro.bgl.jobs.JobTrace` against the failures and warnings, at
-node-second granularity.
-
-Accounting (standard in the proactive-FT literature):
-
-- A fatal event localized to a midplane kills the job occupying it.
-- **Reactive** operation (no prediction): the job loses all work since its
-  start — ``(t_fail - start) * nodes``.
-- **Prediction-driven** operation: every warning triggers a checkpoint of
-  all running jobs (completed ``checkpoint_cost`` seconds after issue); a
-  killed job restarts from its most recent completed checkpoint, and every
-  checkpoint costs its job ``checkpoint_cost * nodes`` of overhead.
-
-The interesting output is the *rescue ratio*: how much of the reactively
-lost work prediction recovers, net of checkpoint overhead — the end-to-end
-number the paper's motivation appeals to.
+The failure-aware job rescue replay is now part of the actions layer (the
+prediction-to-action engine), where all cost arithmetic lives.  This
+module re-exports the public names so historical imports keep working;
+new code should import from :mod:`repro.actions.rescue` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from repro.actions.rescue import (
+    NODES_PER_MIDPLANE,
+    RescueOutcome,
+    dedupe_by_matched_fatal,
+    simulate_rescue,
+)
 
-import numpy as np
-
-from repro.bgl.jobs import IDLE, JobTrace
-from repro.bgl.locations import LocationKind
-from repro.evaluation.spatial import _ancestor_at
-from repro.predictors.base import FailureWarning
-from repro.ras.store import EventStore
-from repro.util.validation import check_positive
-
-#: Compute nodes per midplane on the systems modeled here.
-NODES_PER_MIDPLANE = 512
-
-
-@dataclass(frozen=True)
-class RescueOutcome:
-    """Node-second accounting of one replay."""
-
-    #: Work lost with no prediction (restart from job start).
-    reactive_loss: float
-    #: Work lost with prediction-driven checkpoints (excl. overhead).
-    proactive_loss: float
-    #: Checkpoint overhead paid (all warnings x running jobs).
-    checkpoint_overhead: float
-    #: Jobs killed by a localized failure.
-    jobs_hit: int
-    #: Killed jobs that had a completed proactive checkpoint to restart from.
-    jobs_with_checkpoint: int
-
-    @property
-    def proactive_total(self) -> float:
-        return self.proactive_loss + self.checkpoint_overhead
-
-    @property
-    def rescued(self) -> float:
-        """Net node-seconds saved by prediction (can be negative)."""
-        return self.reactive_loss - self.proactive_total
-
-    @property
-    def rescue_ratio(self) -> float:
-        """Fraction of reactive loss recovered (0 when nothing was lost)."""
-        if self.reactive_loss == 0:
-            return 0.0
-        return self.rescued / self.reactive_loss
-
-
-def _fatal_midplane_hits(
-    events: EventStore, trace: JobTrace
-) -> list[tuple[int, int, int]]:
-    """(time, midplane_index, job_id) per localized job-killing failure."""
-    fatal = events.fatal_events()
-    midplane_index = {
-        loc: i for i, loc in enumerate(trace.machine.midplane_locations)
-    }
-    loc_mid = [
-        _ancestor_at(loc, LocationKind.MIDPLANE)
-        for loc in fatal.location_table
-    ]
-    hits: list[tuple[int, int, int]] = []
-    for i in range(len(fatal)):
-        mloc = loc_mid[int(fatal.location_ids[i])]
-        if mloc is None:
-            continue  # system-wide records don't kill a specific job
-        m = midplane_index.get(mloc)
-        if m is None:
-            continue
-        t = int(fatal.times[i])
-        jid = trace.job_at(m, t)
-        if jid != IDLE:
-            hits.append((t, m, jid))
-    return hits
-
-
-def simulate_rescue(
-    trace: JobTrace,
-    events: EventStore,
-    warnings: Sequence[FailureWarning],
-    checkpoint_cost: float = 120.0,
-) -> RescueOutcome:
-    """Replay failures and warnings against the job schedule.
-
-    Warnings are machine-wide (the paper's predictor does not localize);
-    each triggers one checkpoint per job running when the checkpoint
-    completes.  A job hit more than once only counts its first kill (after
-    that it would rerun, which the trace does not model).
-    """
-    check_positive(checkpoint_cost, "checkpoint_cost")
-    hits = _fatal_midplane_hits(events, trace)
-    ckpt_done = np.array(
-        sorted(int(w.issued_at + checkpoint_cost) for w in warnings),
-        dtype=np.int64,
-    )
-
-    reactive = 0.0
-    proactive = 0.0
-    jobs_hit = 0
-    jobs_with_ckpt = 0
-    killed: set[int] = set()
-    for t, _m, jid in hits:
-        if jid in killed:
-            continue
-        killed.add(jid)
-        job = trace.job(jid)
-        width = len(job.midplane_indices) * NODES_PER_MIDPLANE
-        jobs_hit += 1
-        reactive += (t - job.start) * width
-        # Most recent completed checkpoint within the job's lifetime.
-        k = int(np.searchsorted(ckpt_done, t, side="right")) - 1
-        restart_from = job.start
-        while k >= 0:
-            if ckpt_done[k] >= job.start:
-                restart_from = int(ckpt_done[k])
-                jobs_with_ckpt += 1
-            break
-        proactive += (t - restart_from) * width
-
-    # Overhead: every completed checkpoint costs each then-running job
-    # checkpoint_cost * its width.
-    overhead = 0.0
-    for done in ckpt_done:
-        for m in range(len(trace.machine.midplane_locations)):
-            jid = trace.job_at(m, int(done))
-            if jid != IDLE:
-                # Count once per job: attribute via its first midplane.
-                job = trace.job(jid)
-                if job.midplane_indices[0] == m:
-                    overhead += checkpoint_cost * len(
-                        job.midplane_indices
-                    ) * NODES_PER_MIDPLANE
-    return RescueOutcome(
-        reactive_loss=float(reactive),
-        proactive_loss=float(proactive),
-        checkpoint_overhead=float(overhead),
-        jobs_hit=jobs_hit,
-        jobs_with_checkpoint=jobs_with_ckpt,
-    )
+__all__ = [
+    "NODES_PER_MIDPLANE",
+    "RescueOutcome",
+    "dedupe_by_matched_fatal",
+    "simulate_rescue",
+]

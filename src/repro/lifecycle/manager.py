@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Optional
+from typing import Any, Optional
 
 from repro.lifecycle.drift import DriftMonitor, DriftSignal
 from repro.lifecycle.retrain import RetrainPolicy, Retrainer
@@ -151,12 +151,17 @@ class LifecycleManager:
         *,
         chunk_events: int = 4096,
         finalize: bool = True,
+        action_sink: Optional[Any] = None,
     ) -> LifecycleReport:
         """Drive a whole classified store through the managed loop.
 
         The store is cut into ``chunk_events``-sized chunks (the swap
         barriers); ``finalize`` resolves warnings still pending at end of
-        stream.
+        stream.  ``action_sink`` is a duck-typed observer (in practice a
+        ``repro.actions.ActionEngine`` — the actions layer sits above
+        lifecycle, so only the CLI names the concrete type) that receives
+        every chunk and its warnings; its settlement ledger then shows
+        drift-triggered retrains as windowed-net recoveries.
         """
         check_positive(chunk_events, "chunk_events")
         report = LifecycleReport()
@@ -164,6 +169,8 @@ class LifecycleManager:
         for start in range(0, len(store), int(chunk_events)):
             chunk = store.select(slice(start, start + int(chunk_events)))
             warnings = self.feed(chunk)
+            if action_sink is not None:
+                action_sink.observe_store(chunk, list(warnings))
             report.events += len(chunk)
             report.warnings += len(warnings)
             if self.policy.retrains > swaps_before:

@@ -49,7 +49,12 @@ from repro.serve.protocol import (
     ok_response,
     warning_to_dict,
 )
-from repro.serve.streams import ManagerFactory, StreamChannel, StreamRouter
+from repro.serve.streams import (
+    ActionFactory,
+    ManagerFactory,
+    StreamChannel,
+    StreamRouter,
+)
 from repro.util.validation import check_positive
 
 
@@ -90,6 +95,10 @@ class StreamReport:
     rejected_order: int
     warnings: int
     stats: SessionStats
+    #: The stream's action ledger (a ``repro.actions.Ledger``, duck-typed:
+    #: serve only carries it into reports and the state doc), or ``None``
+    #: when the daemon runs without an action policy.
+    ledger: Optional[Any] = None
 
 
 @dataclass(frozen=True)
@@ -151,15 +160,35 @@ def stats_from_dict(doc: dict[str, Any]) -> SessionStats:
     )
 
 
-def state_to_dict(report: DrainReport) -> dict[str, Any]:
-    """JSON-ready restart state: per-stream and total resolved counters."""
-    return {
+def state_to_dict(
+    report: DrainReport,
+    carried_ledgers: Optional[dict[str, Any]] = None,
+) -> dict[str, Any]:
+    """JSON-ready restart state: per-stream and total resolved counters.
+
+    When streams carry action ledgers, their aggregate counters persist
+    under ``"ledgers"`` (entries elided — a restarted engine resumes the
+    running totals, not the per-action history).  ``carried_ledgers`` are
+    ledger documents restored from the previous life; a stream that sent
+    no traffic this life keeps its restored aggregates rather than losing
+    them at the rewrite.
+    """
+    doc: dict[str, Any] = {
         "version": PROTOCOL_VERSION,
         "total": stats_to_dict(report.total()),
         "streams": {
             r.stream_id: stats_to_dict(r.stats) for r in report.streams
         },
     }
+    ledgers = dict(carried_ledgers or {})
+    ledgers.update(
+        (r.stream_id, r.ledger.to_dict(include_entries=False))
+        for r in report.streams
+        if r.ledger is not None
+    )
+    if ledgers:
+        doc["ledgers"] = ledgers
+    return doc
 
 
 def state_from_dict(doc: dict[str, Any]) -> SessionStats:
@@ -183,6 +212,7 @@ class IngestDaemon:
         *,
         manager_factory: Optional[ManagerFactory] = None,
         reference_events: int = 0,
+        action_factory: Optional[ActionFactory] = None,
         baseline: Optional[SessionStats] = None,
         registry: Any = None,
     ) -> None:
@@ -197,6 +227,7 @@ class IngestDaemon:
             max_streams=config.max_streams,
             manager_factory=manager_factory,
             reference_events=reference_events,
+            action_factory=action_factory,
         )
         self.baseline = baseline
         self.obs = registry if registry is not None else get_registry()
@@ -296,6 +327,8 @@ class IngestDaemon:
                     await loop.run_in_executor(
                         None, registry.tag, serving, f"serving-{stream_id}"
                     )
+            sink = channel.action_sink
+            ledger = sink.finalize() if sink is not None else None
             s = channel.stats
             reports.append(
                 StreamReport(
@@ -306,6 +339,7 @@ class IngestDaemon:
                     rejected_order=s.rejected_order,
                     warnings=s.warnings,
                     stats=stats,
+                    ledger=ledger,
                 )
             )
         if self._store_writer is not None:

@@ -49,8 +49,28 @@ class ChunkConsumer(Protocol):
     def feed(self, chunk: EventStore) -> list[FailureWarning]: ...
 
 
+class ActionSink(Protocol):
+    """What an action engine looks like from the daemon's side.
+
+    Like lifecycle, the actions layer sits above serve in the package DAG,
+    so serve only ever sees this protocol; the concrete
+    ``repro.actions.ActionEngine`` is injected by the CLI.  ``finalize``
+    returns the engine's ledger — typed ``object`` here because serve
+    never inspects it, only carries it into reports and state docs.
+    """
+
+    def observe_store(
+        self, store: EventStore, warnings: list[FailureWarning]
+    ) -> None: ...
+
+    def finalize(self) -> object: ...
+
+
 #: Builds a lifecycle manager once the drift-reference store is assembled.
 ManagerFactory = Callable[[DetectorPool, EventStore], ChunkConsumer]
+
+#: Builds one action sink per stream (keyed by stream id).
+ActionFactory = Callable[[str], ActionSink]
 
 #: Queue sentinel that tells the worker to exit after flushing.
 _CLOSE = object()
@@ -93,6 +113,7 @@ class StreamChannel:
         warning_ring: int = 256,
         manager_factory: Optional[ManagerFactory] = None,
         reference_events: int = 0,
+        action_factory: Optional[ActionFactory] = None,
     ) -> None:
         check_positive(queue_bound, "queue_bound")
         check_positive(chunk_events, "chunk_events")
@@ -107,6 +128,9 @@ class StreamChannel:
         self._classifier = meta.statistical.classifier
         self._manager_factory = manager_factory
         self._manager: Optional[ChunkConsumer] = None
+        self.action_sink: Optional[ActionSink] = (
+            action_factory(stream_id) if action_factory is not None else None
+        )
         self._reference_events = int(reference_events)
         self._reference: list[RasEvent] = []  # pre-manager warm-up buffer
         self._chunk: list[RasEvent] = []      # lifecycle-mode partial chunk
@@ -225,6 +249,8 @@ class StreamChannel:
             return
         store = EventStore.from_events_in_memory(self._classified(events))
         raised = self.pool.process_store(store)
+        if self.action_sink is not None:
+            self.action_sink.observe_store(store, list(raised))
         self.recent_warnings.extend(raised)
         self.stats.processed += len(events)
         self.stats.warnings += len(raised)
@@ -245,6 +271,8 @@ class StreamChannel:
                 continue
             store = EventStore.from_events_in_memory(self._classified(chunk))
             raised = self._manager.feed(store)
+            if self.action_sink is not None:
+                self.action_sink.observe_store(store, list(raised))
             self.recent_warnings.extend(raised)
             self.stats.processed += len(chunk)
             self.stats.warnings += len(raised)
@@ -310,6 +338,7 @@ class StreamRouter:
     max_streams: int = 64
     manager_factory: Optional[ManagerFactory] = None
     reference_events: int = 0
+    action_factory: Optional[ActionFactory] = None
     channels: dict[str, StreamChannel] = field(default_factory=dict)
 
     def channel(self, stream_id: str) -> StreamChannel:
@@ -332,6 +361,7 @@ class StreamRouter:
             warning_ring=self.warning_ring,
             manager_factory=self.manager_factory,
             reference_events=self.reference_events,
+            action_factory=self.action_factory,
         )
         self.channels[stream_id] = channel
         channel.start()

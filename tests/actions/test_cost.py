@@ -1,0 +1,159 @@
+"""Tests for repro.actions.cost (price book + settlement arithmetic)."""
+
+import math
+
+import pytest
+
+from repro.actions.cost import NODES_PER_MIDPLANE, Action, CostModel
+from repro.predictors.base import FailureWarning
+
+
+def _warning(issued=1000, start=1060, end=4600, conf=0.8):
+    return FailureWarning(issued_at=issued, horizon_start=start,
+                          horizon_end=end, confidence=conf,
+                          source="meta", detail="test")
+
+
+def test_action_validation():
+    with pytest.raises(ValueError):
+        Action(kind="reboot", decided_at=0, completes_at=0, deadline=10)
+    with pytest.raises(ValueError):
+        Action(kind="checkpoint", decided_at=10, completes_at=5, deadline=10)
+
+
+def test_cost_model_validation():
+    with pytest.raises(ValueError):
+        CostModel(checkpoint_cost=0)
+    with pytest.raises(ValueError):
+        CostModel(quarantine_drain=1.5)
+    with pytest.raises(ValueError):
+        CostModel(quarantine_occupancy=-0.1)
+
+
+def test_coverage_geometry():
+    cm = CostModel(hazard_decay_fraction=0.03, front_load_weight=0.9)
+    w = _warning(start=1000, end=2000)
+    assert cm.coverage(900, w) == 1.0       # ready before the horizon
+    assert cm.coverage(1000, w) == 1.0      # ready exactly at horizon start
+    # Halfway through: 0.9 * exp(-500/30) + 0.1 * 0.5 — the front-loaded
+    # survival term has all but vanished, the uniform tail remains.
+    halfway = 0.9 * math.exp(-500.0 / 30.0) + 0.1 * 0.5
+    assert cm.coverage(1500, w) == pytest.approx(halfway)
+    assert cm.coverage(2001, w) == 0.0      # too late
+    zero = _warning(start=1000, end=1000)
+    assert cm.coverage(1000, zero) == 1.0   # ready for the whole instant
+    assert cm.coverage(1001, zero) == 0.0   # degenerate horizon, too late
+
+
+def test_coverage_is_monotone_in_completion_time():
+    cm = CostModel()
+    w = _warning(start=1000, end=2000)
+    values = [cm.coverage(t, w) for t in range(900, 2100, 50)]
+    assert values == sorted(values, reverse=True)
+    assert all(0.0 <= v <= 1.0 for v in values)
+
+
+def test_expected_kill_time_front_loads_and_caps():
+    cm = CostModel(hazard_decay_fraction=0.03)
+    w = _warning(start=1000, end=2000)    # hazard scale = 30 s
+    # Ready early: the kill is expected one hazard scale into the horizon.
+    assert cm.expected_kill_time(500, w) == pytest.approx(1030.0)
+    # Ready mid-horizon: one hazard scale past the completion time.
+    assert cm.expected_kill_time(1500, w) == pytest.approx(1530.0)
+    # Never past the horizon end.
+    assert cm.expected_kill_time(1990, w) == pytest.approx(2000.0)
+
+
+def test_capped_work():
+    cm = CostModel(work_cap_seconds=100.0)
+    assert cm.capped_work(-5.0) == 0.0
+    assert cm.capped_work(42.0) == 42.0
+    assert cm.capped_work(1e9) == 100.0
+
+
+def test_price_checkpoint_hand_computed():
+    cm = CostModel(checkpoint_cost=120.0)
+    w = _warning(issued=1000, start=1000, end=2000, conf=0.5)
+    a = cm.price_checkpoint(w, job_id=7, width_nodes=512, restore_point=100.0)
+    assert a.kind == "checkpoint"
+    assert a.completes_at == 1120
+    assert a.deadline == 2000
+    assert a.cost == 120.0 * 512
+    # EV = conf * coverage(1120) * attribution(1.0) * (1120-100) * 512 - cost
+    cov = cm.coverage(1120, w)
+    assert a.expected_value == pytest.approx(0.5 * cov * 1020 * 512 - a.cost)
+
+
+def test_price_checkpoint_attribution_scales_the_upside():
+    cm = CostModel(checkpoint_cost=120.0)
+    w = _warning(issued=1000, start=1000, end=2000, conf=0.5)
+    whole = cm.price_checkpoint(
+        w, job_id=7, width_nodes=512, restore_point=100.0
+    )
+    half = cm.price_checkpoint(
+        w, job_id=7, width_nodes=512, restore_point=100.0, attribution=0.5
+    )
+    # Attribution scales only the expected saving, never the paid cost.
+    assert half.cost == whole.cost
+    assert half.expected_value == pytest.approx(
+        (whole.expected_value + whole.cost) / 2.0 - whole.cost
+    )
+
+
+def test_price_checkpoint_too_late_is_negative():
+    cm = CostModel(checkpoint_cost=120.0)
+    # Horizon closes before the checkpoint can complete: pure waste.
+    w = _warning(issued=1000, start=1001, end=1100)
+    a = cm.price_checkpoint(w, job_id=7, width_nodes=512, restore_point=0.0)
+    assert a.expected_value == pytest.approx(-a.cost)
+
+
+def test_price_migration_hand_computed():
+    cm = CostModel(migration_cost=180.0, restart_cost=300.0,
+                   hazard_decay_fraction=0.03)
+    w = _warning(issued=1000, start=1000, end=3000, conf=1.0)
+    a = cm.price_migration(w, job_id=3, midplane=2, width_nodes=512,
+                           job_start=0.0, locality=0.5)
+    assert a.kind == "migrate"
+    assert a.midplane == 2
+    assert a.completes_at == 1180
+    # Hazard scale = 0.03 * 2000 = 60 s: the kill, conditioned on landing
+    # after the migration completes, is expected one scale later.
+    t_hat = 1180 + 60.0
+    cov = cm.coverage(1180, w)
+    expect = 1.0 * cov * 0.5 * (t_hat + 300.0) * 512 - 180.0 * 512
+    assert a.expected_value == pytest.approx(expect)
+
+
+def test_price_quarantine_hand_computed():
+    cm = CostModel(quarantine_drain=0.1, quarantine_occupancy=0.5,
+                   restart_cost=300.0, hazard_decay_fraction=0.03)
+    w = _warning(issued=1000, start=1200, end=2000, conf=0.8)
+    a = cm.price_quarantine(w, midplane=4)
+    assert a.kind == "quarantine"
+    assert a.completes_at == 1000      # cordon effective immediately
+    assert a.width_nodes == NODES_PER_MIDPLANE
+    assert a.cost == pytest.approx(0.1 * 512 * 1000)
+    # A diverted job has only run since the cordon went up: the claimable
+    # work is the hazard scale (0.03 * 800 = 24 s) plus the dodged restart.
+    expect = 0.8 * 1.0 * 0.5 * (24.0 + 300.0) * 512 - a.cost
+    assert a.expected_value == pytest.approx(expect)
+
+
+def test_price_quarantine_locality_discounts_the_upside():
+    cm = CostModel(quarantine_drain=0.1, quarantine_occupancy=0.5)
+    w = _warning(issued=1000, start=1200, end=2000, conf=0.8)
+    blanket = cm.price_quarantine(w, midplane=4)
+    local = cm.price_quarantine(w, midplane=4, locality=0.25)
+    assert local.cost == blanket.cost
+    assert local.expected_value == pytest.approx(
+        (blanket.expected_value + blanket.cost) * 0.25 - blanket.cost
+    )
+
+
+def test_settlement_helpers():
+    cm = CostModel(restart_cost=300.0, work_cap_seconds=1000.0)
+    assert cm.checkpoint_saving(600.0, 100.0, 2) == pytest.approx(500.0 * 2)
+    assert cm.checkpoint_saving(50.0, 100.0, 2) == 0.0      # pre-start clamp
+    assert cm.rescue_saving(600.0, 100.0, 2) == pytest.approx((500.0 + 300.0) * 2)
+    assert cm.reactive_loss(5000.0, 100.0, 2) == pytest.approx(1000.0 * 2)  # cap

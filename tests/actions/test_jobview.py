@@ -1,0 +1,91 @@
+"""Tests for repro.actions.jobview (trace-backed and stream-inferred views)."""
+
+from repro.actions.jobview import StreamJobView, TraceJobView
+from repro.bgl.jobs import Job, JobTrace
+from repro.bgl.topology import ANL_SPEC, Machine
+
+
+def _trace():
+    machine = Machine(ANL_SPEC)
+    return JobTrace(machine, [
+        Job(1, 1000, 5000, (0,)),
+        Job(2, 2000, 8000, (1,)),
+    ])
+
+
+def test_trace_view_running_sorted():
+    view = TraceJobView(_trace())
+    assert [j.job_id for j in view.running(3000)] == [1, 2]
+    assert [j.job_id for j in view.running(6000)] == [2]
+    assert view.running(500) == []
+
+
+def test_trace_view_occupant_and_width():
+    view = TraceJobView(_trace())
+    job = view.occupant(0, 3000)
+    assert job is not None and job.job_id == 1
+    assert job.start == 1000
+    assert job.width_nodes == 512
+    assert view.occupant(0, 6000) is None      # job 1 finished
+    assert view.occupant(99, 3000) is None     # out of range
+
+
+def test_trace_view_midplane_index():
+    view = TraceJobView(_trace())
+    assert view.midplane_index("R00-M0-N03-C07") == 0
+    assert view.midplane_index("R00-M1-N00-C00") == 1
+    assert view.midplane_index("SYSTEM") == -1
+    assert view.n_midplanes() == 2
+
+
+def test_stream_view_first_seen_and_width():
+    view = StreamJobView()
+    view.observe(100, "R00-M0-N00-C00", 5)
+    view.observe(200, "R00-M1-N00-C00", 5)    # job widens to 2 midplanes
+    jobs = view.running(300)
+    assert len(jobs) == 1
+    assert jobs[0].start == 100
+    assert jobs[0].midplanes == (0, 1)
+    assert jobs[0].width_nodes == 2 * 512
+
+
+def test_stream_view_ttl_expiry():
+    view = StreamJobView(ttl_seconds=1000.0)
+    view.observe(100, "R00-M0-N00-C00", 5)
+    assert [j.job_id for j in view.running(1100)] == [5]
+    assert view.running(1101) == []            # past last_seen + ttl
+    assert view.running(50) == []              # before first_seen
+
+
+def test_stream_view_occupant_prefers_lowest_job_id():
+    view = StreamJobView()
+    view.observe(100, "R00-M0-N00-C00", 9)
+    view.observe(110, "R00-M0-N01-C00", 4)
+    occ = view.occupant(0, 200)
+    assert occ is not None and occ.job_id == 4
+    assert view.occupant(1, 200) is None
+
+
+def test_stream_view_forget_frees_occupancy():
+    view = StreamJobView()
+    view.observe(100, "R00-M0-N00-C00", 5)
+    view.forget(5)
+    assert view.occupant(0, 200) is None
+    assert view.running(200) == []
+
+
+def test_stream_view_ignores_idle_and_empty_locations():
+    view = StreamJobView()
+    view.observe(100, "R00-M0-N00-C00", -1)   # NO_JOB
+    view.observe(100, "", 7)                  # no location: job still tracked
+    assert view.running(200)[0].job_id == 7
+    assert view.running(200)[0].midplanes == ()
+    assert view.running(200)[0].width_nodes == 512   # floor of one midplane
+
+
+def test_stream_view_dense_indices_are_first_seen_order():
+    view = StreamJobView()
+    assert view.midplane_index("R07-M1-N00-C00") == 0
+    assert view.midplane_index("R00-M0-N00-C00") == 1
+    assert view.midplane_index("R07-M1-N63-C01") == 0   # same midplane
+    assert view.n_midplanes() == 2

@@ -1,0 +1,115 @@
+"""Tests for repro.actions.ledger (settlements, digest, tracker)."""
+
+import pytest
+
+from repro.actions.cost import Action
+from repro.actions.ledger import Ledger, LedgerEntry, LedgerTracker
+
+
+def _action(kind="checkpoint", cost=100.0, **kw):
+    base = dict(kind=kind, decided_at=1000, completes_at=1120,
+                deadline=4600, job_id=1, width_nodes=512, cost=cost)
+    base.update(kw)
+    return Action(**base)
+
+
+def _entry(outcome="hit", saved=500.0, cost=100.0):
+    return LedgerEntry(action=_action(cost=cost), outcome=outcome,
+                       settled_at=2000, saved=saved, lost=cost)
+
+
+def test_entry_validation_and_net():
+    with pytest.raises(ValueError):
+        LedgerEntry(action=_action(), outcome="maybe", settled_at=0)
+    assert _entry(saved=500.0, cost=100.0).net == pytest.approx(400.0)
+
+
+def test_ledger_counters():
+    ledger = Ledger()
+    a = _action(cost=100.0)
+    ledger.record_taken(a)
+    ledger.record_settlement(_entry("hit", saved=500.0, cost=100.0))
+    ledger.record_kill(900.0)
+    assert ledger.taken == {"checkpoint": 1}
+    assert ledger.outcomes == {"hit": 1}
+    assert ledger.cost_node_seconds == 100.0
+    assert ledger.saved_node_seconds == 500.0
+    assert ledger.net_node_seconds == pytest.approx(400.0)
+    assert ledger.reactive_loss == 900.0
+    assert ledger.jobs_hit == 1
+    assert ledger.settled == 1
+
+
+def test_false_alarm_cost_tracked_separately():
+    ledger = Ledger()
+    ledger.record_settlement(_entry("false_alarm", saved=0.0, cost=100.0))
+    assert ledger.false_alarm_cost == 100.0
+
+
+def test_roundtrip_preserves_digest():
+    ledger = Ledger(policy="cost-aware", seed=42)
+    ledger.record_taken(_action())
+    ledger.record_settlement(_entry())
+    ledger.record_kill(900.0)
+    restored = Ledger.from_dict(ledger.to_dict())
+    assert restored.digest() == ledger.digest()
+    assert restored.policy == "cost-aware"
+    assert restored.seed == 42
+
+
+def test_digest_sensitive_to_entries_and_order():
+    a, b = Ledger(), Ledger()
+    e1 = _entry("hit", saved=500.0)
+    e2 = _entry("redundant", saved=0.0)
+    a.record_settlement(e1)
+    a.record_settlement(e2)
+    b.record_settlement(e2)
+    b.record_settlement(e1)
+    assert a.digest() != b.digest()
+    assert a.digest() != Ledger().digest()
+
+
+def test_state_dict_can_elide_entries():
+    ledger = Ledger()
+    ledger.record_settlement(_entry())
+    doc = ledger.to_dict(include_entries=False)
+    assert "entries" not in doc
+    assert doc["settled"] == 1
+    # Restart state restores counters; the entry list starts fresh.
+    assert Ledger.from_dict(doc).settled == 0
+    assert Ledger.from_dict(doc).saved_node_seconds == 500.0
+
+
+def test_merge_sums_counters():
+    a, b = Ledger(), Ledger()
+    a.record_taken(_action())
+    b.record_taken(_action(kind="migrate", completes_at=1180, cost=200.0))
+    b.record_settlement(_entry())
+    b.record_kill(900.0)
+    a.merge(b)
+    assert a.taken == {"checkpoint": 1, "migrate": 1}
+    assert a.cost_node_seconds == 300.0
+    assert a.settled == 1
+    assert a.jobs_hit == 1
+
+
+def test_tracker_windows_recent_settlements():
+    tracker = LedgerTracker(window=2)
+    ledger = Ledger()
+    ledger.record_settlement(_entry("hit", saved=500.0, cost=100.0))
+    assert tracker.observe(ledger) == 1
+    ledger.record_settlement(_entry("false_alarm", saved=0.0, cost=100.0))
+    ledger.record_settlement(_entry("false_alarm", saved=0.0, cost=100.0))
+    assert tracker.observe(ledger) == 2
+    # Window of 2 keeps only the two false alarms.
+    assert tracker.window_net() == pytest.approx(-200.0)
+    assert tracker.window_hit_rate() == 0.0
+    assert tracker.observe(ledger) == 0      # nothing new
+
+
+def test_tracker_empty_window():
+    tracker = LedgerTracker()
+    assert tracker.window_net() == 0.0
+    assert tracker.window_hit_rate() is None
+    with pytest.raises(ValueError):
+        LedgerTracker(window=0)

@@ -1,0 +1,148 @@
+"""Tests for repro.actions.policy (baselines + the cost-aware composite)."""
+
+import pytest
+
+from repro.actions.cost import CostModel
+from repro.actions.jobview import StreamJobView
+from repro.actions.policy import (
+    POLICY_NAMES,
+    CheckpointPolicy,
+    CostAwarePolicy,
+    MigrationPolicy,
+    NeverActPolicy,
+    PolicyContext,
+    QuarantinePolicy,
+    build_policy,
+)
+from repro.predictors.base import FailureWarning
+from repro.util.rng import as_generator
+
+
+def _ctx(view=None, *, now=1000, conf=0.8, hot=-1, hot_share=0.0,
+         quarantined=frozenset(), restore_points=None,
+         dead_jobs=frozenset()):
+    if view is None:
+        view = StreamJobView()
+    warning = FailureWarning(issued_at=now, horizon_start=now + 60,
+                             horizon_end=now + 3600, confidence=conf,
+                             source="meta", detail="test")
+    return PolicyContext(
+        warning=warning, now=now, view=view, cost=CostModel(),
+        rng=as_generator(0), hot_midplane=hot, hot_share=hot_share,
+        restore_points=restore_points if restore_points is not None else {},
+        quarantined=quarantined, dead_jobs=dead_jobs,
+    )
+
+
+def _view_with_job(job_id=1, t=100, location="R00-M0-N00-C00"):
+    view = StreamJobView()
+    view.observe(t, location, job_id)
+    return view
+
+
+def test_never_act():
+    assert NeverActPolicy().decide(_ctx(_view_with_job())) == []
+
+
+def test_checkpoint_policy_covers_every_running_job():
+    view = _view_with_job(1)
+    view.observe(200, "R00-M1-N00-C00", 2)
+    actions = CheckpointPolicy().decide(_ctx(view))
+    assert [a.job_id for a in actions] == [1, 2]
+    assert all(a.kind == "checkpoint" for a in actions)
+
+
+def test_checkpoint_policy_uses_restore_point():
+    view = _view_with_job(1)
+    fresh = CheckpointPolicy().decide(_ctx(view))[0]
+    marked = CheckpointPolicy().decide(
+        _ctx(view, restore_points={1: 900})
+    )[0]
+    # A recent restore point shrinks the work at risk, hence the EV.
+    assert marked.expected_value < fresh.expected_value
+
+
+def test_migration_policy_needs_hot_midplane_with_occupant():
+    view = _view_with_job(1)
+    view.observe(200, "R00-M1-N00-C00", -1)    # second midplane, no job
+    assert MigrationPolicy().decide(_ctx(view, hot=-1, hot_share=1.0)) == []
+    assert MigrationPolicy().decide(_ctx(view, hot=3, hot_share=1.0)) == []
+    actions = MigrationPolicy().decide(_ctx(view, hot=0, hot_share=1.0))
+    assert len(actions) == 1
+    assert actions[0].kind == "migrate"
+    assert actions[0].job_id == 1
+    assert actions[0].midplane == 0
+
+
+def test_migration_policy_stands_down_without_localized_risk():
+    view = _view_with_job(1)
+    view.observe(200, "R00-M1-N00-C00", -1)
+    # Uniform fatal history (share 0.5 over 2 midplanes): the differential
+    # concentration is zero, so moving the job buys nothing.
+    assert MigrationPolicy().decide(_ctx(view, hot=0, hot_share=0.5)) == []
+    # A single known midplane: nowhere to move to.
+    solo = _view_with_job(1)
+    assert MigrationPolicy().decide(_ctx(solo, hot=0, hot_share=1.0)) == []
+
+
+def test_quarantine_policy_one_cordon_at_a_time():
+    view = _view_with_job(1)
+    assert QuarantinePolicy().decide(_ctx(view, hot=-1)) == []
+    assert QuarantinePolicy().decide(
+        _ctx(view, hot=0, quarantined=frozenset({0}))
+    ) == []
+    actions = QuarantinePolicy().decide(_ctx(view, hot=0))
+    assert len(actions) == 1
+    assert actions[0].kind == "quarantine"
+    assert actions[0].midplane == 0
+
+
+def test_cost_aware_picks_best_action_per_scope():
+    view = _view_with_job(1)
+    view.observe(200, "R00-M1-N00-C00", -1)    # second midplane, no job
+    policy = CostAwarePolicy()
+    ctx = _ctx(view, hot=0, hot_share=1.0)
+    candidates = policy.candidates(ctx)
+    assert len(candidates) == 3       # checkpoint + migrate + quarantine
+    decided = policy.decide(ctx)
+    assert all(a.expected_value > 0.0 for a in decided)
+    job_actions = [a for a in decided if a.kind != "quarantine"]
+    assert len(job_actions) == 1      # never two remedies for one job
+    best_for_job = max(
+        (a for a in candidates if a.kind != "quarantine"),
+        key=lambda a: a.expected_value,
+    )
+    assert job_actions[0].expected_value == best_for_job.expected_value
+
+
+def test_cost_aware_skips_already_killed_jobs():
+    view = _view_with_job(1)
+    view.observe(200, "R00-M1-N00-C00", 2)
+    decided = CostAwarePolicy().decide(_ctx(view, dead_jobs=frozenset({1})))
+    # Job 1's work is already lost; only job 2 is worth protecting.
+    assert [(a.kind, a.job_id) for a in decided] == [("checkpoint", 2)]
+
+
+def test_cost_aware_protects_every_threatened_job():
+    view = _view_with_job(1)
+    view.observe(200, "R00-M1-N00-C00", 2)
+    decided = CostAwarePolicy().decide(_ctx(view))
+    # Two running jobs, no hot midplane: one checkpoint each.
+    assert [(a.kind, a.job_id) for a in decided] == [
+        ("checkpoint", 1), ("checkpoint", 2),
+    ]
+
+
+def test_cost_aware_declines_when_nothing_profitable():
+    view = _view_with_job(1)
+    # Near-zero confidence: every candidate's EV is negative.
+    assert CostAwarePolicy().decide(_ctx(view, hot=0, conf=0.0)) == []
+    # No jobs, no hot midplane: nothing to price at all.
+    assert CostAwarePolicy().decide(_ctx(StreamJobView())) == []
+
+
+def test_build_policy():
+    for name in POLICY_NAMES:
+        assert build_policy(name).name == name
+    with pytest.raises(ValueError, match="unknown policy"):
+        build_policy("reboot")

@@ -142,3 +142,77 @@ def test_serve_daemon_lifecycle_needs_registry(model_path, capsys):
 def test_emit_against_dead_port_fails_cleanly(log_path):
     with pytest.raises(OSError):
         main(["emit", str(log_path), "--port", str(free_port())])
+
+
+def test_daemon_policy_ledger_survives_restart(log_path, model_path, tmp_path, capsys):
+    state = tmp_path / "state.json"
+
+    def one_life() -> None:
+        port = free_port()
+        thread, rc_box = run_daemon_in_thread([
+            "serve-daemon", "-m", str(model_path),
+            "--port", str(port), "--state", str(state),
+            "--policy", "cost-aware", "--checkpoint-cost", "60",
+        ])
+        try:
+            wait_until_listening(port)
+            assert main([
+                "emit", str(log_path), "--port", str(port),
+                "--streams", "2", "--drain",
+            ]) == 0
+        finally:
+            thread.join(timeout=60)
+        assert rc_box == [0]
+
+    one_life()
+    first = json.loads(state.read_text())
+    assert set(first["ledgers"]) == {"stream-0", "stream-1"}
+    for doc in first["ledgers"].values():
+        assert doc["policy"] == "cost-aware"
+        assert "entries" not in doc    # restart state keeps counters only
+
+    one_life()
+    second = json.loads(state.read_text())
+    out = capsys.readouterr().out
+    assert "actions (cost-aware, seed 0):" in out
+    assert "2 stream ledger(s)" in out    # the restore banner
+    # Same traffic twice: the lifetime kill counter exactly doubles.
+    for sid, doc in second["ledgers"].items():
+        assert doc["jobs_hit"] == 2 * first["ledgers"][sid]["jobs_hit"]
+
+
+def test_daemon_idle_restart_keeps_restored_ledgers(
+    log_path, model_path, tmp_path, capsys
+):
+    """A life that sees no traffic must not erase restored ledger state."""
+    state = tmp_path / "state.json"
+
+    def one_life(*, emit: bool) -> None:
+        port = free_port()
+        thread, rc_box = run_daemon_in_thread([
+            "serve-daemon", "-m", str(model_path),
+            "--port", str(port), "--state", str(state),
+            "--policy", "cost-aware",
+        ])
+        try:
+            wait_until_listening(port)
+            if emit:
+                assert main([
+                    "emit", str(log_path), "--port", str(port),
+                    "--streams", "2", "--drain",
+                ]) == 0
+            else:
+                with socket.create_connection(("127.0.0.1", port)) as sock:
+                    sock.sendall(b"GET /drain HTTP/1.0\r\n\r\n")
+                    sock.recv(4096)
+        finally:
+            thread.join(timeout=60)
+        assert rc_box == [0]
+
+    one_life(emit=True)
+    first = json.loads(state.read_text())
+    one_life(emit=False)    # drain immediately: no streams this life
+    second = json.loads(state.read_text())
+    assert "2 stream ledger(s)" in capsys.readouterr().out
+    assert second["ledgers"] == first["ledgers"]
+    assert second["total"] == first["total"]

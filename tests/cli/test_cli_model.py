@@ -171,3 +171,19 @@ def test_serve_replay_retrain_flags_require_registry(
     ])
     assert rc == 2
     assert "need --registry" in capsys.readouterr().err
+
+
+def test_serve_replay_lifecycle_with_policy_prints_ledger(
+    log_path, registry_dir, capsys
+):
+    rc = main([
+        "serve-replay", str(log_path), "--registry", str(registry_dir),
+        "--retrain-every", "150", "--chunk", "100",
+        "--drift-window", "100", "--retrain-window", "1000", "--shards", "2",
+        "--policy", "checkpoint", "--checkpoint-cost", "60",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "lifecycle" in out
+    assert "actions (checkpoint, seed 0):" in out
+    assert "node-seconds:" in out

@@ -79,3 +79,28 @@ def test_serve_replay_matches_watch_counts(log_path, model_path, capsys):
     assert watch and serve
     assert serve.group(1) == watch.group(3)  # warnings
     assert serve.group(2) == watch.group(2)  # failures
+
+
+def test_serve_replay_policy_prints_ledger(log_path, model_path, capsys):
+    rc = main([
+        "serve-replay", str(log_path), "-m", str(model_path),
+        "--policy", "cost-aware", "--checkpoint-cost", "60",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "actions (cost-aware, seed 0):" in out
+    assert "node-seconds:" in out
+    assert "reactive loss (no action):" in out
+
+
+def test_serve_replay_without_policy_has_no_ledger(log_path, model_path, capsys):
+    assert main(["serve-replay", str(log_path), "-m", str(model_path)]) == 0
+    assert "actions (" not in capsys.readouterr().out
+
+
+def test_serve_replay_rejects_unknown_policy(log_path, model_path):
+    with pytest.raises(SystemExit):
+        main([
+            "serve-replay", str(log_path), "-m", str(model_path),
+            "--policy", "reboot",
+        ])

@@ -81,6 +81,45 @@ def test_residual_rollback_capped_at_periodic():
     assert report.saving == pytest.approx(-300)
 
 
+def test_overlapping_warnings_on_same_fatal_charged_once():
+    """Regression: two warnings matching the same fatal used to cost two
+    proactive checkpoints; deduped by matched-failure id they cost one."""
+    m = _match([1200.0], n_warnings=2, tp=2)
+    m.warning_fatal = np.array([0, 0], dtype=np.int64)  # both hit fatal #0
+    report = evaluate_policy(m, POLICY, period_seconds=36_000)
+    # Predicted: 3000 periodic + 900 residual + 600 restart + ONE checkpoint.
+    assert report.predicted_cost == pytest.approx(3000 + 900 + 600 + 300)
+    # Distinct fatals still pay one checkpoint each.
+    m2 = _match([1200.0, 1200.0], n_warnings=2, tp=2)
+    m2.warning_fatal = np.array([0, 1], dtype=np.int64)
+    report2 = evaluate_policy(m2, POLICY, period_seconds=36_000)
+    assert report2.predicted_cost == pytest.approx(
+        3000 + 2 * 900 + 2 * 600 + 2 * 300
+    )
+
+
+def test_without_warning_fatal_falls_back_to_tp_count():
+    """Hand-built MatchResults (no warning_fatal) keep the legacy charge."""
+    m = _match([1200.0], n_warnings=2, tp=2)
+    assert m.warning_fatal is None
+    report = evaluate_policy(m, POLICY, period_seconds=36_000)
+    assert report.predicted_cost == pytest.approx(3000 + 900 + 600 + 2 * 300)
+
+
+def test_match_warnings_populates_warning_fatal(anl_events):
+    from repro.evaluation.matching import match_warnings
+    from repro.predictors.base import FailureWarning
+
+    t0 = int(anl_events.fatal_events().times[0])
+    w = FailureWarning(issued_at=t0 - 100, horizon_start=t0 - 50,
+                       horizon_end=t0 + 50, confidence=0.9,
+                       source="meta", detail="t")
+    match = match_warnings([w, w], anl_events)
+    assert match.warning_fatal is not None
+    assert match.warning_fatal.shape == (2,)
+    assert match.warning_fatal[0] == match.warning_fatal[1] >= 0
+
+
 def test_breakeven_precision():
     assert breakeven_precision(POLICY, mean_lead=100) == 1.0
     b = breakeven_precision(POLICY, mean_lead=1200)

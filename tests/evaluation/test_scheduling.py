@@ -109,6 +109,46 @@ def test_overhead_counts_each_job_once(machine):
     assert out.checkpoint_overhead == 100 * 2 * NODES_PER_MIDPLANE
 
 
+def test_overlapping_warnings_same_fatal_checkpoint_once(machine):
+    """Regression: overlapping warnings matching the same fatal used to
+    trigger one checkpoint each; deduped they trigger exactly one."""
+    trace = JobTrace(machine, [Job(1, 10_000, 20_000, (0,))])
+    events = EventStore.from_events([_fatal(15_000, "R00-M0-N03-C07")])
+    # Both horizons contain the 15_000 fatal; only the earlier one acts.
+    overlapping = [_warning(14_000), _warning(14_200)]
+    out = simulate_rescue(trace, events, overlapping, checkpoint_cost=120)
+    assert out.checkpoint_overhead == 120 * NODES_PER_MIDPLANE
+    # The kept (earlier) warning's checkpoint sets the restart point.
+    assert out.proactive_loss == (15_000 - 14_120) * NODES_PER_MIDPLANE
+
+
+def test_false_alarms_still_pay_their_checkpoints(machine):
+    """Dedupe only collapses warnings matching the same fatal; unmatched
+    warnings each still cost a checkpoint."""
+    trace = JobTrace(machine, [Job(1, 0, 100_000, (0,))])
+    events = EventStore.from_events([_fatal(50_000, "R00-M0-N03-C07")])
+    # Two false alarms (horizons end before the fatal) + two overlapping
+    # true warnings -> 3 checkpoints total.
+    warnings = [
+        _warning(10_000), _warning(20_000),  # horizons end 13.6k/23.6k
+        _warning(49_000), _warning(49_500),  # both cover 50_000
+    ]
+    out = simulate_rescue(trace, events, warnings, checkpoint_cost=120)
+    assert out.checkpoint_overhead == 3 * 120 * NODES_PER_MIDPLANE
+
+
+def test_dedupe_helper_keeps_earliest_per_fatal():
+    import numpy as np
+
+    from repro.evaluation.scheduling import dedupe_by_matched_fatal
+
+    kept = dedupe_by_matched_fatal(
+        [_warning(14_200), _warning(14_000)],
+        np.array([15_000], dtype=np.int64),
+    )
+    assert [w.issued_at for w in kept] == [14_000]
+
+
 def test_validation(machine):
     trace = JobTrace(machine, [])
     with pytest.raises(ValueError):

@@ -545,3 +545,66 @@ def test_store_dir_rejected_events_not_archived(fitted, tmp_path):
     report = asyncio.run(run())
     assert report.streams[0].rejected_order == 1
     assert len(open_store(store_dir)) == len(events)
+
+
+# ------------------------------------------------------------- action ledgers
+
+
+def test_per_stream_ledger_matches_one_shot_replay(fitted):
+    """A daemon-drained ledger is bit-identical to a one-shot replay of the
+    same stream: the engine's chunk invariance, exercised over the wire."""
+    from repro.actions import ActionEngine, CostModel, Ledger, build_policy
+    from repro.ras.store import EventStore
+
+    meta, test = fitted
+    events = list(test)[:240]
+
+    def factory(stream_id):
+        return ActionEngine(
+            build_policy("cost-aware"), CostModel(), seed=5,
+            labels={"stream": stream_id},
+        )
+
+    async def run():
+        async with IngestDaemon(meta, CONFIG, action_factory=factory) as daemon:
+            responses = await send_frames(
+                daemon.port, batch_frames("s", events, batch=50)
+            )
+            assert all(r["ok"] for r in responses)
+            return await daemon.drain()
+
+    report = asyncio.run(run())
+    sr = report.streams[0]
+    assert sr.ledger is not None
+
+    store = EventStore.from_events(events)
+    pool = DetectorPool(meta, shards=CONFIG.shards, key=CONFIG.key)
+    warnings = pool.process_store(store)
+    oracle = ActionEngine(build_policy("cost-aware"), CostModel(), seed=5)
+    oracle.observe_store(store, list(warnings))
+    assert oracle.finalize().digest() == sr.ledger.digest()
+
+    # The state document carries the ledger counters (entries elided).
+    doc = state_to_dict(report)
+    assert set(doc["ledgers"]) == {"s"}
+    restored = Ledger.from_dict(doc["ledgers"]["s"])
+    assert restored.policy == "cost-aware"
+    assert restored.net_node_seconds == sr.ledger.net_node_seconds
+    assert doc["ledgers"]["s"]["settled"] == sr.ledger.settled
+    assert restored.entries == []      # restart state elides entries
+
+
+def test_drain_without_action_factory_has_no_ledger(fitted):
+    meta, test = fitted
+
+    async def run():
+        async with IngestDaemon(meta, CONFIG) as daemon:
+            responses = await send_frames(
+                daemon.port, batch_frames("s", list(test)[:60])
+            )
+            assert all(r["ok"] for r in responses)
+            return await daemon.drain()
+
+    report = asyncio.run(run())
+    assert report.streams[0].ledger is None
+    assert "ledgers" not in state_to_dict(report)

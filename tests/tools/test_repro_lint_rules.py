@@ -813,3 +813,68 @@ def test_rl015_allows_spec_fit_path():
         select={"RL015"},
     )
     assert diags == []
+
+
+# ---------------------------------------------------------------- RL016
+
+
+def test_rl016_flags_cost_arithmetic_in_library():
+    diags = lint(
+        """\
+        def overhead(policy, n):
+            wasted = n * policy.checkpoint_cost
+            wasted += policy.restart_cost
+            return wasted
+        """,
+        select={"RL016"},
+    )
+    assert codes_and_lines(diags) == [("RL016", 2), ("RL016", 3)]
+
+
+def test_rl016_flags_bare_names_and_benchmarks():
+    source = """\
+    def total(checkpoint_cost, k):
+        return checkpoint_cost * k
+    """
+    assert codes_and_lines(lint(source, path="benchmarks/bench_x.py",
+                                select={"RL016"})) == [("RL016", 2)]
+
+
+def test_rl016_exempts_actions_tests_and_tools():
+    source = """\
+    def total(cm, k):
+        return cm.checkpoint_cost * k
+    """
+    assert lint(source, path="src/repro/actions/cost.py",
+                select={"RL016"}) == []
+    assert lint(source, path="tests/actions/test_cost.py",
+                select={"RL016"}) == []
+    assert lint(source, path="tools/somewhere/mod.py",
+                select={"RL016"}) == []
+    assert lint(source, select={"RL016"}) != []
+
+
+def test_rl016_allows_cost_keywords_and_reads():
+    diags = lint(
+        """\
+        from repro.actions import CostModel
+
+        def build(args):
+            cm = CostModel(checkpoint_cost=args.checkpoint_cost)
+            print(cm.restart_cost)
+            return cm
+        """,
+        select={"RL016"},
+    )
+    assert diags == []
+
+
+def test_rl016_is_waivable():
+    diags = lint(
+        """\
+        def ratio(cm):
+            return cm.migration_cost / cm.checkpoint_cost  # repro-lint: disable=RL016
+        """,
+        select={"RL016"},
+    )
+    assert diags == []

@@ -20,4 +20,5 @@ from tools.repro_lint.rules import (  # noqa: F401
     rl013_async_blocking,
     rl014_store_column_write,
     rl015_lifecycle_scratch_mining,
+    rl016_cost_arithmetic,
 )
